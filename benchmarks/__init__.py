@@ -1,0 +1,12 @@
+"""Benchmark harness regenerating every figure and table of Section 5.
+
+Each ``bench_*`` module serves two purposes:
+
+* under ``pytest benchmarks/ --benchmark-only`` it times representative
+  points of the corresponding experiment with pytest-benchmark;
+* run directly (``python -m benchmarks.bench_fig08_length``) it executes
+  the full parameter sweep and prints the same series the paper plots,
+  plus the I/O counters the wall-clock claims rest on.
+
+EXPERIMENTS.md records the measured outputs next to the paper's numbers.
+"""

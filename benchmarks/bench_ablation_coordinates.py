@@ -1,0 +1,106 @@
+"""Ablation: rectangular versus polar coordinates for the feature space.
+
+The paper chose polar coordinates "because vector multiplication for time
+series data seemed to be more important than vector addition" (Theorem 3
+makes complex stretches safe there).  This bench quantifies the price of
+that choice when the transformation *is* expressible in both systems
+(identity / reverse / scale): candidate counts and query times per
+coordinate system, plus the polar-only capability check.
+
+pytest: timed identity-query comparison.
+sweep:  ``python -m benchmarks.bench_ablation_coordinates``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    get_engine,
+    get_walk_relation,
+    pick_queries,
+    print_series,
+    time_per_query,
+)
+from repro.core.features import NormalFormSpace, UnsafeTransformationError
+from repro.core.transforms import moving_average, reverse
+
+LENGTH = 128
+COUNT = 2000
+EPS = 2.0
+
+
+def engines():
+    rel = get_walk_relation(COUNT, LENGTH)
+    rect = get_engine(
+        rel, "abl-rect", space_factory=lambda n: NormalFormSpace(n, 2, coord="rect")
+    )
+    polar = get_engine(
+        rel, "abl-polar", space_factory=lambda n: NormalFormSpace(n, 2, coord="polar")
+    )
+    return rel, rect, polar
+
+
+@pytest.mark.parametrize("coord", ["rect", "polar"])
+def test_ablation_identity_query(benchmark, coord):
+    rel, rect, polar = engines()
+    engine = rect if coord == "rect" else polar
+    queries = pick_queries(rel, 10)
+    benchmark(lambda: [engine.range_query(q, EPS) for q in queries])
+
+
+def test_ablation_polar_supports_mavg_rect_does_not():
+    rel, rect, polar = engines()
+    t = moving_average(LENGTH, 20)
+    q = rel.get(0)
+    with pytest.raises(UnsafeTransformationError):
+        rect.range_query(q, EPS, transformation=t)
+    polar.range_query(q, EPS, transformation=t)  # must not raise
+
+
+def main() -> None:
+    rel, rect, polar = engines()
+    queries = pick_queries(rel, 10)
+    rows = []
+    for label, t in [("identity", None), ("reverse", reverse(LENGTH))]:
+        for name, engine in [("rect", rect), ("polar", polar)]:
+            engine.stats.reset()
+            answers = sum(
+                len(engine.range_query(q, EPS, transformation=t)) for q in queries
+            )
+            candidates = engine.stats.candidate_count
+            secs = time_per_query(
+                lambda: [engine.range_query(q, EPS, transformation=t) for q in queries]
+            )
+            rows.append(
+                (f"{label}/{name}", 1000 * secs / len(queries), candidates, answers)
+            )
+    t = moving_average(LENGTH, 20)
+    polar.stats.reset()
+    answers = sum(
+        len(polar.range_query(q, EPS, transformation=t, transform_query=True))
+        for q in queries
+    )
+    secs = time_per_query(
+        lambda: [
+            polar.range_query(q, EPS, transformation=t, transform_query=True)
+            for q in queries
+        ]
+    )
+    rows.append(
+        (f"mavg20/polar", 1000 * secs / len(queries), polar.stats.candidate_count, answers)
+    )
+    rows.append(("mavg20/rect", float("nan"), 0, 0))
+    print_series(
+        f"Ablation — coordinate systems ({COUNT} walks, length {LENGTH}, eps={EPS})",
+        ["transform/coord", "ms/query", "candidates", "answers"],
+        rows,
+    )
+    print(
+        "\nmavg20/rect is blank by necessity: complex stretches are unsafe in\n"
+        "S_rect (Theorem 2), which is exactly why the paper indexes in S_pol."
+    )
+
+
+if __name__ == "__main__":
+    main()

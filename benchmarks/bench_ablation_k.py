@@ -1,0 +1,99 @@
+"""Ablation: how many DFT coefficients to keep in the index.
+
+More coefficients mean a sharper filter (fewer false candidates) but a
+higher-dimensional index (bigger nodes, worse fanout, more overlap).  The
+paper fixes k=2 (plus mean and std); this sweep shows where that sits on
+the trade-off curve, including the FRM94 symmetry-weighting refinement as
+a "k for free" comparison.
+
+pytest: timed queries at k=1 and k=4.
+sweep:  ``python -m benchmarks.bench_ablation_k``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    get_engine,
+    get_walk_relation,
+    pick_queries,
+    print_series,
+    time_per_query,
+)
+from repro.core.features import NormalFormSpace
+
+LENGTH = 128
+COUNT = 3000
+EPS = 2.0
+KS = [1, 2, 3, 4, 6]
+
+
+def engine_for(k: int, symmetry: bool = False):
+    rel = get_walk_relation(COUNT, LENGTH)
+    tag = f"abl-k{k}{'s' if symmetry else ''}"
+    return rel, get_engine(
+        rel,
+        tag,
+        space_factory=lambda n: NormalFormSpace(
+            n, k, coord="polar", exploit_symmetry=symmetry
+        ),
+    )
+
+
+@pytest.mark.parametrize("k", [1, 4])
+def test_ablation_k_query_time(benchmark, k):
+    rel, engine = engine_for(k)
+    queries = pick_queries(rel, 10)
+    benchmark(lambda: [engine.range_query(q, EPS) for q in queries])
+
+
+def test_ablation_more_coefficients_filter_better():
+    rel, e1 = engine_for(1)
+    rel, e4 = engine_for(4)
+    queries = pick_queries(rel, 10)
+    e1.stats.reset()
+    for q in queries:
+        e1.range_query(q, EPS)
+    e4.stats.reset()
+    for q in queries:
+        e4.range_query(q, EPS)
+    assert e4.stats.candidate_count <= e1.stats.candidate_count
+
+
+def main() -> None:
+    rel = get_walk_relation(COUNT, LENGTH)
+    queries = pick_queries(rel, 10)
+    rows = []
+    for k in KS:
+        for symmetry in (False, True):
+            _, engine = engine_for(k, symmetry)
+            engine.stats.reset()
+            answers = sum(len(engine.range_query(q, EPS)) for q in queries)
+            candidates = engine.stats.candidate_count
+            secs = time_per_query(
+                lambda: [engine.range_query(q, EPS) for q in queries]
+            )
+            rows.append(
+                (
+                    f"k={k}{'+sym' if symmetry else '    '}",
+                    engine.space.dim,
+                    1000 * secs / len(queries),
+                    candidates,
+                    answers,
+                )
+            )
+    print_series(
+        f"Ablation — retained coefficients ({COUNT} walks, eps={EPS})",
+        ["config", "index dims", "ms/query", "candidates", "answers"],
+        rows,
+    )
+    print(
+        "\nshape: candidates fall as k grows (sharper filter) while per-node\n"
+        "costs rise; symmetry weighting tightens the filter at every k with\n"
+        "no extra dimensions — the paper's k=2 sits near the knee."
+    )
+
+
+if __name__ == "__main__":
+    main()

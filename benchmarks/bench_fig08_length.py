@@ -1,0 +1,116 @@
+"""Figure 8: time per range query as sequence length varies (64..1024).
+
+Setup (Section 5): 1000 synthetic random-walk sequences; the identity
+transformation ``T_i = (I, 0)`` so that the transformed and plain queries
+return identical answers and the comparison isolates the transformation
+machinery's overhead.  The paper finds the two curves differ only by a
+constant (the CPU cost of the vector multiplication) and that the number
+of disk accesses is identical.
+
+pytest: representative lengths 128 and 512.
+sweep:  ``python -m benchmarks.bench_fig08_length``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    default_space,
+    get_engine,
+    get_walk_relation,
+    pick_queries,
+    print_series,
+    time_per_query,
+)
+from repro.core.transforms import identity
+
+LENGTHS = [64, 128, 256, 512, 1024]
+NUM_SEQUENCES = 1000
+
+
+def eps_for(length: int) -> float:
+    """Threshold scaled with sqrt(length).
+
+    Distances between unit-variance normal forms grow like sqrt(n), so a
+    fixed eps would become ever more selective as sequences lengthen;
+    scaling keeps the answer-set fraction roughly constant across the
+    sweep, which is what lets the figure isolate per-query index cost.
+    """
+    return 2.0 * (length / 128.0) ** 0.5
+
+
+def setup(length: int):
+    rel = get_walk_relation(NUM_SEQUENCES, length)
+    engine = get_engine(rel, "fig08", space_factory=default_space)
+    queries = pick_queries(rel, 10)
+    return engine, queries
+
+
+def run_queries(engine, queries, transformation):
+    eps = eps_for(engine.space.n)
+    total = 0
+    for q in queries:
+        total += len(engine.range_query(q, eps, transformation=transformation))
+    return total
+
+
+@pytest.mark.parametrize("length", [128, 512])
+@pytest.mark.parametrize("with_t", [False, True], ids=["plain", "identity-T"])
+def test_fig08_range_query(benchmark, length, with_t):
+    engine, queries = setup(length)
+    t = identity(length) if with_t else None
+    benchmark(run_queries, engine, queries, t)
+
+
+def test_fig08_same_answers_and_node_reads():
+    """The controlled-comparison premise: identical results, identical
+    node accesses with and without the identity transformation."""
+    engine, queries = setup(128)
+    t = identity(128)
+    for q in queries:
+        engine.stats.reset()
+        a = engine.range_query(q, eps_for(128))
+        plain_reads = engine.stats.node_reads
+        engine.stats.reset()
+        b = engine.range_query(q, eps_for(128), transformation=t)
+        assert [r for r, _ in a] == [r for r, _ in b]
+        assert engine.stats.node_reads == plain_reads
+
+
+def main() -> None:
+    rows = []
+    for length in LENGTHS:
+        engine, queries = setup(length)
+        t = identity(length)
+        t_plain = time_per_query(lambda: run_queries(engine, queries, None))
+        t_trans = time_per_query(lambda: run_queries(engine, queries, t))
+        engine.stats.reset()
+        run_queries(engine, queries, None)
+        reads_plain = engine.stats.node_reads
+        engine.stats.reset()
+        run_queries(engine, queries, t)
+        reads_trans = engine.stats.node_reads
+        rows.append(
+            (
+                length,
+                1000 * t_plain / len(queries),
+                1000 * t_trans / len(queries),
+                reads_plain,
+                reads_trans,
+            )
+        )
+    print_series(
+        "Figure 8 — time per range query vs sequence length "
+        f"({NUM_SEQUENCES} sequences, identity transformation, eps ~ sqrt(n))",
+        ["length", "plain ms/q", "with-T ms/q", "node reads", "node reads(T)"],
+        rows,
+    )
+    print(
+        "\npaper shape: the two curves differ by a small constant (CPU cost\n"
+        "of the vector multiplication); disk accesses identical."
+    )
+
+
+if __name__ == "__main__":
+    main()

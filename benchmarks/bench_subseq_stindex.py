@@ -1,0 +1,101 @@
+"""Extension bench: the ST-index versus exhaustive subsequence scanning.
+
+Not a paper figure — the paper's experiments stop at whole-sequence
+queries — but [FRM94] is the companion method the paper's machinery
+descends from, so the reproduction carries its performance story too:
+filter-and-refine over sub-trail MBRs versus checking every offset, for
+both grouping policies.
+
+pytest: window-length queries, both groupings, plus the brute-force bar.
+sweep:  ``python -m benchmarks.bench_subseq_stindex``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import print_series, time_per_query
+from repro.data import make_stock_universe
+from repro.subseq import STIndex
+
+WINDOW = 32
+EPS = 0.5
+
+_cache: dict[str, STIndex] = {}
+
+
+def index_for(grouping: str) -> STIndex:
+    if grouping not in _cache:
+        rel = make_stock_universe(count=40, length=512, seed=31)
+        idx = STIndex(window=WINDOW, k=3, grouping=grouping, chunk=16)
+        for rid in range(len(rel)):
+            idx.add_series(rel.get(rid))
+        _cache[grouping] = idx
+    return _cache[grouping]
+
+
+def make_queries(idx: STIndex, count: int = 5) -> list[np.ndarray]:
+    rng = np.random.default_rng(9)
+    out = []
+    for _ in range(count):
+        sid = int(rng.integers(0, idx.num_series))
+        src = idx.series(sid)
+        start = int(rng.integers(0, len(src) - WINDOW))
+        out.append(src[start : start + WINDOW] + rng.normal(0, 0.01, WINDOW))
+    return out
+
+
+@pytest.mark.parametrize("grouping", ["fixed", "adaptive"])
+def test_stindex_query(benchmark, grouping):
+    idx = index_for(grouping)
+    queries = make_queries(idx)
+    benchmark(lambda: [idx.range_query(q, EPS) for q in queries])
+
+
+def test_stindex_brute(benchmark):
+    idx = index_for("adaptive")
+    queries = make_queries(idx)
+    benchmark.pedantic(
+        lambda: [idx.brute_force(q, EPS) for q in queries], rounds=2, iterations=1
+    )
+
+
+def test_answers_identical_across_methods():
+    fixed = index_for("fixed")
+    adaptive = index_for("adaptive")
+    for q in make_queries(adaptive):
+        want = [(m.series_id, m.offset) for m in adaptive.brute_force(q, EPS)]
+        assert [(m.series_id, m.offset) for m in adaptive.range_query(q, EPS)] == want
+        assert [(m.series_id, m.offset) for m in fixed.range_query(q, EPS)] == want
+
+
+def main() -> None:
+    rows = []
+    for grouping in ("fixed", "adaptive"):
+        idx = index_for(grouping)
+        queries = make_queries(idx)
+        secs = time_per_query(lambda: [idx.range_query(q, EPS) for q in queries])
+        rows.append(
+            (
+                f"st-index/{grouping}",
+                idx.num_subtrails,
+                1000 * secs / len(queries),
+            )
+        )
+    idx = index_for("adaptive")
+    queries = make_queries(idx)
+    brute_secs = time_per_query(
+        lambda: [idx.brute_force(q, EPS) for q in queries], repeats=1
+    )
+    rows.append(("brute force", 0, 1000 * brute_secs / len(queries)))
+    print_series(
+        f"ST-index vs exhaustive subsequence scan "
+        f"({idx.num_series} series x 512, window {WINDOW}, eps {EPS})",
+        ["method", "sub-trail MBRs", "ms/query"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

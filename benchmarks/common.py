@@ -1,0 +1,94 @@
+"""Shared machinery for the benchmark modules.
+
+Engines are expensive to build (index construction over thousands of
+series), so :func:`get_engine` memoises them per configuration for the
+lifetime of the process — both the pytest-benchmark run and the manual
+sweeps reuse them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.engine import SimilarityEngine
+from repro.core.features import NormalFormSpace
+from repro.data import SequenceRelation, make_stock_universe
+from repro.data.synthetic import random_walks
+
+_ENGINES: dict[tuple, SimilarityEngine] = {}
+_RELATIONS: dict[tuple, SequenceRelation] = {}
+
+
+def get_walk_relation(count: int, length: int, seed: int = 1997) -> SequenceRelation:
+    """Memoised paper-style random-walk relation."""
+    key = ("walks", count, length, seed)
+    if key not in _RELATIONS:
+        _RELATIONS[key] = SequenceRelation.from_matrix(
+            random_walks(count, length, seed=seed)
+        )
+    return _RELATIONS[key]
+
+
+def get_stock_relation(count: int = 1067, length: int = 128) -> SequenceRelation:
+    """Memoised synthetic stock universe (paper: 1067 series of 128 days)."""
+    key = ("stocks", count, length)
+    if key not in _RELATIONS:
+        _RELATIONS[key] = make_stock_universe(count=count, length=length)
+    return _RELATIONS[key]
+
+
+def get_engine(
+    relation: SequenceRelation,
+    tag: str,
+    space_factory: Optional[Callable[[int], object]] = None,
+    **kwargs,
+) -> SimilarityEngine:
+    """Memoised engine over ``relation`` (keyed by ``tag`` + relation id)."""
+    key = (id(relation), tag)
+    if key not in _ENGINES:
+        space = space_factory(relation.length) if space_factory else None
+        _ENGINES[key] = SimilarityEngine(relation, space=space, **kwargs)
+    return _ENGINES[key]
+
+
+def default_space(length: int) -> NormalFormSpace:
+    """The paper's Section 5 feature space."""
+    return NormalFormSpace(length, k=2, coord="polar")
+
+
+def pick_queries(
+    relation: SequenceRelation, how_many: int, seed: int = 5
+) -> list[np.ndarray]:
+    """A reproducible sample of query series drawn from the relation."""
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(len(relation), size=min(how_many, len(relation)), replace=False)
+    return [relation.get(int(i)) for i in ids]
+
+
+def time_per_query(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-N wall-clock seconds for ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def print_series(title: str, columns: list[str], rows: list[tuple]) -> None:
+    """Print one figure's series as an aligned table."""
+    print(f"\n{title}")
+    print("-" * max(len(title), 8))
+    widths = [max(len(c), 12) for c in columns]
+    print("  ".join(c.rjust(w) for c, w in zip(columns, widths)))
+    for row in rows:
+        cells = []
+        for value, w in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:.4f}".rjust(w))
+            else:
+                cells.append(str(value).rjust(w))
+        print("  ".join(cells))

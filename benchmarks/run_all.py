@@ -1,0 +1,48 @@
+"""Run every figure/table sweep in sequence.
+
+``python -m benchmarks.run_all`` regenerates all the series recorded in
+EXPERIMENTS.md in one go (expect ~10-20 minutes: Table 1's method *a*
+alone scans half a million pairs, and Figures 9/11 build indexes up to
+12,000 sequences).  Pass ``--quick`` to skip the two slowest sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import time
+
+SWEEPS = [
+    ("benchmarks.bench_fig08_length", False),
+    ("benchmarks.bench_fig09_cardinality", True),
+    ("benchmarks.bench_fig10_vs_scan_length", False),
+    ("benchmarks.bench_fig11_vs_scan_cardinality", True),
+    ("benchmarks.bench_fig12_selectivity", False),
+    ("benchmarks.bench_table1_join", True),
+    ("benchmarks.bench_ablation_coordinates", False),
+    ("benchmarks.bench_ablation_k", False),
+    ("benchmarks.bench_ablation_index", False),
+    ("benchmarks.bench_subseq_stindex", False),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="skip the slowest sweeps"
+    )
+    args = parser.parse_args()
+    started = time.perf_counter()
+    for module_name, slow in SWEEPS:
+        if args.quick and slow:
+            print(f"\n[skipped {module_name} (--quick)]")
+            continue
+        t0 = time.perf_counter()
+        module = importlib.import_module(module_name)
+        module.main()
+        print(f"[{module_name}: {time.perf_counter() - t0:.1f}s]")
+    print(f"\nall sweeps done in {time.perf_counter() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Tour of the declarative query language (the JMM95-style front end).
+
+Binds a synthetic stock relation and a couple of query sequences into a
+session, then runs every verb the language supports: RANGE, KNN, JOIN and
+DIST, with transformation chains in USING clauses.
+
+Run:  python examples/query_language_tour.py
+"""
+
+from repro.core.language import QuerySession
+from repro.core.transforms import moving_average
+from repro.data import make_stock_universe
+
+
+def main() -> None:
+    rel = make_stock_universe(count=400, length=128, seed=2024)
+    session = QuerySession()
+    session.bind_relation("stocks", rel)
+    session.bind_sequence("acme", rel.get(10))
+    session.bind_sequence("zenith", rel.get(250))
+    # User-defined transformation: end-weighted 10-day average for trend
+    # prediction (Section 3.2 mentions trend-weighted windows).
+    trend = moving_average(
+        128, 10, weights=[0.02, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13, 0.15, 0.17, 0.18]
+    )
+    session.bind_transformation("trend10", trend)
+
+    queries = [
+        "RANGE acme IN stocks EPS 4.0 USING mavg(20)",
+        "RANGE acme IN stocks EPS 4.0 USING trend10",
+        "KNN acme IN stocks K 5 USING mavg(20)",
+        "KNN zenith IN stocks K 5 USING reverse THEN mavg(20)",
+        "JOIN stocks EPS 1.2 USING mavg(20) METHOD index",
+        "DIST acme, zenith",
+        "DIST acme, zenith USING mavg(20)",
+    ]
+    for text in queries:
+        print(f">>> {text}")
+        result = session.execute(text)
+        if isinstance(result, float):
+            print(f"    {result:.3f}")
+        elif result and len(result[0]) == 3:
+            print(f"    {len(result)} pairs; first 3:")
+            for i, j, d in result[:3]:
+                print(f"      ({rel.name(i)}, {rel.name(j)})  D={d:.3f}")
+        else:
+            print(f"    {len(result)} matches; first 5:")
+            for rid, d in result[:5]:
+                print(f"      {rel.name(rid):>8}  D={d:.3f}")
+        print()
+
+    # Errors are first-class: unknown names and bad arguments raise
+    # QueryError with a message, they never crash the engine.
+    from repro.core.language import QueryError
+
+    for bad in [
+        "RANGE ghost IN stocks EPS 1",
+        "KNN acme IN stocks K 0",
+        "RANGE acme IN stocks EPS 1 USING mavg(9999)",
+    ]:
+        try:
+            session.execute(bad)
+        except QueryError as exc:
+            print(f">>> {bad}\n    QueryError: {exc}\n")
+
+
+if __name__ == "__main__":
+    main()

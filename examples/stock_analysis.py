@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Section 2 walk-through: transformations in stock data analysis.
+
+Reproduces the *shape* of the paper's Examples 2.1-2.3 on the synthetic
+market (the original 1995 FTP stock archive no longer exists; see
+DESIGN.md for the substitution):
+
+* 2.1 — a pair of correlated stocks: shifting, normalising and 20-day
+  smoothing bring the distance down step by step;
+* 2.2 — an inverse (negative-beta) instrument: reversing one side makes
+  the pair similar;
+* 2.3 — genuinely unrelated trends resist repeated smoothing.
+
+Run:  python examples/stock_analysis.py
+"""
+
+import numpy as np
+
+from repro import SimilarityEngine, euclidean, moving_average, normal_form, reverse
+from repro.data import make_stock_universe
+from repro.data.stocks import paired_stocks
+
+
+def example_2_1() -> None:
+    print("=" * 64)
+    print("Example 2.1 — shift, scale, then smooth a correlated pair")
+    print("=" * 64)
+    base, corr, _ = paired_stocks(length=128, seed=42)
+    t20 = moving_average(128, 20)
+    d_orig = euclidean(base, corr)
+    d_shift = euclidean(base - base.mean(), corr - corr.mean())
+    nb, nc = normal_form(base), normal_form(corr)
+    d_norm = euclidean(nb, nc)
+    d_smooth = euclidean(t20.apply_series(nb), t20.apply_series(nc))
+    print(f"original        D = {d_orig:8.2f}   (paper BBA/ZTR: 16.16)")
+    print(f"shifted         D = {d_shift:8.2f}   (paper: 12.78)")
+    print(f"normal form     D = {d_norm:8.2f}   (paper: 11.10)")
+    print(f"20-day MV       D = {d_smooth:8.2f}   (paper: 2.75)\n")
+
+
+def example_2_2() -> None:
+    print("=" * 64)
+    print("Example 2.2 — finding opposite movers with T_rev")
+    print("=" * 64)
+    base, _, inverse = paired_stocks(length=128, seed=42)
+    t20 = moving_average(128, 20)
+    trev = reverse(128)
+    nb, ni = normal_form(base), normal_form(inverse)
+    d_orig = euclidean(base, inverse)
+    d_norm = euclidean(nb, ni)
+    d_rev = euclidean(nb, trev.apply_series(ni))
+    d_final = euclidean(t20.apply_series(nb), t20.apply_series(trev.apply_series(ni)))
+    print(f"original        D = {d_orig:8.2f}   (paper CC/VAR: 119.59)")
+    print(f"normal form     D = {d_norm:8.2f}   (paper: 21.81)")
+    print(f"reversed        D = {d_rev:8.2f}   (paper: 5.68)")
+    print(f"+ 20-day MV     D = {d_final:8.2f}   (paper: 3.81)\n")
+
+
+def example_2_3() -> None:
+    print("=" * 64)
+    print("Example 2.3 — dissimilar trends resist repeated smoothing")
+    print("=" * 64)
+    rng = np.random.default_rng(11)
+    a = normal_form(np.cumsum(rng.normal(0.3, 1.0, 128)))
+    b = normal_form(np.cumsum(rng.normal(-0.3, 1.0, 128)))
+    t20 = moving_average(128, 20)
+    xa, xb = a, b
+    print(f"normal form     D = {euclidean(xa, xb):8.2f}   (paper DMIC/MXF: 11.06)")
+    for i in range(1, 11):
+        xa, xb = t20.apply_series(xa), t20.apply_series(xb)
+        if i in (1, 2, 3, 10):
+            label = {1: "10.09", 2: "9.63", 3: "9.22", 10: "6.57"}[i]
+            print(f"{i:>2} x 20-day MV  D = {euclidean(xa, xb):8.2f}   (paper: {label})")
+    print()
+
+
+def market_screening() -> None:
+    """Index 1067 synthetic stocks and screen for hedges and twins."""
+    print("=" * 64)
+    print("Screening the full synthetic market (1067 stocks, length 128)")
+    print("=" * 64)
+    rel = make_stock_universe()  # paper-sized universe
+    engine = SimilarityEngine(rel)
+    t20 = moving_average(128, 20)
+    trev = reverse(128)
+
+    target = rel.get(200)
+    print(f"target stock: {rel.name(200)} (sector {rel.attrs(200)['sector']})")
+
+    twins = engine.knn_query(target, k=6, transformation=t20)
+    print("\nsmoothed twins (mavg20):")
+    for rid, dist in twins:
+        if rid == 200:
+            continue
+        print(f"  {rel.name(rid):>8}  sector {rel.attrs(rid)['sector']:>4}  D={dist:.2f}")
+
+    hedges = engine.knn_query(target, k=5, transformation=trev.then(t20))
+    print("\nhedging candidates (reverse THEN mavg20):")
+    for rid, dist in hedges:
+        beta = rel.attrs(rid)["beta"]
+        print(f"  {rel.name(rid):>8}  beta {beta:+.2f}  D={dist:.2f}")
+
+
+def main() -> None:
+    example_2_1()
+    example_2_2()
+    example_2_3()
+    market_screening()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — a reproduction of Rafiei & Mendelzon (SIGMOD 1997),
+"Similarity-Based Queries for Time Series Data".
+
+The package implements the paper's transformation framework for similarity
+queries over time-series data together with every substrate it stands on:
+a unitary DFT toolkit, the Goldin-Kanellakis normal form, ``S_rect``/
+``S_pol`` feature spaces, an R*-tree (plus Guttman baseline) over a paged
+storage engine, Algorithm 1's on-the-fly transformed index views,
+Algorithm 2's query processing, tuned sequential-scan baselines, and the
+synthetic data generators the experiments run on.
+
+Quickstart::
+
+    import numpy as np
+    from repro import SimilarityEngine, SequenceRelation, moving_average
+
+    rel = SequenceRelation.from_matrix(np.random.rand(100, 128))
+    engine = SimilarityEngine(rel)
+    T = moving_average(128, 20)
+    matches = engine.range_query(rel.get(0), eps=1.0, transformation=T)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record of every figure and table.
+"""
+
+from repro.core import (
+    NormalFormSpace,
+    PlainDFTSpace,
+    SimilarityEngine,
+    Transformation,
+    TransformationClosureDistance,
+    UnsafeTransformationError,
+    denormalize,
+    difference,
+    euclidean,
+    euclidean_early_abandon,
+    exponential_smoothing,
+    identity,
+    moving_average,
+    normal_form,
+    reverse,
+    scale,
+    shift,
+    time_warp,
+    warp_series,
+)
+from repro.core.gk import gk_bounds, gk_similar
+from repro.core.planner import QueryPlanner
+from repro.data import SequenceRelation, make_stock_universe, random_walks
+from repro.persist import load_engine, save_engine
+from repro.rtree import GuttmanRTree, RStarTree
+from repro.subseq import STIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GuttmanRTree",
+    "NormalFormSpace",
+    "PlainDFTSpace",
+    "QueryPlanner",
+    "RStarTree",
+    "STIndex",
+    "SequenceRelation",
+    "SimilarityEngine",
+    "Transformation",
+    "TransformationClosureDistance",
+    "UnsafeTransformationError",
+    "__version__",
+    "denormalize",
+    "difference",
+    "euclidean",
+    "euclidean_early_abandon",
+    "exponential_smoothing",
+    "gk_bounds",
+    "gk_similar",
+    "identity",
+    "load_engine",
+    "make_stock_universe",
+    "moving_average",
+    "normal_form",
+    "random_walks",
+    "reverse",
+    "save_engine",
+    "scale",
+    "shift",
+    "time_warp",
+    "warp_series",
+]

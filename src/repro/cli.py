@@ -1,0 +1,149 @@
+"""Command-line interface: generate data, build an index, run queries.
+
+Usage (``python -m repro.cli <command> ...``):
+
+* ``generate`` — write a relation of synthetic series to a CSV file::
+
+      python -m repro.cli generate --kind stocks --count 200 --length 128 out.csv
+
+* ``query`` — load a CSV relation and run one query-language statement
+  against it (the relation is bound as ``r``, and every row ``i`` is
+  bound as sequence ``s<i>``)::
+
+      python -m repro.cli query data.csv "RANGE s0 IN r EPS 2.0 USING mavg(20)"
+
+* ``info`` — summarise a CSV relation (count, length, index geometry).
+
+The CSV format is one series per row, comma-separated floats, optional
+``# name`` comment per line ignored.  This is deliberately minimal glue —
+all real functionality lives in the library; the CLI exists so the
+reproduction can be poked at without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro.core.language import QueryError, QuerySession
+from repro.data import SequenceRelation, make_stock_universe
+from repro.data.synthetic import random_walks
+
+
+def load_relation(path: str) -> SequenceRelation:
+    """Read a one-series-per-row CSV file into a relation."""
+    rows: list[np.ndarray] = []
+    with open(path) as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                rows.append(np.array([float(v) for v in line.split(",")]))
+            except ValueError as exc:
+                raise SystemExit(f"{path}:{line_no}: bad row: {exc}") from None
+    if not rows:
+        raise SystemExit(f"{path}: no series found")
+    lengths = {len(r) for r in rows}
+    if len(lengths) != 1:
+        raise SystemExit(f"{path}: inconsistent series lengths {sorted(lengths)}")
+    return SequenceRelation.from_matrix(np.stack(rows))
+
+
+def save_relation(relation: SequenceRelation, path: str) -> None:
+    """Write a relation in the CLI's CSV format."""
+    with open(path, "w") as f:
+        for rid, series in relation:
+            f.write(",".join(f"{v:.6g}" for v in series))
+            f.write(f"  # {relation.name(rid)}\n")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "stocks":
+        rel = make_stock_universe(count=args.count, length=args.length, seed=args.seed)
+    else:
+        rel = SequenceRelation.from_matrix(
+            random_walks(args.count, args.length, seed=args.seed)
+        )
+    save_relation(rel, args.output)
+    print(f"wrote {len(rel)} series of length {rel.length} to {args.output}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    rel = load_relation(args.input)
+    from repro.core.engine import SimilarityEngine
+
+    engine = SimilarityEngine(rel)
+    print(f"relation: {len(rel)} series of length {rel.length}")
+    print(f"feature space: {type(engine.space).__name__}, dim {engine.space.dim}")
+    print(
+        f"index: {type(engine.tree).__name__}, height {engine.tree.height}, "
+        f"{engine.tree.node_count()} nodes, fanout <= {engine.tree.max_entries}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    rel = load_relation(args.input)
+    session = QuerySession()
+    session.bind_relation("r", rel)
+    for rid in range(len(rel)):
+        session.bind_sequence(f"s{rid}", rel.get(rid))
+    try:
+        result = session.execute(args.statement)
+    except QueryError as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        return 1
+    if isinstance(result, float):
+        print(f"{result:.6g}")
+    elif result and len(result[0]) == 3:
+        for i, j, d in result[: args.limit]:
+            print(f"{i},{j},{d:.6g}")
+        if len(result) > args.limit:
+            print(f"... {len(result) - args.limit} more", file=sys.stderr)
+    else:
+        for rid, d in result[: args.limit]:
+            print(f"{rid},{d:.6g}")
+        if len(result) > args.limit:
+            print(f"... {len(result) - args.limit} more", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Similarity queries for time series (Rafiei & Mendelzon, SIGMOD 1997)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic relation CSV")
+    gen.add_argument("output", help="output CSV path")
+    gen.add_argument("--kind", choices=["walks", "stocks"], default="walks")
+    gen.add_argument("--count", type=int, default=1000)
+    gen.add_argument("--length", type=int, default=128)
+    gen.add_argument("--seed", type=int, default=1997)
+    gen.set_defaults(func=cmd_generate)
+
+    info = sub.add_parser("info", help="summarise a relation CSV")
+    info.add_argument("input", help="input CSV path")
+    info.set_defaults(func=cmd_info)
+
+    qry = sub.add_parser("query", help="run one query-language statement")
+    qry.add_argument("input", help="input CSV path")
+    qry.add_argument("statement", help='e.g. "RANGE s0 IN r EPS 2 USING mavg(20)"')
+    qry.add_argument("--limit", type=int, default=20, help="max rows printed")
+    qry.set_defaults(func=cmd_query)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

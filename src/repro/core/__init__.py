@@ -1,0 +1,72 @@
+"""Core library: the paper's transformation framework and query engine.
+
+Modules:
+
+* :mod:`repro.core.transforms` — the transformation class ``T = (a, b)``
+  over DFT spectra, safety checks (Theorems 1-3), and constructors for
+  every transformation the paper formulates (identity, shift, scale,
+  reverse, moving average, time warping).
+* :mod:`repro.core.normal_form` — the Goldin-Kanellakis normal form.
+* :mod:`repro.core.features` — the ``S_rect`` and ``S_pol`` feature spaces,
+  search-rectangle construction (Fig. 7) and transformation-to-affine-map
+  lowering.
+* :mod:`repro.core.similarity` — distances, early-abandoning distance, and
+  the cost-bounded transformation-closure dissimilarity of Eq. 10.
+* :mod:`repro.core.queries` — Algorithm 2 (range), multi-step k-NN, and the
+  four all-pairs strategies of Table 1.
+* :mod:`repro.core.engine` — :class:`~repro.core.engine.SimilarityEngine`,
+  the user-facing façade tying relation, feature space, index and queries
+  together.
+* :mod:`repro.core.language` — a small declarative query language in the
+  spirit of Jagadish-Mendelzon-Milo (1995), whose similarity predicates
+  compile onto the engine.
+"""
+
+from repro.core.engine import SimilarityEngine
+from repro.core.features import (
+    FeatureSpace,
+    NormalFormSpace,
+    PlainDFTSpace,
+    UnsafeTransformationError,
+)
+from repro.core.normal_form import denormalize, normal_form
+from repro.core.similarity import (
+    TransformationClosureDistance,
+    euclidean,
+    euclidean_early_abandon,
+)
+from repro.core.transforms import (
+    Transformation,
+    difference,
+    exponential_smoothing,
+    identity,
+    moving_average,
+    reverse,
+    scale,
+    shift,
+    time_warp,
+    warp_series,
+)
+
+__all__ = [
+    "FeatureSpace",
+    "NormalFormSpace",
+    "PlainDFTSpace",
+    "SimilarityEngine",
+    "Transformation",
+    "TransformationClosureDistance",
+    "UnsafeTransformationError",
+    "denormalize",
+    "difference",
+    "euclidean",
+    "euclidean_early_abandon",
+    "exponential_smoothing",
+    "identity",
+    "moving_average",
+    "normal_form",
+    "reverse",
+    "scale",
+    "shift",
+    "time_warp",
+    "warp_series",
+]

@@ -1,0 +1,250 @@
+"""The user-facing façade: relation + feature space + index + queries.
+
+:class:`SimilarityEngine` wires the pieces of the reproduction together
+exactly the way the paper's Section 5 describes its experimental system:
+
+* every series of the relation is (optionally) normalised, its first ``k``
+  DFT coefficients extracted, and the resulting feature point inserted
+  into an R*-tree (the mean and standard deviation occupying the first two
+  dimensions in the normal-form layout);
+* similarity queries are answered through Algorithm 2 over a transformed
+  view of that one index — no transformation ever builds a second index.
+
+The engine is deliberately small: all real work lives in
+:mod:`repro.core.queries`, :mod:`repro.core.features` and
+:mod:`repro.rtree`; this class only owns the wiring, the record/spectra
+caches and the statistics counters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core import queries as q
+from repro.core.features import FeatureSpace, NormalFormSpace
+from repro.core.transforms import Transformation
+from repro.data.relation import SequenceRelation
+from repro.rtree.base import RTreeBase
+from repro.rtree.bulk import str_pack
+from repro.rtree.node import MemoryNodeStore, PagedNodeStore
+from repro.rtree.rstar import RStarTree
+from repro.rtree.transformed import TransformedIndexView
+from repro.storage.stats import IOStats
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+class SimilarityEngine:
+    """Index a relation of time sequences and answer similarity queries.
+
+    Args:
+        relation: the sequences to index.
+        space: feature space; defaults to the paper's configuration — a
+            polar-coordinate normal-form space retaining 2 coefficients
+            (six index dimensions: mean, std, |X_1|, arg X_1, |X_2|,
+            arg X_2).
+        index_cls: R-tree variant (R*-tree by default, like the paper).
+        paged: back the index with the paged storage engine so traversals
+            count disk accesses; in-memory nodes otherwise.
+        max_entries: node fanout.
+        bulk_load: build the index by STR packing (fast) instead of
+            one-by-one insertion (the paper's method; set ``False`` to
+            replicate it).
+        buffer_capacity: buffer-pool pages when ``paged``.
+    """
+
+    def __init__(
+        self,
+        relation: SequenceRelation,
+        space: Optional[FeatureSpace] = None,
+        index_cls: type[RTreeBase] = RStarTree,
+        paged: bool = False,
+        max_entries: int = 32,
+        bulk_load: bool = True,
+        buffer_capacity: int = 128,
+    ) -> None:
+        self.relation = relation
+        self.space = (
+            space
+            if space is not None
+            else NormalFormSpace(relation.length, k=2, coord="polar")
+        )
+        if self.space.n != relation.length:
+            raise ValueError(
+                f"space length {self.space.n} != relation length {relation.length}"
+            )
+        self.stats = IOStats()
+        if paged:
+            store = PagedNodeStore(
+                self.space.dim, buffer_capacity=buffer_capacity, stats=self.stats
+            )
+        else:
+            store = MemoryNodeStore(stats=self.stats)
+
+        matrix = relation.matrix
+        self.points = (
+            self.space.extract_many(matrix)
+            if len(relation)
+            else np.empty((0, self.space.dim))
+        )
+        # Full spectra of the ground objects (normal forms for the
+        # normal-form space): what post-processing verifies against.
+        self.ground_spectra = (
+            np.stack([self.space.series_spectrum(row) for row in matrix])
+            if len(relation)
+            else np.empty((0, relation.length), dtype=np.complex128)
+        )
+
+        if bulk_load and len(relation) > 0:
+            self.tree = str_pack(
+                self.points,
+                store=store,
+                max_entries=max_entries,
+                tree_cls=index_cls,
+            )
+        else:
+            self.tree = index_cls(self.space.dim, store=store, max_entries=max_entries)
+            for rid in range(len(relation)):
+                self.tree.insert_point(self.points[rid], rid)
+
+    # ------------------------------------------------------------------
+    # object-level helpers
+    # ------------------------------------------------------------------
+    def query_spectrum(self, series: ArrayLike) -> np.ndarray:
+        """Full ground spectrum of an ad-hoc query series."""
+        return self.space.series_spectrum(np.asarray(series, dtype=np.float64))
+
+    def query_point(self, series: ArrayLike) -> np.ndarray:
+        """Feature point of an ad-hoc query series."""
+        return self.space.extract(np.asarray(series, dtype=np.float64))
+
+    def view(self, transformation: Optional[Transformation] = None) -> TransformedIndexView:
+        """Algorithm 1's transformed view of the engine's index."""
+        return q._make_view(self.tree, self.space, transformation)
+
+    def distance(
+        self,
+        record_id: int,
+        series: ArrayLike,
+        transformation: Optional[Transformation] = None,
+    ) -> float:
+        """Exact ``D(T(record), series)`` in the engine's ground metric."""
+        return self.space.ground_distance(
+            self.ground_spectra[record_id],
+            self.query_spectrum(series),
+            transformation,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _query_reps(
+        self,
+        series: ArrayLike,
+        transformation: Optional[Transformation],
+        transform_query: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Spectrum and feature point of the query object.
+
+        With ``transform_query`` the transformation is applied to the query
+        side too, turning the predicate into ``D(T(record), T(query))`` —
+        the symmetric semantics of the Section 2 examples and the Table-1
+        join ("apply T_mavg20 ... to both the index and the search
+        rectangles").  Without it, the predicate is Algorithm 2's literal
+        ``D(T(record), query)``.
+        """
+        q_spec = self.query_spectrum(series)
+        q_point = self.query_point(series)
+        if transform_query and transformation is not None:
+            q_spec = transformation.apply_spectrum(q_spec)
+            q_point = self.space.affine_map(transformation).apply_point(q_point)
+        return q_spec, q_point
+
+    def range_query(
+        self,
+        series: ArrayLike,
+        eps: float,
+        transformation: Optional[Transformation] = None,
+        aux_bounds: Optional[Sequence[tuple[float, float]]] = None,
+        transform_query: bool = False,
+    ) -> list[tuple[int, float]]:
+        """All records with ``D(T(record), query) <= eps`` (Algorithm 2)."""
+        q_spec, q_point = self._query_reps(series, transformation, transform_query)
+        return q.range_query(
+            self.tree,
+            self.space,
+            self.ground_spectra,
+            q_spec,
+            q_point,
+            eps,
+            transformation=transformation,
+            aux_bounds=aux_bounds,
+            stats=self.stats,
+        )
+
+    def knn_query(
+        self,
+        series: ArrayLike,
+        k: int,
+        transformation: Optional[Transformation] = None,
+        transform_query: bool = False,
+    ) -> list[tuple[int, float]]:
+        """The ``k`` records nearest to the query under ``T`` (exact)."""
+        q_spec, q_point = self._query_reps(series, transformation, transform_query)
+        return q.knn_query(
+            self.tree,
+            self.space,
+            self.ground_spectra,
+            q_spec,
+            q_point,
+            k,
+            transformation=transformation,
+            stats=self.stats,
+        )
+
+    def all_pairs(
+        self,
+        eps: float,
+        transformation: Optional[Transformation] = None,
+        method: str = "index",
+    ) -> list[tuple[int, int, float]]:
+        """Self-join: pairs with ``D(T(x), T(y)) <= eps`` (Table 1).
+
+        Methods: ``"scan"`` (Table 1's *a*), ``"scan-abandon"`` (*b*),
+        ``"index"`` (*c* when ``transformation`` is None, *d* otherwise),
+        ``"tree-join"`` (synchronized-descent ablation).
+        """
+        if method == "scan":
+            return q.all_pairs_scan(
+                self.ground_spectra, eps, transformation,
+                early_abandon=False, stats=self.stats,
+            )
+        if method == "scan-abandon":
+            return q.all_pairs_scan(
+                self.ground_spectra, eps, transformation,
+                early_abandon=True, stats=self.stats,
+            )
+        if method == "index":
+            return q.all_pairs_index(
+                self.tree, self.space, self.ground_spectra, self.points,
+                eps, transformation, stats=self.stats,
+            )
+        if method == "tree-join":
+            return q.all_pairs_tree_join(
+                self.tree, self.space, self.ground_spectra,
+                eps, transformation, stats=self.stats,
+            )
+        raise ValueError(
+            f"unknown method {method!r}; expected 'scan', 'scan-abandon', "
+            "'index' or 'tree-join'"
+        )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"SimilarityEngine(records={len(self.relation)}, "
+            f"space={type(self.space).__name__}(dim={self.space.dim}), "
+            f"index={type(self.tree).__name__})"
+        )

@@ -1,0 +1,117 @@
+"""Goldin-Kanellakis-style constrained similarity queries.
+
+The paper's conclusion positions its transformations against [GK95]:
+normal forms make similarity invariant under *any* shift and positive
+scale, while "for simple shifting and scaling, the indexing method in
+[GK95] is faster because no transformation needs to be performed on the
+index.  Our indexing technique can be easily built on top of [GK95] as we
+did in our experiments."
+
+That layering is exactly what the Section 5 index enables: because the
+mean and standard deviation of the original series occupy index
+dimensions 0 and 1, a query can *bound* the permissible shift and scale
+instead of ignoring them — "find sequences whose shape matches q, whose
+level is within ±5 of q's, and which are at most twice as volatile".
+This module packages those queries:
+
+* :func:`gk_similar` — normal-form similarity with explicit shift/scale
+  tolerance windows, pushed into the index as aux-dimension bounds (so
+  the R-tree prunes on them, GK95-style, with no transformation applied);
+* :func:`gk_bounds` — translate shift/scale tolerances around a query
+  series into the aux-dimension intervals.
+
+Requires the engine's feature space to be a
+:class:`~repro.core.features.NormalFormSpace`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.engine import SimilarityEngine
+from repro.core.features import NormalFormSpace
+from repro.core.transforms import Transformation
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def gk_bounds(
+    series: ArrayLike,
+    shift_tolerance: Optional[float] = None,
+    scale_range: Optional[tuple[float, float]] = None,
+) -> list[tuple[float, float]]:
+    """Aux-dimension intervals for shift/scale-constrained queries.
+
+    Args:
+        series: the query series (its mean/std anchor the windows).
+        shift_tolerance: half-width of the admissible mean window; ``None``
+            leaves the mean unconstrained (full GK95 shift invariance).
+        scale_range: multiplicative ``(lo, hi)`` window on the standard
+            deviation relative to the query's (e.g. ``(0.5, 2.0)`` = "half
+            to twice as volatile"); ``None`` leaves it unconstrained.
+
+    Returns:
+        ``[(mean_lo, mean_hi), (std_lo, std_hi)]``, suitable for the
+        ``aux_bounds`` parameter of range queries.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    mean = float(np.mean(x))
+    std = float(np.std(x))
+    big = 1e18
+    if shift_tolerance is None:
+        mean_iv = (-big, big)
+    else:
+        if shift_tolerance < 0:
+            raise ValueError(
+                f"shift_tolerance must be non-negative, got {shift_tolerance}"
+            )
+        mean_iv = (mean - shift_tolerance, mean + shift_tolerance)
+    if scale_range is None:
+        std_iv = (-big, big)
+    else:
+        lo, hi = scale_range
+        if lo < 0 or hi < lo:
+            raise ValueError(
+                f"scale_range must satisfy 0 <= lo <= hi, got ({lo}, {hi})"
+            )
+        std_iv = (std * lo, std * hi)
+    return [mean_iv, std_iv]
+
+
+def gk_similar(
+    engine: SimilarityEngine,
+    series: ArrayLike,
+    eps: float,
+    shift_tolerance: Optional[float] = None,
+    scale_range: Optional[tuple[float, float]] = None,
+    transformation: Optional[Transformation] = None,
+    transform_query: bool = False,
+) -> list[tuple[int, float]]:
+    """Normal-form range query with GK95 shift/scale windows.
+
+    Combines both papers' styles: the *shape* predicate is the engine's
+    normal-form distance (optionally under a safe transformation), and the
+    shift/scale predicates prune directly on the mean/std index dimensions
+    without any transformation — GK95's fast path.
+
+    Returns:
+        ``(record id, normal-form distance)`` pairs; every returned record
+        additionally satisfies the mean/std windows exactly (the aux
+        dimensions are index coordinates, so the index predicate is
+        precise for them, not just a filter).
+    """
+    if not isinstance(engine.space, NormalFormSpace):
+        raise TypeError(
+            "gk_similar requires a NormalFormSpace engine; got "
+            f"{type(engine.space).__name__}"
+        )
+    bounds = gk_bounds(series, shift_tolerance, scale_range)
+    return engine.range_query(
+        series,
+        eps,
+        transformation=transformation,
+        aux_bounds=bounds,
+        transform_query=transform_query,
+    )

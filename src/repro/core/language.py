@@ -1,0 +1,436 @@
+"""A small declarative query language for similarity queries.
+
+Section 3 of the paper frames its transformations inside the
+Jagadish-Mendelzon-Milo (PODS 1995) similarity framework: a pattern
+language (here: a named constant sequence, or a whole relation), a
+transformation language (the ``(a, b)`` pairs of
+:mod:`repro.core.transforms`), and a query language that glues them
+together.  This module is that query language — a deliberately small
+surface over :class:`~repro.core.engine.SimilarityEngine`:
+
+.. code-block:: text
+
+    RANGE q IN stocks EPS 2.5 USING mavg(20)
+    KNN   q IN stocks K 10    USING reverse THEN mavg(20)
+    JOIN  stocks EPS 2.5      USING mavg(20) [METHOD index]
+    DIST  q, p USING mavg(3)
+
+* ``RANGE`` returns all records of the relation within ``EPS`` of ``q``
+  after the transformation is applied to the data side (Algorithm 2).
+* ``KNN`` returns the ``K`` nearest records.
+* ``JOIN`` is the all-pairs self-join of Table 1.
+* ``DIST`` evaluates the exact distance between two bound sequences after
+  transforming the *first* one.
+* ``USING t1 THEN t2`` composes transformations left to right (``t2``
+  applied after ``t1``).
+
+Identifiers are resolved against a :class:`QuerySession`, which binds
+relation names to engines and sequence/transformation names to values.
+Built-in transformation constructors: ``identity``, ``shift(c)``,
+``scale(c)``, ``reverse``, ``mavg(window)``, ``warp(m)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core import transforms
+from repro.core.engine import SimilarityEngine
+from repro.core.features import FeatureSpace
+from repro.core.transforms import Transformation
+from repro.data.relation import SequenceRelation
+
+
+class QueryError(Exception):
+    """Raised for lexical, syntactic or binding errors in a query."""
+
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>[-+]?\d+(\.\d*)?([eE][-+]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<punct>[(),])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "RANGE", "KNN", "JOIN", "DIST", "IN", "EPS", "K", "USING", "THEN",
+    "METHOD",
+}
+
+
+@dataclass
+class Token:
+    kind: str  # 'kw' | 'ident' | 'number' | 'punct' | 'end'
+    text: str
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split a query string into tokens; raises on unexpected characters."""
+    out: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise QueryError(f"unexpected character {text[pos]!r} at position {pos}")
+        if m.lastgroup != "ws":
+            raw = m.group()
+            if m.lastgroup == "ident" and raw.upper() in _KEYWORDS:
+                out.append(Token("kw", raw.upper(), pos))
+            else:
+                out.append(Token(m.lastgroup, raw, pos))
+        pos = m.end()
+    out.append(Token("end", "", pos))
+    return out
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass
+class TransformCall:
+    """``name`` or ``name(arg, ...)`` in a USING clause."""
+
+    name: str
+    args: list[float] = field(default_factory=list)
+
+
+@dataclass
+class TransformExpr:
+    """A THEN-chain of transformation calls, applied left to right."""
+
+    calls: list[TransformCall]
+
+
+@dataclass
+class RangeQuery:
+    seq: str
+    relation: str
+    eps: float
+    using: Optional[TransformExpr]
+
+
+@dataclass
+class KnnQuery:
+    seq: str
+    relation: str
+    k: int
+    using: Optional[TransformExpr]
+
+
+@dataclass
+class JoinQuery:
+    relation: str
+    eps: float
+    using: Optional[TransformExpr]
+    method: str = "index"
+
+
+@dataclass
+class DistQuery:
+    seq_a: str
+    seq_b: str
+    using: Optional[TransformExpr]
+
+
+Query = Union[RangeQuery, KnnQuery, JoinQuery, DistQuery]
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+class Parser:
+    """Recursive-descent parser for the grammar in the module docstring."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.i = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.i]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise QueryError(
+                f"expected {want} at position {tok.pos}, found {tok.text!r}"
+            )
+        return tok
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> Query:
+        tok = self.next()
+        if tok.kind != "kw":
+            raise QueryError(f"query must start with a verb, found {tok.text!r}")
+        if tok.text == "RANGE":
+            node = self._range()
+        elif tok.text == "KNN":
+            node = self._knn()
+        elif tok.text == "JOIN":
+            node = self._join()
+        elif tok.text == "DIST":
+            node = self._dist()
+        else:
+            raise QueryError(f"unknown query verb {tok.text}")
+        self.expect("end")
+        return node
+
+    def _range(self) -> RangeQuery:
+        seq = self.expect("ident").text
+        self.expect("kw", "IN")
+        relation = self.expect("ident").text
+        self.expect("kw", "EPS")
+        eps = self._number()
+        using = self._maybe_using()
+        return RangeQuery(seq, relation, eps, using)
+
+    def _knn(self) -> KnnQuery:
+        seq = self.expect("ident").text
+        self.expect("kw", "IN")
+        relation = self.expect("ident").text
+        self.expect("kw", "K")
+        k = self._number()
+        if k != int(k) or k <= 0:
+            raise QueryError(f"K must be a positive integer, got {k}")
+        using = self._maybe_using()
+        return KnnQuery(seq, relation, int(k), using)
+
+    def _join(self) -> JoinQuery:
+        relation = self.expect("ident").text
+        self.expect("kw", "EPS")
+        eps = self._number()
+        using = self._maybe_using()
+        method = "index"
+        if self.peek().kind == "kw" and self.peek().text == "METHOD":
+            self.next()
+            method = self.expect("ident").text
+        return JoinQuery(relation, eps, using, method)
+
+    def _dist(self) -> DistQuery:
+        seq_a = self.expect("ident").text
+        self.expect("punct", ",")
+        seq_b = self.expect("ident").text
+        using = self._maybe_using()
+        return DistQuery(seq_a, seq_b, using)
+
+    def _maybe_using(self) -> Optional[TransformExpr]:
+        if self.peek().kind == "kw" and self.peek().text == "USING":
+            self.next()
+            return self._transform_expr()
+        return None
+
+    def _transform_expr(self) -> TransformExpr:
+        calls = [self._transform_call()]
+        while self.peek().kind == "kw" and self.peek().text == "THEN":
+            self.next()
+            calls.append(self._transform_call())
+        return TransformExpr(calls)
+
+    def _transform_call(self) -> TransformCall:
+        name = self.expect("ident").text
+        args: list[float] = []
+        if self.peek().kind == "punct" and self.peek().text == "(":
+            self.next()
+            if not (self.peek().kind == "punct" and self.peek().text == ")"):
+                args.append(self._number())
+                while self.peek().kind == "punct" and self.peek().text == ",":
+                    self.next()
+                    args.append(self._number())
+            self.expect("punct", ")")
+        return TransformCall(name, args)
+
+    def _number(self) -> float:
+        tok = self.expect("number")
+        return float(tok.text)
+
+
+def parse(text: str) -> Query:
+    """Parse one query; returns its AST node."""
+    return Parser(text).parse()
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+#: built-in transformation constructors: name -> (arity, factory(n, *args))
+_BUILTINS: dict[str, tuple[int, Callable[..., Transformation]]] = {
+    "identity": (0, lambda n: transforms.identity(n)),
+    "reverse": (0, lambda n: transforms.reverse(n)),
+    "shift": (1, lambda n, c: transforms.shift(n, c)),
+    "scale": (1, lambda n, c: transforms.scale(n, c)),
+    "mavg": (1, lambda n, w: transforms.moving_average(n, int(w))),
+    "warp": (1, lambda n, m: transforms.time_warp(n, int(m))),
+}
+
+
+class QuerySession:
+    """Name bindings plus engine cache; executes parsed queries.
+
+    Args:
+        space_factory: optional callable ``length -> FeatureSpace`` used
+            when an engine is built for a relation; the engine default
+            (the paper's polar normal-form space) applies otherwise.
+
+    Example::
+
+        session = QuerySession()
+        session.bind_relation("stocks", stock_relation)
+        session.bind_sequence("q", stock_relation.get(0))
+        hits = session.execute("RANGE q IN stocks EPS 2.5 USING mavg(20)")
+    """
+
+    def __init__(
+        self,
+        space_factory: Optional[Callable[[int], FeatureSpace]] = None,
+        **engine_kwargs,
+    ) -> None:
+        self._relations: dict[str, SequenceRelation] = {}
+        self._engines: dict[str, SimilarityEngine] = {}
+        self._sequences: dict[str, np.ndarray] = {}
+        self._transforms: dict[str, Transformation] = {}
+        self._space_factory = space_factory
+        self._engine_kwargs = engine_kwargs
+
+    # -- bindings ---------------------------------------------------------
+    def bind_relation(self, name: str, relation: SequenceRelation) -> None:
+        """Bind (or rebind) a relation name; drops any cached engine."""
+        self._relations[name] = relation
+        self._engines.pop(name, None)
+
+    def bind_sequence(self, name: str, series: Sequence[float]) -> None:
+        """Bind a constant sequence (the trivial pattern language)."""
+        self._sequences[name] = np.asarray(series, dtype=np.float64)
+
+    def bind_transformation(self, name: str, t: Transformation) -> None:
+        """Bind a user-defined transformation usable in USING clauses."""
+        if name in _BUILTINS:
+            raise QueryError(f"cannot shadow built-in transformation {name!r}")
+        self._transforms[name] = t
+
+    def engine(self, relation_name: str) -> SimilarityEngine:
+        """The (cached) engine for a bound relation."""
+        if relation_name not in self._relations:
+            raise QueryError(f"unknown relation {relation_name!r}")
+        if relation_name not in self._engines:
+            rel = self._relations[relation_name]
+            space = (
+                self._space_factory(rel.length) if self._space_factory else None
+            )
+            self._engines[relation_name] = SimilarityEngine(
+                rel, space=space, **self._engine_kwargs
+            )
+        return self._engines[relation_name]
+
+    # -- execution --------------------------------------------------------
+    def execute(self, text: str):
+        """Parse and run one query; the result type depends on the verb.
+
+        * ``RANGE`` / ``KNN`` → list of ``(record id, distance)``,
+        * ``JOIN`` → list of ``(id, id, distance)``,
+        * ``DIST`` → float.
+        """
+        return self.run(parse(text))
+
+    def run(self, query: Query):
+        """Execute a pre-parsed query AST."""
+        # USING in the language means *symmetric* transformation — both the
+        # data and the query are transformed, matching the paper's Section 2
+        # notion ("similar because their moving averages look the same") and
+        # its join semantics.  Algorithm 2's literal data-side-only form is
+        # available through SimilarityEngine directly.
+        if isinstance(query, RangeQuery):
+            engine = self.engine(query.relation)
+            t = self._build_transform(query.using, engine.space.n)
+            return engine.range_query(
+                self._sequence(query.seq),
+                query.eps,
+                transformation=t,
+                transform_query=True,
+            )
+        if isinstance(query, KnnQuery):
+            engine = self.engine(query.relation)
+            t = self._build_transform(query.using, engine.space.n)
+            return engine.knn_query(
+                self._sequence(query.seq),
+                query.k,
+                transformation=t,
+                transform_query=True,
+            )
+        if isinstance(query, JoinQuery):
+            engine = self.engine(query.relation)
+            t = self._build_transform(query.using, engine.space.n)
+            try:
+                return engine.all_pairs(query.eps, transformation=t, method=query.method)
+            except ValueError as ex:
+                raise QueryError(str(ex)) from None
+        if isinstance(query, DistQuery):
+            a = self._sequence(query.seq_a)
+            b = self._sequence(query.seq_b)
+            if a.shape != b.shape:
+                raise QueryError(
+                    f"DIST requires equal lengths, got {a.shape[0]} and {b.shape[0]}"
+                )
+            t = self._build_transform(query.using, a.shape[0])
+            if t is not None:
+                a = np.asarray(t.apply_series(a), dtype=np.float64)
+                b = np.asarray(t.apply_series(b), dtype=np.float64)
+            return float(np.linalg.norm(a - b))
+        raise QueryError(f"unsupported query node {type(query).__name__}")
+
+    # -- helpers ----------------------------------------------------------
+    def _sequence(self, name: str) -> np.ndarray:
+        if name not in self._sequences:
+            raise QueryError(f"unknown sequence {name!r}")
+        return self._sequences[name]
+
+    def _build_transform(
+        self, expr: Optional[TransformExpr], n: int
+    ) -> Optional[Transformation]:
+        if expr is None:
+            return None
+        result: Optional[Transformation] = None
+        for call in expr.calls:
+            t = self._resolve_call(call, n)
+            result = t if result is None else result.then(t)
+        return result
+
+    def _resolve_call(self, call: TransformCall, n: int) -> Transformation:
+        if call.name in self._transforms:
+            if call.args:
+                raise QueryError(
+                    f"bound transformation {call.name!r} takes no arguments"
+                )
+            t = self._transforms[call.name]
+            if t.n != n:
+                raise QueryError(
+                    f"transformation {call.name!r} has length {t.n}, need {n}"
+                )
+            return t
+        if call.name in _BUILTINS:
+            arity, factory = _BUILTINS[call.name]
+            if len(call.args) != arity:
+                raise QueryError(
+                    f"{call.name} expects {arity} argument(s), got {len(call.args)}"
+                )
+            try:
+                return factory(n, *call.args)
+            except ValueError as ex:
+                raise QueryError(f"{call.name}: {ex}") from None
+        raise QueryError(f"unknown transformation {call.name!r}")

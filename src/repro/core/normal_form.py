@@ -1,0 +1,58 @@
+"""Goldin-Kanellakis normal form (Eq. 9).
+
+The normal form of a sequence subtracts its mean and divides by its
+standard deviation, making similarity invariant under shift and (positive)
+scale.  The paper's Section 5 pipeline normalises every series before
+computing DFT coefficients and stores the mean and standard deviation as
+two extra index dimensions, which is what
+:class:`repro.core.features.NormalFormSpace` reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+#: Standard deviation below which a series is considered constant.
+_STD_FLOOR = 1e-12
+
+
+def normal_form(series: ArrayLike) -> np.ndarray:
+    """``(x - mean(x)) / std(x)`` (Eq. 9).
+
+    A constant series has no well-defined normal form under Eq. 9 (its
+    standard deviation is zero); following [GK95] practice it normalises to
+    the all-zero sequence.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError(f"series must be a non-empty 1-D array, got shape {x.shape}")
+    sd = float(np.std(x))
+    if sd < _STD_FLOOR:
+        return np.zeros_like(x)
+    return (x - float(np.mean(x))) / sd
+
+
+def denormalize(normal: ArrayLike, mean: float, std: float) -> np.ndarray:
+    """Invert :func:`normal_form` given the original mean and std."""
+    if std < 0:
+        raise ValueError(f"std must be non-negative, got {std}")
+    z = np.asarray(normal, dtype=np.float64)
+    return z * std + mean
+
+
+def is_normal_form(series: ArrayLike, tol: float = 1e-8) -> bool:
+    """True when the series already has mean 0 and std 1 (or is all zero)."""
+    x = np.asarray(series, dtype=np.float64)
+    if np.allclose(x, 0.0, atol=tol):
+        return True
+    return bool(abs(float(np.mean(x))) <= tol and abs(float(np.std(x)) - 1.0) <= tol)
+
+
+def mean_std(series: ArrayLike) -> tuple[float, float]:
+    """The ``(mean, std)`` pair stored in the index's first two dimensions."""
+    x = np.asarray(series, dtype=np.float64)
+    return float(np.mean(x)), float(np.std(x))

@@ -1,0 +1,139 @@
+"""Choosing between the index and the sequential scan per query.
+
+Figure 12 of the paper shows the two access paths cross: the transformed
+index wins while the answer set is selective, and the tuned sequential
+scan wins once roughly a fifth to a third of the relation qualifies.  A
+system that always uses the index therefore leaves performance on the
+table for broad queries — the classic access-path-selection problem.
+
+:class:`QueryPlanner` makes that choice with a sampling estimator:
+
+1. keep a fixed random sample of the relation's feature points;
+2. for a query, build the same search rectangle Algorithm 2 would use,
+   map the sample through the transformation's affine map, and count how
+   many sampled points fall inside — an unbiased estimate of the
+   candidate fraction;
+3. route the query to the scan when the estimated fraction exceeds
+   ``crossover_fraction`` (default 0.15, the measured Figure-12 cross).
+
+The estimator never affects correctness — both access paths return the
+exact answer set (verified in the tests); only latency is at stake.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.engine import SimilarityEngine
+from repro.core.transforms import Transformation
+from repro.rtree.geometry import Rect, intersects_circular_many
+from repro.rtree.transformed import AffineMap
+from repro.scan import scan_range
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+class QueryPlanner:
+    """Access-path selection between Algorithm 2 and the tuned scan.
+
+    Args:
+        engine: the engine whose relation/index both paths share.
+        sample_size: number of feature points sampled for estimation.
+        crossover_fraction: candidate fraction above which the scan is
+            predicted to win (Figure 12's crossover; tune per deployment).
+        seed: sampling seed (fixed for reproducible plans).
+    """
+
+    def __init__(
+        self,
+        engine: SimilarityEngine,
+        sample_size: int = 128,
+        crossover_fraction: float = 0.15,
+        seed: int = 0,
+    ) -> None:
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        if not 0.0 < crossover_fraction <= 1.0:
+            raise ValueError(
+                f"crossover_fraction must be in (0, 1], got {crossover_fraction}"
+            )
+        self.engine = engine
+        self.crossover_fraction = crossover_fraction
+        n = len(engine.relation)
+        rng = np.random.default_rng(seed)
+        take = min(sample_size, n)
+        self._sample_ids = (
+            rng.choice(n, size=take, replace=False) if take else np.empty(0, int)
+        )
+        self._sample_points = (
+            engine.points[self._sample_ids] if take else np.empty((0, engine.space.dim))
+        )
+
+    # ------------------------------------------------------------------
+    def estimate_candidate_fraction(
+        self,
+        series: ArrayLike,
+        eps: float,
+        transformation: Optional[Transformation] = None,
+        transform_query: bool = False,
+    ) -> float:
+        """Estimated fraction of the relation the index filter would pass."""
+        if self._sample_points.shape[0] == 0:
+            return 0.0
+        space = self.engine.space
+        mapping = (
+            AffineMap.identity(space.dim)
+            if transformation is None
+            else space.affine_map(transformation)
+        )
+        _, q_point = self.engine._query_reps(series, transformation, transform_query)
+        qrect = space.search_rect(q_point, eps)
+        mapped = self._sample_points * mapping.scale + mapping.offset
+        # Points are degenerate rectangles: lows == highs == mapped.
+        hits = intersects_circular_many(
+            mapped, mapped, qrect.lows, qrect.highs, space.circular_mask
+        )
+        return float(np.count_nonzero(hits)) / self._sample_points.shape[0]
+
+    def choose(
+        self,
+        series: ArrayLike,
+        eps: float,
+        transformation: Optional[Transformation] = None,
+        transform_query: bool = False,
+    ) -> str:
+        """``"index"`` or ``"scan"`` for this query."""
+        fraction = self.estimate_candidate_fraction(
+            series, eps, transformation, transform_query
+        )
+        return "scan" if fraction > self.crossover_fraction else "index"
+
+    def execute(
+        self,
+        series: ArrayLike,
+        eps: float,
+        transformation: Optional[Transformation] = None,
+        transform_query: bool = False,
+    ) -> tuple[str, list[tuple[int, float]]]:
+        """Run the range query through the chosen access path.
+
+        Returns:
+            ``(plan, matches)`` — the plan label and the exact answer set
+            (identical whichever path ran).
+        """
+        plan = self.choose(series, eps, transformation, transform_query)
+        if plan == "index":
+            return plan, self.engine.range_query(
+                series, eps, transformation=transformation,
+                transform_query=transform_query,
+            )
+        q_spec, _ = self.engine._query_reps(series, transformation, transform_query)
+        return plan, scan_range(
+            self.engine.ground_spectra,
+            q_spec,
+            eps,
+            transformation=transformation,
+            stats=self.engine.stats,
+        )

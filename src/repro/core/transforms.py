@@ -1,0 +1,344 @@
+"""The paper's transformation class ``T = (a, b)`` and its named instances.
+
+A transformation in an n-dimensional space is a pair of vectors ``(a, b)``:
+applied to a point ``X`` (here: the unitary DFT spectrum of a time series)
+it yields ``a * X + b``, where ``*`` is elementwise multiplication
+(Section 3).  Everything the paper formulates is a special case:
+
+* ``identity(n)`` — ``(1, 0)``; used for the controlled comparisons of
+  Figures 8 and 9.
+* ``shift(n, c)`` — adds the constant ``c`` to every value of the series;
+  in the spectrum this is ``b_0 = c * sqrt(n)`` (unitary DFT of a constant).
+* ``scale(n, c)`` — multiplies every value by ``c`` (``a = c``); negative
+  ``c`` is allowed — the paper explicitly drops [GK95]'s positive-scale
+  restriction.
+* ``reverse(n)`` — ``a = -1`` (Example 2.2's opposite-movement queries).
+* ``moving_average(n, l)`` — circular l-day moving average (Section 3.2):
+  ``a`` is the *standard* DFT of the weight vector ``(1/l, ..., 1/l, 0...)``
+  so that ``a * X`` is the spectrum of ``conv(x, w)``.
+* ``time_warp(n, m)`` — Appendix A: ``a_f = sum_{t<m} exp(-j 2 pi t f/(m n))``
+  maps the first coefficients of a length-``n`` series to those of its
+  ``m``-fold time-stretched version of length ``m * n``.
+
+Safety (Definition 1) is what makes a transformation indexable through
+Algorithm 1.  :meth:`Transformation.is_safe_rect` checks Theorem 2's
+condition (``a`` real, ``b`` arbitrary complex) and
+:meth:`Transformation.is_safe_polar` checks Theorem 3's (``a`` arbitrary
+complex, ``b = 0``); lowering to a per-dimension affine map happens in
+:mod:`repro.core.features`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.dft import dft, idft
+
+ArrayLike = Union[Sequence[float], Sequence[complex], np.ndarray]
+
+#: Tolerance for "is this coefficient real / zero" safety checks.
+SAFETY_TOL = 1e-9
+
+
+class Transformation:
+    """A linear transformation ``T = (a, b)`` on length-``n`` spectra.
+
+    Args:
+        a: stretch vector (complex, length n).
+        b: translation vector (complex, length n).
+        cost: the cost charged when this transformation is used inside the
+            closure distance of Eq. 10 (the paper assigns costs to bound
+            how much massaging two series may undergo).
+        name: human-readable label used by ``repr`` and the query language.
+        mean_map: optional ``(scale, offset)`` describing how the
+            transformation acts on the *mean* auxiliary index dimension of
+            a normal-form feature space (identity by default).
+        std_map: ditto for the *standard deviation* dimension.
+    """
+
+    __slots__ = ("a", "b", "cost", "name", "mean_map", "std_map")
+
+    def __init__(
+        self,
+        a: ArrayLike,
+        b: ArrayLike,
+        cost: float = 0.0,
+        name: Optional[str] = None,
+        mean_map: tuple[float, float] = (1.0, 0.0),
+        std_map: tuple[float, float] = (1.0, 0.0),
+    ) -> None:
+        self.a = np.asarray(a, dtype=np.complex128).copy()
+        self.b = np.asarray(b, dtype=np.complex128).copy()
+        if self.a.shape != self.b.shape or self.a.ndim != 1 or self.a.size == 0:
+            raise ValueError(
+                f"a and b must be non-empty 1-D vectors of equal length, "
+                f"got {self.a.shape} and {self.b.shape}"
+            )
+        if cost < 0:
+            raise ValueError(f"cost must be non-negative, got {cost}")
+        self.cost = float(cost)
+        self.name = name if name is not None else "T"
+        self.mean_map = (float(mean_map[0]), float(mean_map[1]))
+        self.std_map = (float(std_map[0]), float(std_map[1]))
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Spectrum length this transformation applies to."""
+        return self.a.shape[0]
+
+    def apply_spectrum(self, spectrum: ArrayLike) -> np.ndarray:
+        """``T(X) = a * X + b`` on a full or truncated spectrum.
+
+        A truncated spectrum (the first ``k`` coefficients) is transformed
+        with the first ``k`` components of ``a`` and ``b`` — exactly the
+        ``T_k`` of Algorithm 2's preprocessing step.
+        """
+        X = np.asarray(spectrum, dtype=np.complex128)
+        k = X.shape[-1]
+        if k > self.n:
+            raise ValueError(f"spectrum has {k} coefficients, transformation {self.n}")
+        return self.a[:k] * X + self.b[:k]
+
+    def apply_series(self, series: ArrayLike) -> np.ndarray:
+        """Apply in the time domain: ``idft(T(dft(x)))``.
+
+        Returns a real array when the result is real to rounding (which it
+        is whenever ``T`` maps conjugate-symmetric spectra to
+        conjugate-symmetric spectra, e.g. all the named transformations
+        except ``time_warp``).
+        """
+        x = np.asarray(series, dtype=np.float64)
+        if x.shape[0] != self.n:
+            raise ValueError(f"series length {x.shape[0]} != transformation n {self.n}")
+        out = idft(self.apply_spectrum(dft(x)))
+        if np.allclose(out.imag, 0.0, atol=1e-8):
+            return out.real
+        return out
+
+    # ------------------------------------------------------------------
+    def then(self, outer: "Transformation") -> "Transformation":
+        """Composition ``outer after self``: ``x -> outer(self(x))``.
+
+        Costs add; the auxiliary mean/std maps compose likewise.
+        """
+        if outer.n != self.n:
+            raise ValueError(f"length mismatch: {self.n} vs {outer.n}")
+        c1, d1 = self.mean_map
+        c2, d2 = outer.mean_map
+        e1, f1 = self.std_map
+        e2, f2 = outer.std_map
+        return Transformation(
+            outer.a * self.a,
+            outer.a * self.b + outer.b,
+            cost=self.cost + outer.cost,
+            name=f"{outer.name}({self.name})",
+            mean_map=(c2 * c1, c2 * d1 + d2),
+            std_map=(e2 * e1, e2 * f1 + f2),
+        )
+
+    def power(self, times: int) -> "Transformation":
+        """``T`` composed with itself ``times`` times (Example 2.3's
+        repeated moving averages)."""
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        out = self
+        for _ in range(times - 1):
+            out = out.then(self)
+        return out
+
+    # ------------------------------------------------------------------
+    def is_identity(self, tol: float = SAFETY_TOL) -> bool:
+        """True when ``T`` is (within ``tol``) the identity ``(1, 0)``."""
+        return bool(
+            np.allclose(self.a, 1.0, atol=tol) and np.allclose(self.b, 0.0, atol=tol)
+        )
+
+    def is_safe_rect(self, tol: float = SAFETY_TOL) -> bool:
+        """Theorem 2's condition: ``a`` real (``b`` may be complex)."""
+        return bool(np.allclose(self.a.imag, 0.0, atol=tol))
+
+    def is_safe_polar(self, tol: float = SAFETY_TOL) -> bool:
+        """Theorem 3's condition: ``b = 0`` (``a`` may be complex)."""
+        return bool(np.allclose(self.b, 0.0, atol=tol))
+
+    def __repr__(self) -> str:
+        return f"Transformation({self.name}, n={self.n}, cost={self.cost})"
+
+
+# ----------------------------------------------------------------------
+# named constructors
+# ----------------------------------------------------------------------
+def identity(n: int, cost: float = 0.0) -> Transformation:
+    """The identity ``T_i = (1, 0)`` of Section 5's controlled experiments."""
+    return Transformation(np.ones(n), np.zeros(n), cost=cost, name="identity")
+
+
+def shift(n: int, amount: float, cost: float = 0.0) -> Transformation:
+    """Add ``amount`` to every value of the series.
+
+    Under the unitary DFT a constant series ``c`` has spectrum
+    ``c * sqrt(n)`` at ``f = 0`` and zero elsewhere, so the translation
+    vector is ``b = (amount * sqrt(n), 0, ..., 0)``.
+    """
+    b = np.zeros(n, dtype=np.complex128)
+    b[0] = amount * math.sqrt(n)
+    return Transformation(
+        np.ones(n),
+        b,
+        cost=cost,
+        name=f"shift({amount:g})",
+        mean_map=(1.0, amount),
+    )
+
+
+def scale(n: int, factor: float, cost: float = 0.0) -> Transformation:
+    """Multiply every value by ``factor`` (negative factors allowed)."""
+    return Transformation(
+        np.full(n, factor, dtype=np.complex128),
+        np.zeros(n),
+        cost=cost,
+        name=f"scale({factor:g})",
+        mean_map=(factor, 0.0),
+        std_map=(abs(factor), 0.0),
+    )
+
+
+def reverse(n: int, cost: float = 0.0) -> Transformation:
+    """``T_rev = (-1, 0)``: multiply every closing price by -1 (Ex. 2.2)."""
+    t = scale(n, -1.0, cost=cost)
+    t.name = "reverse"
+    return t
+
+
+def moving_average(
+    n: int,
+    window: int,
+    weights: Optional[Sequence[float]] = None,
+    cost: float = 0.0,
+) -> Transformation:
+    """The circular ``window``-day moving average ``T_mavg`` (Eq. 11).
+
+    The stretch vector is the *standard* (unnormalised) DFT of the weight
+    vector ``w = (w_1, ..., w_window, 0, ..., 0)``; with it,
+    ``a * X`` is the unitary spectrum of the circular convolution
+    ``conv(x, w)`` — the paper's moving average that wraps the window
+    around the end of the sequence.
+
+    Args:
+        n: series length.
+        window: number of days averaged.
+        weights: optional per-day weights; equal weights ``1/window`` by
+            default.  The paper notes trend-prediction uses end-heavy
+            weights — any weights are accepted.
+        cost: closure-distance cost.
+    """
+    if not 1 <= window <= n:
+        raise ValueError(f"window must be in [1, {n}], got {window}")
+    w = np.zeros(n, dtype=np.float64)
+    if weights is None:
+        w[:window] = 1.0 / window
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (window,):
+            raise ValueError(
+                f"weights must have length {window}, got {weights.shape}"
+            )
+        w[:window] = weights
+    a = np.fft.fft(w)  # standard DFT: the multiplier that realises conv(x, w)
+    return Transformation(
+        a, np.zeros(n), cost=cost, name=f"mavg{window}",
+        # Averaging a series leaves its mean unchanged (circular window),
+        # while the std generally shrinks in a data-dependent way; the std
+        # auxiliary dimension therefore keeps the identity map and must not
+        # be constrained in queries that use this transformation.
+        mean_map=(1.0, 0.0),
+    )
+
+
+def difference(n: int, cost: float = 0.0) -> Transformation:
+    """Circular first difference ``x_t - x_{t-1 mod n}``.
+
+    Expressed as convolution with ``(1, -1, 0, ..., 0)``; a detrending
+    transformation in the same family as the moving average (Section 3.2's
+    framework admits arbitrary convolution weights).  Note the first output
+    value wraps: it is ``x_0 - x_{n-1}``, consistent with the paper's
+    circular moving-average convention.
+    """
+    w = np.zeros(n, dtype=np.float64)
+    w[0] = 1.0
+    w[1] = -1.0
+    a = np.fft.fft(w)
+    return Transformation(
+        a,
+        np.zeros(n),
+        cost=cost,
+        name="difference",
+        mean_map=(0.0, 0.0),  # differencing removes the level
+    )
+
+
+def exponential_smoothing(
+    n: int, alpha: float, window: Optional[int] = None, cost: float = 0.0
+) -> Transformation:
+    """Exponentially weighted (circular) moving average.
+
+    Weights ``alpha * (1-alpha)^j`` over a truncated window (normalised to
+    sum to one), the classic trend-following smoother from technical stock
+    analysis; Section 3.2 notes that trend-prediction uses unequal,
+    recency-heavy weights — this is that transformation, packaged.
+
+    Args:
+        n: series length.
+        alpha: smoothing factor in ``(0, 1]``; larger tracks the latest
+            values more closely.
+        window: weight-truncation length; defaults to covering 99.9% of
+            the mass (capped at ``n``).
+        cost: closure-distance cost.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if window is None:
+        if alpha == 1.0:
+            window = 1
+        else:
+            window = min(n, max(1, int(np.ceil(np.log(1e-3) / np.log(1.0 - alpha)))))
+    if not 1 <= window <= n:
+        raise ValueError(f"window must be in [1, {n}], got {window}")
+    weights = alpha * (1.0 - alpha) ** np.arange(window)
+    weights = weights / weights.sum()
+    t = moving_average(n, window, weights=weights, cost=cost)
+    t.name = f"expsmooth({alpha:g})"
+    return t
+
+
+def time_warp(n: int, m: int, cost: float = 0.0) -> Transformation:
+    """Appendix A's time-warp spectrum map.
+
+    For a series ``s`` of length ``n`` and integer ``m >= 1``, the warped
+    series ``s'`` of length ``m * n`` repeats every value ``m`` times
+    (Eq. 16).  Eq. 19 gives the stretch vector
+
+        ``a_f = sum_{t=0}^{m-1} exp(-j 2 pi t f / (m n))``
+
+    with which ``a_f * S_f = S'_f`` for the retained coefficients — so a
+    k-index over length-``n`` series can answer queries posed against their
+    ``m``-fold stretched versions without touching the data.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    f = np.arange(n)
+    t = np.arange(m).reshape(-1, 1)
+    a = np.exp(-2j * np.pi * t * f / (m * n)).sum(axis=0)
+    return Transformation(a, np.zeros(n), cost=cost, name=f"warp(x{m})")
+
+
+def warp_series(series: ArrayLike, m: int) -> np.ndarray:
+    """Literal time warping in the time domain (Eq. 16): repeat each value
+    ``m`` times.  Used to validate :func:`time_warp` and in Example 1.2."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    return np.repeat(np.asarray(series, dtype=np.float64), m)

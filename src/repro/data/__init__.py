@@ -1,0 +1,28 @@
+"""Data sets and generators used by the experiments.
+
+* :class:`~repro.data.relation.SequenceRelation` — the unary relation of
+  time sequences that queries run against (Section 3: "we assume relations
+  are unary, that is, they are simply sets of sequences").
+* :mod:`~repro.data.synthetic` — the paper's Section 5 random-walk
+  generator.
+* :mod:`~repro.data.stocks` — a synthetic stock-market model standing in
+  for the 1067-series ftp.ai.mit.edu archive (see DESIGN.md for the
+  substitution rationale).
+* :mod:`~repro.data.examples` — the sequences printed verbatim in the
+  paper (Examples 1.1 and 1.2).
+"""
+
+from repro.data.examples import EX11_S1, EX11_S2, EX12_P, EX12_S
+from repro.data.relation import SequenceRelation
+from repro.data.stocks import make_stock_universe
+from repro.data.synthetic import random_walks
+
+__all__ = [
+    "EX11_S1",
+    "EX11_S2",
+    "EX12_P",
+    "EX12_S",
+    "SequenceRelation",
+    "make_stock_universe",
+    "random_walks",
+]

@@ -1,0 +1,37 @@
+"""Sequences printed verbatim in the paper.
+
+These drive exact reproductions of Examples 1.1 and 1.2 (including the
+quoted Euclidean distances) in tests and the quickstart example.
+
+A note on sources: the paper prints ``s1`` of Example 1.1 and ``s`` of
+Example 1.2 twice each — once in the running text and once in the figure
+captions — with small discrepancies.  The figure-caption versions are used
+here because they are the ones consistent with the quoted numbers:
+``D(s1, s2) = 11.92`` holds for the caption's ``s1``, and warping
+``p = (20, 21, 20, 23)`` by 2 reproduces the caption's
+``s = (20, 20, 21, 21, 20, 20, 23, 23)`` exactly (the text's variant
+``(20, 21, 21, 21, 20, 21, 23, 23)`` is not a 2-fold warp of any length-4
+series).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Example 1.1, Figure 1(a): closing prices of the first stock.
+EX11_S1 = np.array(
+    [36, 38, 40, 38, 42, 38, 36, 36, 37, 38, 39, 38, 40, 38, 37],
+    dtype=np.float64,
+)
+
+#: Example 1.1, Figure 1(b): closing prices of the second stock.
+EX11_S2 = np.array(
+    [40, 37, 37, 42, 41, 35, 40, 35, 34, 42, 38, 35, 45, 36, 34],
+    dtype=np.float64,
+)
+
+#: Example 1.2, Figure 2(a): the daily-sampled series.
+EX12_S = np.array([20, 20, 21, 21, 20, 20, 23, 23], dtype=np.float64)
+
+#: Example 1.2, Figure 2(b): the every-other-day-sampled series.
+EX12_P = np.array([20, 21, 20, 23], dtype=np.float64)

@@ -1,0 +1,165 @@
+"""Synthetic stock market: the substitute for the paper's real stock data.
+
+The paper's real-data experiments (Figures 3-5 and 12, Table 1) use 1067
+daily-closing-price series of length 128 from the ftp.ai.mit.edu stock
+archive, which no longer exists.  This module generates a market with the
+statistical features those experiments depend on:
+
+* geometric random-walk prices driven by a market factor, sector factors
+  and idiosyncratic noise, so spectra concentrate energy in low
+  frequencies (the k-index premise);
+* a spread of price levels and volatilities (so means/stds separate in the
+  index, as with BBA vs ZTR in Example 2.1);
+* *correlated pairs* within sectors (so range queries and the Table-1
+  self-join have non-trivial answers);
+* *anti-correlated pairs* — stocks with negative market beta — so
+  Example 2.2's reverse-movement queries (``T_rev``) find matches;
+* a band of low-volatility mean-reverting "funds" mimicking closed-end
+  funds like ZTR.
+
+Prices are positive and rounded to cents.  Everything is driven by one
+seed, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.relation import SequenceRelation
+
+#: sector labels used for synthetic tickers
+_SECTORS = (
+    "TECH", "RETL", "ENRG", "FINL", "HLTH", "INDU", "UTIL", "MATR",
+)
+
+
+@dataclass
+class StockSpec:
+    """Generation parameters of one synthetic stock (kept as attributes)."""
+
+    ticker: str
+    sector: str
+    beta: float
+    volatility: float
+    start_price: float
+    is_fund: bool
+
+
+def make_stock_universe(
+    count: int = 1067,
+    length: int = 128,
+    seed: int = 19970525,
+    fund_fraction: float = 0.08,
+    inverse_fraction: float = 0.05,
+) -> SequenceRelation:
+    """Generate the synthetic stand-in for the paper's stock relation.
+
+    Args:
+        count: number of series (paper: 1067).
+        length: days per series (paper: 128).
+        seed: RNG seed; the default fixes the universe used throughout the
+            test-suite and benchmarks.
+        fund_fraction: share of low-volatility mean-reverting funds.
+        inverse_fraction: share of negative-beta (inverse) instruments.
+
+    Returns:
+        a relation whose record attributes carry each stock's
+        :class:`StockSpec` fields (``sector``, ``beta``, ...).
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if length < 2:
+        raise ValueError(f"length must be >= 2, got {length}")
+    rng = np.random.default_rng(seed)
+
+    # Common daily return factors.  The sector factors are strong relative
+    # to the idiosyncratic noise so that same-sector stocks genuinely track
+    # each other — real markets cluster the same way, and the paper's
+    # selective queries (small answer sets at small eps, Figure 12) and
+    # Table-1 join pairs depend on such clusters existing.
+    market = rng.normal(0.0, 0.008, size=length - 1)
+    sector_factors = {
+        s: rng.normal(0.0, 0.010, size=length - 1) for s in _SECTORS
+    }
+
+    rel = SequenceRelation(length)
+    n_funds = int(round(fund_fraction * count))
+    n_inverse = int(round(inverse_fraction * count))
+
+    for i in range(count):
+        sector = _SECTORS[int(rng.integers(0, len(_SECTORS)))]
+        is_fund = i < n_funds
+        is_inverse = n_funds <= i < n_funds + n_inverse
+        sector_load = 1.0
+        if is_fund:
+            beta = float(rng.uniform(0.05, 0.2))
+            vol = float(rng.uniform(0.0005, 0.002))
+            start = float(rng.uniform(8.0, 15.0))
+            sector_load = 0.1
+        else:
+            beta = float(rng.uniform(0.9, 1.1))
+            vol = float(rng.uniform(0.002, 0.008))
+            start = float(rng.lognormal(np.log(20.0), 0.6))
+            if is_inverse:
+                beta = -beta
+                sector_load = -1.0
+        drift = float(rng.normal(0.0002, 0.0010))
+        noise = rng.normal(0.0, vol, size=length - 1)
+        returns = (
+            drift + beta * market + sector_load * sector_factors[sector] + noise
+        )
+        log_price = np.log(start) + np.concatenate([[0.0], np.cumsum(returns)])
+        # Daily observation jitter (bid-ask bounce): high-frequency noise a
+        # moving average removes, giving Section 2's smoothing behaviour.
+        log_price = log_price + rng.normal(0.0, 0.5 * vol + 0.004, size=length)
+        price = np.exp(log_price)
+        if is_fund:
+            # Mean-revert toward the start price, like a closed-end fund
+            # trading in a narrow band (cf. ZTR in Example 2.1).
+            price = start + 0.15 * (price - start)
+        price = np.maximum(np.round(price, 2), 0.01)
+        ticker = f"{sector[:3]}{i:04d}"
+        rel.add(
+            price,
+            name=ticker,
+            sector=sector,
+            beta=beta,
+            volatility=vol,
+            start_price=start,
+            is_fund=is_fund,
+        )
+    return rel
+
+
+def paired_stocks(
+    length: int = 128, seed: int = 42
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Three related series for the Section 2 demonstrations.
+
+    Returns ``(base, correlated, inverse)``: a stock, a same-sector stock
+    tracking it with noise, and an anti-correlated instrument — the raw
+    material for reproducing the *shape* of Examples 2.1 and 2.2 without
+    the original BBA/ZTR/CC/VAR data.
+    """
+    rng = np.random.default_rng(seed)
+    market = np.concatenate(
+        [[0.0], np.cumsum(rng.normal(0.0005, 0.012, size=length - 1))]
+    )
+    # Idiosyncrasy enters as two components: a small independent return
+    # stream (slow divergence) and daily observation jitter (bid-ask
+    # bounce).  The jitter is what a 20-day moving average removes, which
+    # is how the paper's Example 2.1 gets its large distance reduction.
+    def one(level: float, beta: float) -> np.ndarray:
+        slow = np.concatenate(
+            [[0.0], np.cumsum(rng.normal(0.0, 0.002, size=length - 1))]
+        )
+        jitter = rng.normal(0.0, 0.008, size=length)
+        return np.round(level * np.exp(beta * market + slow + jitter), 2)
+
+    base = one(12.0, 1.0)
+    correlated = one(30.0, 0.9)
+    inverse = one(18.0, -0.95)
+    return base, correlated, inverse

@@ -1,0 +1,30 @@
+"""Discrete Fourier transform toolkit (Section 1.1 of the paper).
+
+Uses the *unitary* convention of the paper (and of [AFS93]/[FRM94]): a
+``1/sqrt(n)`` factor in front of **both** the forward and inverse
+transforms, so that Parseval's relation reads ``E(x) = E(X)`` with no extra
+constant and Euclidean distances are preserved exactly (Eq. 8).
+
+:mod:`repro.dft.reference` contains a direct O(n^2) evaluation of Eq. 1
+used by the test-suite to validate the FFT-based implementation.
+"""
+
+from repro.dft.dft import (
+    circular_convolve,
+    dft,
+    distance,
+    energy,
+    energy_concentration,
+    idft,
+    power_spectrum,
+)
+
+__all__ = [
+    "circular_convolve",
+    "dft",
+    "distance",
+    "energy",
+    "energy_concentration",
+    "idft",
+    "power_spectrum",
+]

@@ -1,0 +1,66 @@
+"""Direct O(n^2) reference implementations of Eqs. 1, 2 and 4.
+
+These exist purely to validate the FFT-based fast paths in
+:mod:`repro.dft.dft`; the test-suite cross-checks the two on random
+signals.  Never use these in benchmarks — they are deliberately literal
+transcriptions of the paper's formulas.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def dft_reference(x: Sequence[complex]) -> np.ndarray:
+    """Literal evaluation of Eq. 1: ``X_f = (1/sqrt(n)) sum_t x_t e^{-j2pi t f / n}``."""
+    n = len(x)
+    if n == 0:
+        raise ValueError("x must be non-empty")
+    scale = 1.0 / math.sqrt(n)
+    out = np.empty(n, dtype=np.complex128)
+    for f in range(n):
+        acc = 0j
+        for t in range(n):
+            acc += complex(x[t]) * cmath.exp(-2j * math.pi * t * f / n)
+        out[f] = scale * acc
+    return out
+
+
+def idft_reference(X: Sequence[complex]) -> np.ndarray:
+    """Literal evaluation of Eq. 2: ``x_t = (1/sqrt(n)) sum_f X_f e^{j2pi t f / n}``."""
+    n = len(X)
+    if n == 0:
+        raise ValueError("X must be non-empty")
+    scale = 1.0 / math.sqrt(n)
+    out = np.empty(n, dtype=np.complex128)
+    for t in range(n):
+        acc = 0j
+        for f in range(n):
+            acc += complex(X[f]) * cmath.exp(2j * math.pi * t * f / n)
+        out[t] = scale * acc
+    return out
+
+
+def circular_convolve_reference(
+    x: Sequence[complex], y: Sequence[complex]
+) -> np.ndarray:
+    """Literal evaluation of Eq. 4: ``conv(x, y)_i = sum_k x_k y_{(i-k) mod n}``."""
+    n = len(x)
+    if len(y) != n:
+        raise ValueError(f"length mismatch: {n} vs {len(y)}")
+    out = np.empty(n, dtype=np.complex128)
+    for i in range(n):
+        acc = 0j
+        for k in range(n):
+            acc += complex(x[k]) * complex(y[(i - k) % n])
+        out[i] = acc
+    if not any(isinstance(v, complex) and v.imag for v in x) and not any(
+        isinstance(v, complex) and v.imag for v in y
+    ):
+        if np.allclose(out.imag, 0.0):
+            return out.real.astype(np.float64)
+    return out

@@ -1,0 +1,178 @@
+"""Persisting an engine: relation, feature-space config and index pages.
+
+``save_engine`` writes three artifacts into a directory:
+
+* ``relation.npy`` + ``relation.json`` — the sequence matrix with names
+  and attributes,
+* ``meta.json`` — feature-space and tree configuration,
+* ``index.pages`` — every R-tree node serialised into a disk-resident
+  page file (node ids are remapped to page ids in breadth-first order,
+  so the saved index is compact regardless of the source store).
+
+``load_engine`` reopens the directory into a fully functional
+:class:`~repro.core.engine.SimilarityEngine` whose tree reads nodes
+through a buffer pool over the saved page file — i.e. the loaded index
+does *real paged I/O* against the file, it is not rebuilt in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.core.engine import SimilarityEngine
+from repro.core.features import FeatureSpace, NormalFormSpace, PlainDFTSpace
+from repro.data.relation import SequenceRelation
+from repro.rtree.base import RTreeBase
+from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.node import Entry, Node, PagedNodeStore
+from repro.rtree.rstar import RStarTree
+from repro.storage.pager import PageFile
+
+_TREE_CLASSES = {"RStarTree": RStarTree, "GuttmanRTree": GuttmanRTree}
+_SPACE_CLASSES = {"NormalFormSpace": NormalFormSpace, "PlainDFTSpace": PlainDFTSpace}
+
+
+def save_engine(engine: SimilarityEngine, directory: str) -> None:
+    """Write the engine's relation, configuration and index pages."""
+    os.makedirs(directory, exist_ok=True)
+    rel = engine.relation
+    np.save(os.path.join(directory, "relation.npy"), rel.matrix)
+    with open(os.path.join(directory, "relation.json"), "w") as f:
+        json.dump(
+            {
+                "names": [rel.name(i) for i in range(len(rel))],
+                "attrs": [rel.attrs(i) for i in range(len(rel))],
+            },
+            f,
+        )
+
+    space = engine.space
+    tree = engine.tree
+    meta = {
+        "space": {
+            "class": type(space).__name__,
+            "n": space.n,
+            "k": space.k,
+            "coord": space.coord,
+            "exploit_symmetry": space.exploit_symmetry,
+        },
+        "tree": {
+            "class": type(tree).__name__,
+            "dim": tree.dim,
+            "max_entries": tree.max_entries,
+            "size": tree.size,
+            "root_level": tree._root_level,
+        },
+    }
+
+    # Walk the tree breadth-first, remapping node ids to fresh page ids.
+    pages_path = os.path.join(directory, "index.pages")
+    if os.path.exists(pages_path):
+        os.remove(pages_path)
+    with PageFile(path=pages_path) as pagefile:
+        store = PagedNodeStore(tree.dim, pagefile=pagefile, buffer_capacity=0)
+        id_map: dict[int, int] = {}
+        order: list[Node] = []
+        queue = deque([tree.root_id])
+        while queue:
+            node_id = queue.popleft()
+            if node_id in id_map:
+                continue
+            node = tree.store.read(node_id)
+            id_map[node_id] = store.allocate()
+            order.append(node)
+            if not node.is_leaf:
+                queue.extend(e.child for e in node.entries)
+        for node in order:
+            children = (
+                [Entry(e.rect, id_map[e.child]) for e in node.entries]
+                if not node.is_leaf
+                else list(node.entries)
+            )
+            store.write(
+                Node(node_id=id_map[node.node_id], level=node.level, entries=children)
+            )
+        store.flush()
+        meta["tree"]["root_id"] = id_map[tree.root_id]
+
+    with open(os.path.join(directory, "meta.json"), "w") as f:
+        json.dump(meta, f)
+
+
+def load_engine(
+    directory: str,
+    buffer_capacity: int = 128,
+) -> SimilarityEngine:
+    """Reopen a saved engine; its index reads pages from ``index.pages``."""
+    with open(os.path.join(directory, "meta.json")) as f:
+        meta = json.load(f)
+    matrix = np.load(os.path.join(directory, "relation.npy"))
+    with open(os.path.join(directory, "relation.json")) as f:
+        rel_meta = json.load(f)
+    relation = SequenceRelation(matrix.shape[1] if matrix.size else meta["space"]["n"])
+    for i in range(matrix.shape[0]):
+        relation.add(matrix[i], name=rel_meta["names"][i], **rel_meta["attrs"][i])
+
+    space = _space_from_meta(meta["space"])
+    tree = _tree_from_meta(meta["tree"], directory, buffer_capacity)
+
+    # Assemble the engine around the existing tree (bypass __init__'s
+    # index build but reuse its feature/spectra preparation).
+    engine = SimilarityEngine.__new__(SimilarityEngine)
+    engine.relation = relation
+    engine.space = space
+    engine.stats = tree.store.stats
+    engine.points = (
+        space.extract_many(relation.matrix)
+        if len(relation)
+        else np.empty((0, space.dim))
+    )
+    engine.ground_spectra = (
+        np.stack([space.series_spectrum(row) for row in relation.matrix])
+        if len(relation)
+        else np.empty((0, relation.length), dtype=np.complex128)
+    )
+    engine.tree = tree
+    return engine
+
+
+def _space_from_meta(meta: dict) -> FeatureSpace:
+    cls = _SPACE_CLASSES.get(meta["class"])
+    if cls is None:
+        raise ValueError(f"unknown feature space class {meta['class']!r}")
+    return cls(
+        meta["n"],
+        meta["k"],
+        coord=meta["coord"],
+        exploit_symmetry=meta["exploit_symmetry"],
+    )
+
+
+def _tree_from_meta(meta: dict, directory: str, buffer_capacity: int) -> RTreeBase:
+    cls = _TREE_CLASSES.get(meta["class"])
+    if cls is None:
+        raise ValueError(f"unknown tree class {meta['class']!r}")
+    pagefile = PageFile(path=os.path.join(directory, "index.pages"))
+    store = PagedNodeStore(
+        meta["dim"], pagefile=pagefile, buffer_capacity=buffer_capacity
+    )
+    # Fill RTreeBase's attributes by hand: __init__ would allocate a fresh
+    # empty root, but the root already lives in the page file.
+    tree = cls.__new__(cls)
+    tree.dim = meta["dim"]
+    tree.store = store
+    tree.max_entries = meta["max_entries"]
+    tree.min_entries = max(2, int(np.ceil(0.4 * meta["max_entries"])))
+    tree.size = meta["size"]
+    tree.root_id = meta["root_id"]
+    tree._root_level = meta["root_level"]
+    if cls is RStarTree:
+        tree.reinsert_fraction = 0.3
+    else:
+        tree.split = "quadratic"
+    return tree

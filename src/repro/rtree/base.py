@@ -1,0 +1,374 @@
+"""Shared R-tree machinery: insertion framework, deletion, validation.
+
+Concrete trees (:class:`~repro.rtree.rstar.RStarTree`,
+:class:`~repro.rtree.guttman.GuttmanRTree`) override two policy points:
+
+* :meth:`RTreeBase._choose_subtree` — which child absorbs a new entry, and
+* :meth:`RTreeBase._split_entries` — how an overflowing node's entries are
+  partitioned into two groups,
+
+plus optionally :meth:`RTreeBase._handle_overflow` (the R*-tree uses it to
+implement forced reinsertion).  Everything else — path maintenance, MBR
+adjustment, root growth/shrink, deletion with condense, and structural
+validation — lives here and is policy-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.rtree.geometry import Rect, union_all
+from repro.rtree.node import Entry, MemoryNodeStore, Node, NodeStore, PagedNodeStore
+
+
+class RTreeError(Exception):
+    """Raised on structural misuse (bad dimension, missing record, ...)."""
+
+
+class RTreeBase:
+    """Common base for R-tree variants storing rectangle/point entries.
+
+    Args:
+        dim: dimensionality of indexed rectangles.
+        store: node store; an in-memory store is created when omitted.
+        max_entries: node fanout cap; for paged stores this is additionally
+            clamped to what a page can hold.
+        min_fill: minimum fill fraction (Guttman's ``m``); nodes below
+            ``ceil(min_fill * max_entries)`` entries are condensed away.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        store: Optional[NodeStore] = None,
+        max_entries: Optional[int] = None,
+        min_fill: float = 0.4,
+    ) -> None:
+        if dim <= 0:
+            raise RTreeError(f"dim must be positive, got {dim}")
+        if not 0.0 < min_fill <= 0.5:
+            raise RTreeError(f"min_fill must be in (0, 0.5], got {min_fill}")
+        self.dim = dim
+        self.store: NodeStore = store if store is not None else MemoryNodeStore()
+        cap = max_entries if max_entries is not None else 32
+        if isinstance(self.store, PagedNodeStore):
+            # A node transiently holds max_entries + 1 entries between the
+            # overflow and the split, and that state is written to its page,
+            # so one slot of page capacity is kept in reserve.
+            cap = min(cap, self.store.max_entries - 1)
+        if cap < 4:
+            raise RTreeError(f"max_entries must be at least 4, got {cap}")
+        self.max_entries = cap
+        self.min_entries = max(2, int(np.ceil(min_fill * cap)))
+        self.size = 0
+        root = Node(node_id=self.store.allocate(), level=0, entries=[])
+        self.store.write(root)
+        self.root_id = root.node_id
+        self._root_level = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a single leaf root)."""
+        return self._root_level + 1
+
+    def insert_point(self, point: Sequence[float], record_id: int) -> None:
+        """Insert a point entry (a degenerate rectangle) for ``record_id``."""
+        self.insert(Rect.from_point(point), record_id)
+
+    def insert(self, rect: Rect, record_id: int) -> None:
+        """Insert a rectangle entry for ``record_id``."""
+        if rect.dim != self.dim:
+            raise RTreeError(f"rect dim {rect.dim} does not match tree dim {self.dim}")
+        self._reinserted_levels: set[int] = set()
+        self._insert_entry(Entry(rect, record_id), level=0)
+        self.size += 1
+
+    def delete(self, rect: Rect, record_id: int) -> bool:
+        """Delete the entry matching ``rect`` and ``record_id``.
+
+        Returns ``True`` when an entry was found and removed.  Underfull
+        nodes are condensed: their surviving entries are reinserted at the
+        appropriate level (Guttman's CondenseTree).
+        """
+        if rect.dim != self.dim:
+            raise RTreeError(f"rect dim {rect.dim} does not match tree dim {self.dim}")
+        path = self._find_leaf(self.root_id, rect, record_id, [])
+        if path is None:
+            return False
+        leaf = path[-1]
+        leaf.entries = [
+            e
+            for e in leaf.entries
+            if not (e.child == record_id and e.rect.approx_equal(rect))
+        ]
+        self.store.write(leaf)
+        self._condense(path)
+        self.size -= 1
+        # Shrink the root while it is an internal node with one child.
+        root = self.store.read(self.root_id)
+        while not root.is_leaf and len(root.entries) == 1:
+            child_id = root.entries[0].child
+            self.store.free(root.node_id)
+            self.root_id = child_id
+            root = self.store.read(child_id)
+            self._root_level = root.level
+        return True
+
+    def delete_point(self, point: Sequence[float], record_id: int) -> bool:
+        """Delete a point entry inserted via :meth:`insert_point`."""
+        return self.delete(Rect.from_point(point), record_id)
+
+    def search(self, query: Rect) -> list[Entry]:
+        """All leaf entries whose rectangle intersects ``query``."""
+        out: list[Entry] = []
+        self._search(self.root_id, query, out)
+        return out
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Entry]:
+        """Iterate over every leaf entry in the tree."""
+        yield from self._iter_node(self.root_id)
+
+    def root_mbr(self) -> Optional[Rect]:
+        """MBR of the whole tree, or ``None`` when empty."""
+        root = self.store.read(self.root_id)
+        if not root.entries:
+            return None
+        return root.mbr()
+
+    # ------------------------------------------------------------------
+    # policy hooks
+    # ------------------------------------------------------------------
+    def _choose_subtree(self, node: Node, rect: Rect) -> int:
+        """Index of the child entry that should absorb ``rect``."""
+        raise NotImplementedError
+
+    def _split_entries(
+        self, entries: list[Entry], level: int
+    ) -> tuple[list[Entry], list[Entry]]:
+        """Partition an overflowing entry list into two non-empty groups."""
+        raise NotImplementedError
+
+    def _overflow_entries(self, node: Node, is_root: bool) -> Optional[list[Entry]]:
+        """Hook called on an overflowing node *before* splitting.
+
+        May remove entries from ``node`` (mutating it) and return them for
+        reinsertion at ``node.level`` — the R*-tree's forced reinsertion.
+        Returning ``None`` (the default) requests a split instead.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def _insert_entry(self, entry: Entry, level: int) -> None:
+        """Insert ``entry`` at tree ``level`` (0 = leaf level)."""
+        if level > self._root_level:
+            raise RTreeError(
+                f"cannot insert at level {level}; tree height is {self.height}"
+            )
+        path: list[tuple[Node, int]] = []  # (node, chosen child index)
+        node = self.store.read(self.root_id)
+        while node.level > level:
+            idx = self._choose_subtree(node, entry.rect)
+            path.append((node, idx))
+            node = self.store.read(node.entries[idx].child)
+        node.entries.append(entry)
+        self.store.write(node)
+        self._propagate(node, path)
+
+    def _propagate(self, node: Node, path: list[tuple[Node, int]]) -> None:
+        """Fix MBRs and resolve overflows from ``node`` up to the root.
+
+        ``chain[d]`` is the node at depth ``d`` (root first); ``idxs[d]`` is
+        the index of ``chain[d+1]``'s entry inside ``chain[d]``.
+        """
+        chain = [p for p, _ in path] + [node]
+        idxs = [i for _, i in path]
+        pending: Optional[Node] = None  # split sibling awaiting registration
+        for d in range(len(chain) - 1, -1, -1):
+            cur = chain[d]
+            if pending is not None:
+                cur.entries.append(Entry(pending.mbr(), pending.node_id))
+                pending = None
+                self.store.write(cur)
+            if len(cur.entries) > self.max_entries:
+                reinserts = self._overflow_entries(cur, is_root=(d == 0))
+                if reinserts is not None:
+                    # Forced reinsertion: tighten the ancestors of the
+                    # shrunken node, then re-insert the evicted entries.
+                    self.store.write(cur)
+                    for dd in range(d - 1, -1, -1):
+                        chain[dd].entries[idxs[dd]].rect = chain[dd + 1].mbr()
+                        self.store.write(chain[dd])
+                    for e in reinserts:
+                        self._insert_entry(e, cur.level)
+                    return
+                pending = self._split_node(cur)
+            if d > 0:
+                chain[d - 1].entries[idxs[d - 1]].rect = cur.mbr()
+                self.store.write(chain[d - 1])
+        if pending is not None:
+            self._grow_root(chain[0], pending)
+
+    def _split_node(self, node: Node) -> Node:
+        """Split ``node`` in place; return the freshly written sibling."""
+        group_a, group_b = self._split_entries(node.entries, node.level)
+        if not group_a or not group_b:
+            raise RTreeError("split produced an empty group")
+        node.entries = group_a
+        self.store.write(node)
+        sibling = Node(node_id=self.store.allocate(), level=node.level, entries=group_b)
+        self.store.write(sibling)
+        return sibling
+
+    def _grow_root(self, old_root: Node, sibling: Node) -> None:
+        """Create a new root above ``old_root`` and ``sibling``."""
+        new_root = Node(
+            node_id=self.store.allocate(),
+            level=old_root.level + 1,
+            entries=[
+                Entry(old_root.mbr(), old_root.node_id),
+                Entry(sibling.mbr(), sibling.node_id),
+            ],
+        )
+        self.store.write(new_root)
+        self.root_id = new_root.node_id
+        self._root_level = new_root.level
+
+    # ------------------------------------------------------------------
+    # deletion helpers
+    # ------------------------------------------------------------------
+    def _find_leaf(
+        self, node_id: int, rect: Rect, record_id: int, path: list[Node]
+    ) -> Optional[list[Node]]:
+        node = self.store.read(node_id)
+        path = path + [node]
+        if node.is_leaf:
+            for e in node.entries:
+                if e.child == record_id and e.rect.approx_equal(rect):
+                    return path
+            return None
+        for e in node.entries:
+            if e.rect.intersects(rect):
+                found = self._find_leaf(e.child, rect, record_id, path)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, path: list[Node]) -> None:
+        """Guttman's CondenseTree: prune underfull nodes, reinsert orphans."""
+        orphans: list[tuple[Entry, int]] = []  # (entry, level)
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            child_idx = next(
+                i for i, e in enumerate(parent.entries) if e.child == node.node_id
+            )
+            if len(node.entries) < self.min_entries:
+                orphans.extend((e, node.level) for e in node.entries)
+                del parent.entries[child_idx]
+                self.store.free(node.node_id)
+            else:
+                parent.entries[child_idx].rect = node.mbr()
+            self.store.write(parent)
+        for entry, level in orphans:
+            self._reinserted_levels = set()
+            if level > self._root_level:
+                # The tree shrank below the orphan's level; push its leaves.
+                for leaf_entry in self._collect_leaf_entries(entry):
+                    self._insert_entry(leaf_entry, 0)
+            else:
+                self._insert_entry(entry, level)
+
+    def _collect_leaf_entries(self, entry: Entry) -> list[Entry]:
+        """All leaf entries beneath an orphaned internal entry."""
+        node = self.store.read(entry.child)
+        out: list[Entry] = []
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n.is_leaf:
+                out.extend(n.entries)
+            else:
+                for e in n.entries:
+                    stack.append(self.store.read(e.child))
+            self.store.free(n.node_id)
+        return out
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def _search(self, node_id: int, query: Rect, out: list[Entry]) -> None:
+        node = self.store.read(node_id)
+        if node.is_leaf:
+            out.extend(e for e in node.entries if query.intersects(e.rect))
+            return
+        for e in node.entries:
+            if e.rect.intersects(query):
+                self._search(e.child, query, out)
+
+    def _iter_node(self, node_id: int) -> Iterator[Entry]:
+        node = self.store.read(node_id)
+        if node.is_leaf:
+            yield from node.entries
+            return
+        for e in node.entries:
+            yield from self._iter_node(e.child)
+
+    # ------------------------------------------------------------------
+    # validation (used heavily by the test-suite)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every structural invariant; raise :class:`RTreeError` if broken."""
+        root = self.store.read(self.root_id)
+        if root.level != self._root_level:
+            raise RTreeError("root level bookkeeping is stale")
+        count = self._validate_node(root, is_root=True)
+        if count != self.size:
+            raise RTreeError(f"size mismatch: counted {count}, recorded {self.size}")
+
+    def _validate_node(self, node: Node, is_root: bool) -> int:
+        if not is_root and len(node.entries) < self.min_entries:
+            raise RTreeError(
+                f"node {node.node_id} underfull: {len(node.entries)} < {self.min_entries}"
+            )
+        if len(node.entries) > self.max_entries:
+            raise RTreeError(
+                f"node {node.node_id} overfull: {len(node.entries)} > {self.max_entries}"
+            )
+        if node.is_leaf:
+            return len(node.entries)
+        count = 0
+        for e in node.entries:
+            child = self.store.read(e.child)
+            if child.level != node.level - 1:
+                raise RTreeError(
+                    f"child {child.node_id} at level {child.level}, parent at {node.level}"
+                )
+            actual = child.mbr()
+            if not e.rect.approx_equal(actual, tol=1e-7):
+                if not e.rect.contains(actual):
+                    raise RTreeError(
+                        f"parent MBR of node {child.node_id} does not cover the child"
+                    )
+            count += self._validate_node(child, is_root=False)
+        return count
+
+    def node_count(self) -> int:
+        """Total number of nodes in the tree (walks the whole structure)."""
+        total = 0
+        stack = [self.root_id]
+        while stack:
+            node = self.store.read(stack.pop())
+            total += 1
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries)
+        return total

@@ -1,0 +1,361 @@
+"""Axis-aligned rectangles and the metrics R-trees are built from.
+
+Everything an R-tree variant needs lives here: areas, margins, enlargement,
+pairwise overlap, unions, and the MINDIST / MINMAXDIST point-to-rectangle
+metrics of Roussopoulos, Kelley & Vincent (1995) used for nearest-neighbour
+pruning.
+
+One extension beyond the paper: *circular dimensions*.  The polar feature
+space stores phase angles, which live on a circle of period ``2*pi``.  The
+paper's search rectangles implicitly assume angles do not wrap; to keep the
+no-false-dismissal guarantee watertight near the ``±pi`` boundary this
+module offers wrap-aware interval intersection (:func:`intersects_circular`)
+that the query engine enables on phase dimensions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Rect",
+    "union_all",
+    "intersects_circular",
+    "intersects_circular_many",
+    "TWO_PI",
+]
+
+TWO_PI = 2.0 * math.pi
+
+
+class Rect:
+    """An axis-aligned hyper-rectangle ``[lows, highs]`` (closed on both ends).
+
+    Points are represented as degenerate rectangles with ``lows == highs``;
+    this is how leaf entries store feature vectors.
+
+    The class is immutable in spirit: methods return new rectangles.  The
+    underlying arrays are float64 and never aliased to caller data.
+    """
+
+    __slots__ = ("lows", "highs")
+
+    def __init__(self, lows: Sequence[float], highs: Sequence[float]) -> None:
+        self.lows = np.asarray(lows, dtype=np.float64).copy()
+        self.highs = np.asarray(highs, dtype=np.float64).copy()
+        if self.lows.shape != self.highs.shape or self.lows.ndim != 1:
+            raise ValueError(
+                f"lows/highs must be 1-D and equal length, got {self.lows.shape} "
+                f"and {self.highs.shape}"
+            )
+        if np.any(self.lows > self.highs):
+            raise ValueError(f"lows must not exceed highs: {self.lows} > {self.highs}")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "Rect":
+        """A degenerate rectangle at ``point``."""
+        arr = np.asarray(point, dtype=np.float64)
+        return cls(arr, arr)
+
+    @classmethod
+    def around(cls, center: Sequence[float], radius: float) -> "Rect":
+        """The L-infinity ball of ``radius`` around ``center``.
+
+        This is the minimum bounding rectangle of the Euclidean
+        ``radius``-ball used to build search rectangles in the rectangular
+        coordinate system (Section 3.1).
+        """
+        c = np.asarray(center, dtype=np.float64)
+        return cls(c - radius, c + radius)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Number of dimensions."""
+        return self.lows.shape[0]
+
+    @property
+    def center(self) -> np.ndarray:
+        """Geometric centre of the rectangle."""
+        return (self.lows + self.highs) / 2.0
+
+    @property
+    def extents(self) -> np.ndarray:
+        """Per-dimension side lengths."""
+        return self.highs - self.lows
+
+    def is_point(self, tol: float = 0.0) -> bool:
+        """True when every side is no longer than ``tol``."""
+        return bool(np.all(self.extents <= tol))
+
+    def area(self) -> float:
+        """Product of side lengths (volume in d dimensions)."""
+        return float(np.prod(self.extents))
+
+    def margin(self) -> float:
+        """Sum of side lengths — the R* split's perimeter surrogate."""
+        return float(np.sum(self.extents))
+
+    # ------------------------------------------------------------------
+    # relations
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Rect") -> bool:
+        """True when the closed rectangles share at least one point."""
+        return bool(
+            np.all(self.lows <= other.highs) and np.all(other.lows <= self.highs)
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside ``self`` (closed)."""
+        return bool(
+            np.all(self.lows <= other.lows) and np.all(other.highs <= self.highs)
+        )
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """True when ``point`` lies inside the closed rectangle."""
+        p = np.asarray(point, dtype=np.float64)
+        return bool(np.all(self.lows <= p) and np.all(p <= self.highs))
+
+    def strictly_contains_point(self, point: Sequence[float]) -> bool:
+        """True when ``point`` lies in the open interior."""
+        p = np.asarray(point, dtype=np.float64)
+        return bool(np.all(self.lows < p) and np.all(p < self.highs))
+
+    # ------------------------------------------------------------------
+    # combination
+    # ------------------------------------------------------------------
+    def union(self, other: "Rect") -> "Rect":
+        """Minimum bounding rectangle of both rectangles."""
+        return Rect(
+            np.minimum(self.lows, other.lows), np.maximum(self.highs, other.highs)
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """Overlapping region, or ``None`` when disjoint."""
+        lows = np.maximum(self.lows, other.lows)
+        highs = np.minimum(self.highs, other.highs)
+        if np.any(lows > highs):
+            return None
+        return Rect(lows, highs)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Volume of the intersection (0 when disjoint)."""
+        sides = np.minimum(self.highs, other.highs) - np.maximum(
+            self.lows, other.lows
+        )
+        if np.any(sides < 0):
+            return 0.0
+        return float(np.prod(sides))
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to absorb ``other`` (Guttman's criterion)."""
+        return self.union(other).area() - self.area()
+
+    # ------------------------------------------------------------------
+    # RKV95 metrics
+    # ------------------------------------------------------------------
+    def mindist(self, point: Sequence[float]) -> float:
+        """MINDIST: least possible distance from ``point`` to this rectangle.
+
+        Zero when the point is inside.  This is an optimistic bound: no
+        object in the subtree rooted at this MBR can be closer.
+        """
+        p = np.asarray(point, dtype=np.float64)
+        clamped = np.clip(p, self.lows, self.highs)
+        return float(np.linalg.norm(p - clamped))
+
+    def minmaxdist(self, point: Sequence[float]) -> float:
+        """MINMAXDIST of Roussopoulos et al. (1995).
+
+        The smallest over dimensions k of the largest distance to the face
+        nearest in dimension k; an upper bound on the distance to the
+        closest object *guaranteed* to exist inside the MBR.
+        """
+        p = np.asarray(point, dtype=np.float64)
+        # rm: nearer edge per dimension; rM: farther edge per dimension.
+        mid = (self.lows + self.highs) / 2.0
+        rm = np.where(p <= mid, self.lows, self.highs)
+        rM = np.where(p >= mid, self.lows, self.highs)
+        far_sq = (p - rM) ** 2
+        near_sq = (p - rm) ** 2
+        total_far = float(np.sum(far_sq))
+        # For each k: swap the k-th farther-edge term for the nearer edge.
+        candidates = total_far - far_sq + near_sq
+        return float(math.sqrt(float(np.min(candidates))))
+
+    def max_dist(self, point: Sequence[float]) -> float:
+        """Largest possible distance from ``point`` to anywhere in the MBR."""
+        p = np.asarray(point, dtype=np.float64)
+        far = np.maximum(np.abs(p - self.lows), np.abs(p - self.highs))
+        return float(np.linalg.norm(far))
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.lows, other.lows)
+            and np.array_equal(self.highs, other.highs)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lows.tobytes(), self.highs.tobytes()))
+
+    def approx_equal(self, other: "Rect", tol: float = 1e-9) -> bool:
+        """Equality up to ``tol`` per coordinate."""
+        return bool(
+            np.allclose(self.lows, other.lows, atol=tol)
+            and np.allclose(self.highs, other.highs, atol=tol)
+        )
+
+    def __repr__(self) -> str:
+        return f"Rect({self.lows.tolist()}, {self.highs.tolist()})"
+
+
+def union_all(rects: Iterable[Rect]) -> Rect:
+    """Minimum bounding rectangle of a non-empty collection."""
+    it = iter(rects)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise ValueError("union_all() requires at least one rectangle") from None
+    lows = first.lows.copy()
+    highs = first.highs.copy()
+    for r in it:
+        np.minimum(lows, r.lows, out=lows)
+        np.maximum(highs, r.highs, out=highs)
+    return Rect(lows, highs)
+
+
+def _interval_intersects_circular(
+    lo_a: float, hi_a: float, lo_b: float, hi_b: float, period: float
+) -> bool:
+    """Wrap-aware 1-D interval intersection on a circle of ``period``.
+
+    Intervals are given by endpoints in any range; an interval whose length
+    is >= period covers the whole circle.  Endpoints are reduced modulo the
+    period and an interval with ``lo > hi`` after reduction is treated as
+    wrapping through the seam.
+    """
+    if hi_a - lo_a >= period or hi_b - lo_b >= period:
+        return True
+
+    def norm(x: float) -> float:
+        # Python's % yields [0, period) mathematically, but floating-point
+        # rounding of a tiny negative input can return exactly `period`,
+        # which must alias to 0 on the circle.
+        r = x % period
+        return 0.0 if r >= period else r
+
+    a0, a1 = norm(lo_a), norm(hi_a)
+    b0, b1 = norm(lo_b), norm(hi_b)
+
+    def segments(lo: float, hi: float) -> list[tuple[float, float]]:
+        if lo <= hi:
+            return [(lo, hi)]
+        return [(lo, period), (0.0, hi)]
+
+    for sa0, sa1 in segments(a0, a1):
+        for sb0, sb1 in segments(b0, b1):
+            if sa0 <= sb1 and sb0 <= sa1:
+                return True
+    return False
+
+
+def intersects_circular_many(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    qlo: np.ndarray,
+    qhi: np.ndarray,
+    circular_mask: Optional[np.ndarray] = None,
+    period: float = TWO_PI,
+) -> np.ndarray:
+    """Vectorised rectangle-vs-query intersection with circular dimensions.
+
+    Args:
+        lows, highs: ``(m, d)`` per-rectangle bounds.
+        qlo, qhi: ``(d,)`` query bounds.
+        circular_mask: boolean ``(d,)`` mask of wrap-around dimensions.
+        period: circumference of circular dimensions.
+
+    Returns:
+        boolean array of length ``m``: which rectangles meet the query.
+
+    Two intervals ``[a0, a0+wa]`` and ``[b0, b0+wb]`` on a circle intersect
+    iff ``(b0 - a0) mod period <= wa`` or ``(a0 - b0) mod period <= wb``
+    (or either covers the whole circle); that closed form is what the
+    vectorised path evaluates, and the scalar :func:`intersects_circular`
+    cross-checks it in the property tests.
+    """
+    m = lows.shape[0]
+    out = np.ones(m, dtype=bool)
+    if circular_mask is None:
+        circular_mask = np.zeros(lows.shape[1], dtype=bool)
+    linear = ~circular_mask
+    if np.any(linear):
+        out &= np.all(lows[:, linear] <= qhi[linear], axis=1)
+        out &= np.all(qlo[linear] <= highs[:, linear], axis=1)
+    def fold(x):
+        # `% period` is [0, period) mathematically, but floating-point
+        # rounding of a tiny negative *endpoint* returns exactly `period`,
+        # which aliases to 0 on the circle (same fix as the scalar path).
+        # Gap values, by contrast, must NOT be folded: a gap that rounds
+        # to `period` means "almost a full circle away", not "touching".
+        r = x % period
+        return np.where(r >= period, 0.0, r)
+
+    for d in np.nonzero(circular_mask)[0]:
+        wa = highs[:, d] - lows[:, d]
+        wb = qhi[d] - qlo[d]
+        a0 = fold(lows[:, d])
+        b0 = fold(qlo[d])
+        hit = (
+            (wa >= period)
+            | (wb >= period)
+            | ((b0 - a0) % period <= wa)
+            | ((a0 - b0) % period <= wb)
+        )
+        out &= hit
+    return out
+
+
+def intersects_circular(
+    a: Rect,
+    b: Rect,
+    circular_mask: Optional[np.ndarray] = None,
+    period: float = TWO_PI,
+) -> bool:
+    """Rectangle intersection with selected dimensions treated circularly.
+
+    Args:
+        a, b: rectangles of the same dimensionality.
+        circular_mask: boolean array; ``True`` marks a wrap-around dimension
+            (e.g. a phase angle).  ``None`` means plain intersection.
+        period: circumference of the circular dimensions.
+    """
+    if circular_mask is None or not np.any(circular_mask):
+        return a.intersects(b)
+    if a.dim != b.dim:
+        raise ValueError(f"dimension mismatch: {a.dim} vs {b.dim}")
+    for i in range(a.dim):
+        if circular_mask[i]:
+            if not _interval_intersects_circular(
+                float(a.lows[i]), float(a.highs[i]),
+                float(b.lows[i]), float(b.highs[i]),
+                period,
+            ):
+                return False
+        else:
+            if a.lows[i] > b.highs[i] or b.lows[i] > a.highs[i]:
+                return False
+    return True

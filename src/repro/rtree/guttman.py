@@ -1,0 +1,167 @@
+"""The original R-tree of Guttman (SIGMOD 1984).
+
+Kept as an index-quality baseline for the ablation benchmarks: same search
+code as the R*-tree, but with Guttman's ChooseLeaf (least area enlargement)
+and his *linear* or *quadratic* node-split algorithms instead of the R*
+policies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.rtree.base import RTreeBase, RTreeError
+from repro.rtree.geometry import Rect, union_all
+from repro.rtree.node import Entry, Node
+
+
+class GuttmanRTree(RTreeBase):
+    """Classic R-tree with ``split="quadratic"`` (default) or ``"linear"``."""
+
+    def __init__(
+        self,
+        dim: int,
+        store=None,
+        max_entries: Optional[int] = None,
+        min_fill: float = 0.4,
+        split: str = "quadratic",
+    ) -> None:
+        if split not in ("quadratic", "linear"):
+            raise RTreeError(f"split must be 'quadratic' or 'linear', got {split!r}")
+        super().__init__(dim, store=store, max_entries=max_entries, min_fill=min_fill)
+        self.split = split
+
+    # ------------------------------------------------------------------
+    def _choose_subtree(self, node: Node, rect: Rect) -> int:
+        """Guttman's ChooseLeaf: least enlargement, ties by least area."""
+        best_idx = 0
+        best_key: Optional[tuple[float, float]] = None
+        for i, e in enumerate(node.entries):
+            key = (e.rect.enlargement(rect), e.rect.area())
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = i
+        return best_idx
+
+    # ------------------------------------------------------------------
+    def _split_entries(
+        self, entries: list[Entry], level: int
+    ) -> tuple[list[Entry], list[Entry]]:
+        if self.split == "quadratic":
+            return self._quadratic_split(entries)
+        return self._linear_split(entries)
+
+    # -- quadratic ------------------------------------------------------
+    def _quadratic_split(
+        self, entries: list[Entry]
+    ) -> tuple[list[Entry], list[Entry]]:
+        remaining = list(entries)
+        seed_a, seed_b = self._pick_seeds_quadratic(remaining)
+        # Remove the later index first so the earlier one stays valid.
+        for idx in sorted((seed_a, seed_b), reverse=True):
+            remaining.pop(idx)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rect_a = entries[seed_a].rect
+        rect_b = entries[seed_b].rect
+        m = self.min_entries
+        while remaining:
+            # If one group must take everything left to reach min fill, do it.
+            if len(group_a) + len(remaining) == m:
+                group_a.extend(remaining)
+                break
+            if len(group_b) + len(remaining) == m:
+                group_b.extend(remaining)
+                break
+            idx = self._pick_next_quadratic(remaining, rect_a, rect_b)
+            e = remaining.pop(idx)
+            d_a = rect_a.enlargement(e.rect)
+            d_b = rect_b.enlargement(e.rect)
+            if (d_a, rect_a.area(), len(group_a)) <= (d_b, rect_b.area(), len(group_b)):
+                group_a.append(e)
+                rect_a = rect_a.union(e.rect)
+            else:
+                group_b.append(e)
+                rect_b = rect_b.union(e.rect)
+        return group_a, group_b
+
+    @staticmethod
+    def _pick_seeds_quadratic(entries: list[Entry]) -> tuple[int, int]:
+        """The pair wasting the most area when put together."""
+        worst = -float("inf")
+        pair = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = (
+                    entries[i].rect.union(entries[j].rect).area()
+                    - entries[i].rect.area()
+                    - entries[j].rect.area()
+                )
+                if waste > worst:
+                    worst = waste
+                    pair = (i, j)
+        return pair
+
+    @staticmethod
+    def _pick_next_quadratic(
+        remaining: list[Entry], rect_a: Rect, rect_b: Rect
+    ) -> int:
+        """Entry with the strongest preference for one group."""
+        best_idx = 0
+        best_pref = -1.0
+        for i, e in enumerate(remaining):
+            pref = abs(rect_a.enlargement(e.rect) - rect_b.enlargement(e.rect))
+            if pref > best_pref:
+                best_pref = pref
+                best_idx = i
+        return best_idx
+
+    # -- linear ---------------------------------------------------------
+    def _linear_split(self, entries: list[Entry]) -> tuple[list[Entry], list[Entry]]:
+        dim = entries[0].rect.dim
+        lows = np.array([e.rect.lows for e in entries])
+        highs = np.array([e.rect.highs for e in entries])
+        widths = highs.max(axis=0) - lows.min(axis=0)
+        widths[widths == 0] = 1.0
+        # Per axis: entry with the highest low and entry with the lowest high.
+        best_axis, best_sep = 0, -float("inf")
+        best_pair = (0, 1 if len(entries) > 1 else 0)
+        for axis in range(dim):
+            hi_low = int(np.argmax(lows[:, axis]))
+            lo_high = int(np.argmin(highs[:, axis]))
+            if hi_low == lo_high:
+                continue
+            sep = (lows[hi_low, axis] - highs[lo_high, axis]) / widths[axis]
+            if sep > best_sep:
+                best_sep = sep
+                best_axis = axis
+                best_pair = (hi_low, lo_high)
+        seed_a, seed_b = best_pair
+        if seed_a == seed_b:  # fully degenerate data; arbitrary seeds
+            seed_a, seed_b = 0, 1
+        remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rect_a = entries[seed_a].rect
+        rect_b = entries[seed_b].rect
+        m = self.min_entries
+        for pos, e in enumerate(remaining):
+            left = len(remaining) - pos
+            if len(group_a) + left == m:
+                group_a.extend(remaining[pos:])
+                return group_a, group_b
+            if len(group_b) + left == m:
+                group_b.extend(remaining[pos:])
+                return group_a, group_b
+            if (rect_a.enlargement(e.rect), rect_a.area()) <= (
+                rect_b.enlargement(e.rect),
+                rect_b.area(),
+            ):
+                group_a.append(e)
+                rect_a = rect_a.union(e.rect)
+            else:
+                group_b.append(e)
+                rect_b = rect_b.union(e.rect)
+        return group_a, group_b

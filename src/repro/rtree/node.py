@@ -1,0 +1,175 @@
+"""R-tree nodes, entries and the node stores that persist them.
+
+A :class:`Node` is a flat list of :class:`Entry` objects plus a level
+(0 = leaf).  Entries in internal nodes carry the MBR of a child node and its
+id; entries in leaves carry a point (degenerate rectangle) and a record id.
+
+Trees never hold the whole structure in Python references — they address
+nodes through a *node store*, which is either
+
+* :class:`MemoryNodeStore` — a dict of live node objects (fast; logical
+  read/write counters only), or
+* :class:`PagedNodeStore` — nodes serialised into fixed-size pages behind a
+  buffer pool (:mod:`repro.storage`), so traversals incur countable page
+  reads exactly like a disk-resident index.
+
+Both stores satisfy the same small protocol, and the trees always write a
+node back after mutating it, which keeps the two backends behaviourally
+identical (tests run the full suite against both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from repro.rtree.geometry import Rect, union_all
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import PageFile
+from repro.storage.stats import IOStats
+
+
+@dataclass
+class Entry:
+    """One slot of a node: a bounding rectangle plus a child/record id."""
+
+    rect: Rect
+    child: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Entry({self.rect!r}, child={self.child})"
+
+
+@dataclass
+class Node:
+    """A node of the tree.  ``level == 0`` means leaf."""
+
+    node_id: int
+    level: int
+    entries: list[Entry] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries (node must be non-empty)."""
+        return union_all(e.rect for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class NodeStore(Protocol):
+    """Persistence interface the trees program against."""
+
+    stats: IOStats
+
+    def allocate(self) -> int:
+        """Reserve an id for a new node."""
+        ...
+
+    def read(self, node_id: int) -> Node:
+        """Materialise the node with this id."""
+        ...
+
+    def write(self, node: Node) -> None:
+        """Persist the node under its id."""
+        ...
+
+    def free(self, node_id: int) -> None:
+        """Release the node's id (and page, if any)."""
+        ...
+
+
+class MemoryNodeStore:
+    """Node store backed by a dict of live objects.
+
+    Reads return the stored object itself; writes are bookkeeping.  The
+    logical ``node_reads`` / ``node_writes`` counters still move so that
+    algorithmic comparisons (e.g. "same number of node accesses with and
+    without transformations") can be made without the paging overhead.
+    """
+
+    def __init__(self, stats: Optional[IOStats] = None) -> None:
+        self.stats = stats if stats is not None else IOStats()
+        self._nodes: dict[int, Node] = {}
+        self._next_id = 0
+
+    def allocate(self) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def read(self, node_id: int) -> Node:
+        self.stats.node_reads += 1
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"no node with id {node_id}") from None
+
+    def write(self, node: Node) -> None:
+        self.stats.node_writes += 1
+        self._nodes[node.node_id] = node
+
+    def free(self, node_id: int) -> None:
+        self._nodes.pop(node_id, None)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+class PagedNodeStore:
+    """Node store that serialises nodes into the paged storage engine.
+
+    Node ids are page ids, so every node occupies exactly one page and a
+    buffer-pool miss during traversal is one "disk access".
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        pagefile: Optional[PageFile] = None,
+        buffer_capacity: int = 128,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        from repro.storage import serialization  # local import to avoid cycle
+
+        self._ser = serialization
+        self.dim = dim
+        self.stats = stats if stats is not None else IOStats()
+        self.pagefile = (
+            pagefile if pagefile is not None else PageFile(stats=self.stats)
+        )
+        # Share one stats object across all layers.
+        self.pagefile.stats = self.stats
+        self.pool = BufferPool(self.pagefile, capacity=buffer_capacity, stats=self.stats)
+        self.page_size = self.pagefile.page_size
+
+    @property
+    def max_entries(self) -> int:
+        """Hard fanout cap implied by the page size."""
+        return self._ser.max_entries_for_page(self.page_size, self.dim)
+
+    def allocate(self) -> int:
+        return self.pool.allocate()
+
+    def read(self, node_id: int) -> Node:
+        self.stats.node_reads += 1
+        data = self.pool.read(node_id)
+        return self._ser.decode_node(data, node_id)
+
+    def write(self, node: Node) -> None:
+        self.stats.node_writes += 1
+        self.pool.write(node.node_id, self._ser.encode_node(node, self.dim, self.page_size))
+
+    def free(self, node_id: int) -> None:
+        self.pool.free(node_id)
+
+    def flush(self) -> None:
+        """Force all dirty pages to the page file."""
+        self.pool.flush()
+
+    def drop_cache(self) -> None:
+        """Flush and empty the buffer pool (cold-cache measurements)."""
+        self.pool.clear()

@@ -1,0 +1,185 @@
+"""The R*-tree of Beckmann, Kriegel, Schneider & Seeger (SIGMOD 1990).
+
+The paper's experiments run "on top of Norbert Beckmann's Version 2
+implementation of the R*-tree"; this module is a faithful re-implementation
+of the three R* policies on top of :class:`~repro.rtree.base.RTreeBase`:
+
+* **ChooseSubtree** — for nodes just above the leaves, pick the child whose
+  *overlap* enlargement is least (ties: least area enlargement, then least
+  area); higher up, least area enlargement suffices.
+* **Split** — choose the split axis by minimum total margin over all
+  distributions, then the distribution on that axis with minimum overlap
+  (ties: minimum combined area).
+* **Forced reinsertion** — on the first overflow at each level per
+  insertion, evict the ``reinsert_fraction`` of entries whose centres are
+  farthest from the node centre and re-insert them ("close reinsert"
+  order), which defers splits and keeps the directory tight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.rtree.base import RTreeBase
+from repro.rtree.geometry import Rect, union_all
+from repro.rtree.node import Entry, Node
+
+
+class RStarTree(RTreeBase):
+    """R*-tree with forced reinsertion.
+
+    Args:
+        dim: dimensionality of indexed rectangles.
+        store: node store (memory by default).
+        max_entries: fanout cap (clamped by page capacity for paged stores).
+        min_fill: minimum fill fraction.
+        reinsert_fraction: share of entries evicted on first overflow per
+            level (the R* paper found 30% best); ``0`` disables forced
+            reinsertion entirely.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        store=None,
+        max_entries: Optional[int] = None,
+        min_fill: float = 0.4,
+        reinsert_fraction: float = 0.3,
+    ) -> None:
+        if not 0.0 <= reinsert_fraction < 1.0:
+            raise ValueError(
+                f"reinsert_fraction must be in [0, 1), got {reinsert_fraction}"
+            )
+        super().__init__(dim, store=store, max_entries=max_entries, min_fill=min_fill)
+        self.reinsert_fraction = reinsert_fraction
+
+    # ------------------------------------------------------------------
+    # ChooseSubtree
+    # ------------------------------------------------------------------
+    def _choose_subtree(self, node: Node, rect: Rect) -> int:
+        if node.level == 1:
+            return self._choose_least_overlap(node, rect)
+        return self._choose_least_enlargement(node, rect)
+
+    def _choose_least_overlap(self, node: Node, rect: Rect) -> int:
+        """Least overlap enlargement; ties by area enlargement then area."""
+        entries = node.entries
+        best_idx = 0
+        best_key: Optional[tuple[float, float, float]] = None
+        # Pre-compute unions once.
+        unions = [e.rect.union(rect) for e in entries]
+        for i, e in enumerate(entries):
+            enlarged = unions[i]
+            overlap_before = 0.0
+            overlap_after = 0.0
+            for j, other in enumerate(entries):
+                if j == i:
+                    continue
+                overlap_before += e.rect.overlap_area(other.rect)
+                overlap_after += enlarged.overlap_area(other.rect)
+            key = (
+                overlap_after - overlap_before,
+                enlarged.area() - e.rect.area(),
+                e.rect.area(),
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = i
+        return best_idx
+
+    def _choose_least_enlargement(self, node: Node, rect: Rect) -> int:
+        """Least area enlargement; ties by area."""
+        best_idx = 0
+        best_key: Optional[tuple[float, float]] = None
+        for i, e in enumerate(node.entries):
+            key = (e.rect.enlargement(rect), e.rect.area())
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = i
+        return best_idx
+
+    # ------------------------------------------------------------------
+    # R* topological split
+    # ------------------------------------------------------------------
+    def _split_entries(
+        self, entries: list[Entry], level: int
+    ) -> tuple[list[Entry], list[Entry]]:
+        m = self.min_entries
+        total = len(entries)
+        best_axis = self._choose_split_axis(entries, m)
+        # On the chosen axis, consider both sortings and all distributions;
+        # pick minimum overlap, ties by combined area.
+        best_key: Optional[tuple[float, float]] = None
+        best_groups: Optional[tuple[list[Entry], list[Entry]]] = None
+        for key_fn in (
+            lambda e: (e.rect.lows[best_axis], e.rect.highs[best_axis]),
+            lambda e: (e.rect.highs[best_axis], e.rect.lows[best_axis]),
+        ):
+            ordered = sorted(entries, key=key_fn)
+            for k in range(m, total - m + 1):
+                g1, g2 = ordered[:k], ordered[k:]
+                r1 = union_all(e.rect for e in g1)
+                r2 = union_all(e.rect for e in g2)
+                cand = (r1.overlap_area(r2), r1.area() + r2.area())
+                if best_key is None or cand < best_key:
+                    best_key = cand
+                    best_groups = (list(g1), list(g2))
+        assert best_groups is not None
+        return best_groups
+
+    def _choose_split_axis(self, entries: list[Entry], m: int) -> int:
+        """Axis whose distributions have the least total margin."""
+        total = len(entries)
+        dim = entries[0].rect.dim
+        best_axis = 0
+        best_margin = float("inf")
+        for axis in range(dim):
+            margin_sum = 0.0
+            for key_fn in (
+                lambda e: (e.rect.lows[axis], e.rect.highs[axis]),
+                lambda e: (e.rect.highs[axis], e.rect.lows[axis]),
+            ):
+                ordered = sorted(entries, key=key_fn)
+                # Prefix/suffix MBRs to avoid recomputing unions per k.
+                prefix = self._running_unions(ordered)
+                suffix = self._running_unions(ordered[::-1])[::-1]
+                for k in range(m, total - m + 1):
+                    margin_sum += prefix[k - 1].margin() + suffix[k].margin()
+            if margin_sum < best_margin:
+                best_margin = margin_sum
+                best_axis = axis
+        return best_axis
+
+    @staticmethod
+    def _running_unions(ordered: list[Entry]) -> list[Rect]:
+        out: list[Rect] = []
+        acc: Optional[Rect] = None
+        for e in ordered:
+            acc = e.rect if acc is None else acc.union(e.rect)
+            out.append(acc)
+        return out
+
+    # ------------------------------------------------------------------
+    # Forced reinsertion
+    # ------------------------------------------------------------------
+    def _overflow_entries(self, node: Node, is_root: bool) -> Optional[list[Entry]]:
+        if (
+            is_root
+            or self.reinsert_fraction == 0.0
+            or node.level in self._reinserted_levels
+        ):
+            return None
+        self._reinserted_levels.add(node.level)
+        p = max(1, int(round(self.reinsert_fraction * len(node.entries))))
+        center = node.mbr().center
+        dists = np.array(
+            [float(np.linalg.norm(e.rect.center - center)) for e in node.entries]
+        )
+        order = np.argsort(dists)  # nearest first
+        keep = [node.entries[i] for i in order[: len(node.entries) - p]]
+        evicted = [node.entries[i] for i in order[len(node.entries) - p :]]
+        node.entries = keep
+        # "Close reinsert": re-insert evicted entries nearest-first.
+        return evicted

@@ -1,0 +1,197 @@
+"""Algorithm 1: a transformed R-tree view built on the fly.
+
+Given an index ``I`` over a data set ``D`` and a *safe* transformation ``T``
+(one that maps rectangles to rectangles preserving inside/outside —
+Definition 1 of the paper), Algorithm 1 constructs an index ``I'`` for
+``T(D)`` by mapping every node MBR through ``T``.  The paper's key
+observation is that ``I'`` never needs to be materialised: the mapping can
+be applied to each node *as it is read during search*, so one physical
+index serves every safe transformation with no extra disk.
+
+:class:`AffineMap` is the concrete form every safe transformation takes on
+the feature space once Theorems 1-3 are applied: an independent real affine
+map ``x -> c*x + d`` per dimension (``c`` may be negative — the paper
+explicitly allows negative scales — in which case interval endpoints swap).
+
+:class:`TransformedIndexView` wraps a tree and an affine map and exposes
+read-only traversal (range search, iteration, node access) over the
+transformed index.  The identity map specialises to the plain index, which
+is how the paper's Figures 8 and 9 compare the two.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.rtree.base import RTreeBase
+from repro.rtree.geometry import Rect, intersects_circular
+from repro.rtree.node import Entry, Node
+
+
+class AffineMap:
+    """Per-dimension real affine map ``x -> scale * x + offset``.
+
+    This is the normal form of every safe transformation on the index space
+    (see the proofs of Theorems 1-3, which all end by exhibiting real
+    vectors ``c`` and ``d``).
+    """
+
+    __slots__ = ("scale", "offset")
+
+    def __init__(self, scale: Sequence[float], offset: Sequence[float]) -> None:
+        self.scale = np.asarray(scale, dtype=np.float64).copy()
+        self.offset = np.asarray(offset, dtype=np.float64).copy()
+        if self.scale.shape != self.offset.shape or self.scale.ndim != 1:
+            raise ValueError("scale and offset must be 1-D arrays of equal length")
+
+    @classmethod
+    def identity(cls, dim: int) -> "AffineMap":
+        """The identity map ``T_i = (1, 0)`` used in the paper's Figs 8-9."""
+        return cls(np.ones(dim), np.zeros(dim))
+
+    @property
+    def dim(self) -> int:
+        return self.scale.shape[0]
+
+    def is_identity(self, tol: float = 0.0) -> bool:
+        """True when the map moves nothing (within ``tol``)."""
+        return bool(
+            np.all(np.abs(self.scale - 1.0) <= tol)
+            and np.all(np.abs(self.offset) <= tol)
+        )
+
+    # ------------------------------------------------------------------
+    def apply_point(self, point: Sequence[float]) -> np.ndarray:
+        """Map one point."""
+        p = np.asarray(point, dtype=np.float64)
+        return self.scale * p + self.offset
+
+    def apply_rect(self, rect: Rect) -> Rect:
+        """Map a rectangle; negative scales flip the affected interval."""
+        a = self.scale * rect.lows + self.offset
+        b = self.scale * rect.highs + self.offset
+        return Rect(np.minimum(a, b), np.maximum(a, b))
+
+    def compose(self, inner: "AffineMap") -> "AffineMap":
+        """The map ``x -> self(inner(x))``."""
+        if inner.dim != self.dim:
+            raise ValueError(f"dimension mismatch: {inner.dim} vs {self.dim}")
+        return AffineMap(
+            self.scale * inner.scale, self.scale * inner.offset + self.offset
+        )
+
+    def inverse(self) -> "AffineMap":
+        """The inverse map; requires every scale to be nonzero."""
+        if np.any(self.scale == 0.0):
+            raise ValueError("affine map with a zero scale is not invertible")
+        inv = 1.0 / self.scale
+        return AffineMap(inv, -self.offset * inv)
+
+    def __repr__(self) -> str:
+        return f"AffineMap(scale={self.scale.tolist()}, offset={self.offset.tolist()})"
+
+
+#: Signature of a rectangle-intersection predicate, so the polar space can
+#: plug in wrap-aware tests without the view knowing about coordinates.
+IntersectsFn = Callable[[Rect, Rect], bool]
+
+
+class TransformedIndexView:
+    """Read-only view of ``T(I)`` for a tree ``I`` and affine map ``T``.
+
+    Every node is mapped through ``T`` *after* it is read from the store, so
+    the view performs exactly the same node/page accesses as the plain tree
+    would — the property the paper checks in Figures 8 and 9.
+    """
+
+    def __init__(
+        self,
+        tree: RTreeBase,
+        mapping: Optional[AffineMap] = None,
+        circular_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        self.tree = tree
+        self.mapping = mapping if mapping is not None else AffineMap.identity(tree.dim)
+        if self.mapping.dim != tree.dim:
+            raise ValueError(
+                f"map dim {self.mapping.dim} does not match tree dim {tree.dim}"
+            )
+        self.circular_mask = circular_mask
+
+    # ------------------------------------------------------------------
+    def _intersects(self, a: Rect, b: Rect) -> bool:
+        if self.circular_mask is None:
+            return a.intersects(b)
+        return intersects_circular(a, b, self.circular_mask)
+
+    def transformed_node(self, node_id: int) -> Node:
+        """Read a node and return its image under ``T`` (Algorithm 1 step)."""
+        node = self.tree.store.read(node_id)
+        return Node(
+            node_id=node.node_id,
+            level=node.level,
+            entries=[Entry(self.mapping.apply_rect(e.rect), e.child) for e in node.entries],
+        )
+
+    # ------------------------------------------------------------------
+    def search(self, query: Rect) -> list[Entry]:
+        """Range search over the transformed index (Algorithm 2, step 2).
+
+        Returns transformed leaf entries (the entry rectangles are the
+        transformed points) whose image intersects ``query``.  Each node's
+        entries are mapped and tested in one vectorised step — the Python
+        equivalent of the paper's "apply T to every entry of N".
+        """
+        out: list[Entry] = []
+        self._search(self.tree.root_id, query, out)
+        return out
+
+    def _search(self, node_id: int, query: Rect, out: list[Entry]) -> None:
+        node = self.tree.store.read(node_id)
+        m = len(node.entries)
+        if m == 0:
+            return
+        dim = self.tree.dim
+        lows = np.empty((m, dim))
+        highs = np.empty((m, dim))
+        for i, e in enumerate(node.entries):
+            lows[i] = e.rect.lows
+            highs[i] = e.rect.highs
+        a = lows * self.mapping.scale + self.mapping.offset
+        b = highs * self.mapping.scale + self.mapping.offset
+        t_lows = np.minimum(a, b)
+        t_highs = np.maximum(a, b)
+        from repro.rtree.geometry import intersects_circular_many
+
+        hits = intersects_circular_many(
+            t_lows, t_highs, query.lows, query.highs, self.circular_mask
+        )
+        if node.is_leaf:
+            for i in np.nonzero(hits)[0]:
+                out.append(
+                    Entry(Rect(t_lows[i], t_highs[i]), node.entries[i].child)
+                )
+            return
+        for i in np.nonzero(hits)[0]:
+            self._search(node.entries[i].child, query, out)
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Entry]:
+        """All transformed leaf entries."""
+        for e in self.tree:
+            yield Entry(self.mapping.apply_rect(e.rect), e.child)
+
+    def root_mbr(self) -> Optional[Rect]:
+        """Transformed MBR of the whole index."""
+        mbr = self.tree.root_mbr()
+        return None if mbr is None else self.mapping.apply_rect(mbr)
+
+    @property
+    def root_id(self) -> int:
+        return self.tree.root_id
+
+    @property
+    def store(self):
+        return self.tree.store

@@ -1,0 +1,25 @@
+"""Paged storage engine with I/O accounting.
+
+The paper's experiments run on Beckmann's disk-based R*-tree and report both
+wall-clock time and the number of disk accesses (Section 5 notes that the
+transformed-index traversal performs *the same* number of disk accesses as
+the plain traversal).  To make those claims checkable on a laptop, this
+package provides a small but real storage engine:
+
+* :class:`~repro.storage.pager.PageFile` — a file (or memory buffer) of
+  fixed-size pages with explicit read/write page operations,
+* :class:`~repro.storage.buffer.BufferPool` — an LRU buffer pool on top of a
+  page file; a pool miss is a counted "disk access",
+* :class:`~repro.storage.stats.IOStats` — counters shared by every layer,
+* :mod:`~repro.storage.serialization` — fixed-layout binary encoding of
+  R-tree nodes so they actually fit in pages.
+
+The R-tree (:mod:`repro.rtree`) talks to this layer through node stores, so
+the same tree code runs fully in memory or against the paged backend.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import PAGE_SIZE, PageFile
+from repro.storage.stats import IOStats
+
+__all__ = ["BufferPool", "IOStats", "PageFile", "PAGE_SIZE"]

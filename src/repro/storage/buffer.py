@@ -1,0 +1,110 @@
+"""LRU buffer pool over a :class:`~repro.storage.pager.PageFile`.
+
+A read that hits the pool costs nothing physical (``buffer_hits`` is
+incremented); a miss triggers a physical page read and possibly the eviction
+of a dirty page (a physical write).  This is the layer that turns the
+reproduction's index traversals into countable disk accesses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.storage.pager import PageFile
+from repro.storage.stats import IOStats
+
+
+class BufferPool:
+    """Write-back LRU cache of pages.
+
+    Args:
+        pagefile: the backing page file.
+        capacity: maximum number of resident pages; ``0`` disables caching
+            entirely (every access is physical), which models a cold run.
+        stats: counter bundle; defaults to the page file's own.
+    """
+
+    def __init__(
+        self,
+        pagefile: PageFile,
+        capacity: int = 128,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.pagefile = pagefile
+        self.capacity = capacity
+        self.stats = stats if stats is not None else pagefile.stats
+        self._frames: "OrderedDict[int, bytearray]" = OrderedDict()
+        self._dirty: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def allocate(self) -> int:
+        """Allocate a fresh page in the backing file."""
+        return self.pagefile.allocate()
+
+    def free(self, page_id: int) -> None:
+        """Drop a page from the pool and the backing file's free list."""
+        self._frames.pop(page_id, None)
+        self._dirty.discard(page_id)
+        self.pagefile.free(page_id)
+
+    def read(self, page_id: int) -> bytes:
+        """Read a page through the cache."""
+        if page_id in self._frames:
+            self.stats.buffer_hits += 1
+            self._frames.move_to_end(page_id)
+            return bytes(self._frames[page_id])
+        data = self.pagefile.read_page(page_id)
+        self._admit(page_id, bytearray(data), dirty=False)
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Write a page through the cache (write-back)."""
+        if len(data) > self.pagefile.page_size:
+            # Let the page file raise its precise error immediately rather
+            # than at some far-away eviction time.
+            self.pagefile.write_page(page_id, data)
+            return
+        payload = bytearray(bytes(data).ljust(self.pagefile.page_size, b"\x00"))
+        if self.capacity == 0:
+            self.pagefile.write_page(page_id, payload)
+            return
+        if page_id in self._frames:
+            self._frames[page_id][:] = payload
+            self._frames.move_to_end(page_id)
+            self._dirty.add(page_id)
+        else:
+            self._admit(page_id, payload, dirty=True)
+
+    def flush(self) -> None:
+        """Write every dirty page back to the page file."""
+        for page_id in sorted(self._dirty):
+            self.pagefile.write_page(page_id, bytes(self._frames[page_id]))
+        self._dirty.clear()
+
+    def clear(self) -> None:
+        """Flush then empty the pool (simulates restarting with a cold cache)."""
+        self.flush()
+        self._frames.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages currently cached."""
+        return len(self._frames)
+
+    # ------------------------------------------------------------------
+    def _admit(self, page_id: int, payload: bytearray, dirty: bool) -> None:
+        if self.capacity == 0:
+            if dirty:
+                self.pagefile.write_page(page_id, bytes(payload))
+            return
+        while len(self._frames) >= self.capacity:
+            victim, victim_payload = self._frames.popitem(last=False)
+            if victim in self._dirty:
+                self.pagefile.write_page(victim, bytes(victim_payload))
+                self._dirty.discard(victim)
+        self._frames[page_id] = payload
+        if dirty:
+            self._dirty.add(page_id)

@@ -1,0 +1,24 @@
+"""Subsequence matching: the FRM94 ST-index.
+
+The paper's indexing method descends from two companion techniques:
+whole-sequence matching ([AFS93], reproduced in :mod:`repro.core`) and
+*fast subsequence matching* (Faloutsos, Ranganathan & Manolopoulos,
+SIGMOD 1994 — cited as [FRM94]).  This package reproduces the latter as
+an extension subsystem, sharing the R*-tree and DFT substrates:
+
+* :mod:`repro.subseq.window` — sliding-window DFT features, with an O(k)
+  incremental-update recurrence per step (and an FFT cross-check),
+* :mod:`repro.subseq.stindex` — the ST-index: each series becomes a
+  *trail* of feature points; trails are cut into sub-trails whose MBRs go
+  into one R*-tree; range queries for query length == window size, and
+  the multipiece ("PrefixSearch") reduction for longer queries.
+
+Example 1.2 of the paper ("the Euclidean distance between p and any
+subsequence of length four of s...") is exactly a subsequence query; see
+``tests/test_subseq.py``.
+"""
+
+from repro.subseq.stindex import STIndex, SubseqMatch
+from repro.subseq.window import sliding_features, sliding_windows
+
+__all__ = ["STIndex", "SubseqMatch", "sliding_features", "sliding_windows"]

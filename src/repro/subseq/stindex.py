@@ -1,0 +1,264 @@
+"""The ST-index: an R*-tree over sub-trail MBRs ([FRM94]).
+
+Indexing: every series is mapped to a *trail* — the curve its sliding
+windows trace through feature space.  Storing one point per offset would
+drown the tree, so consecutive trail points are grouped into *sub-trails*
+and only each sub-trail's MBR is inserted, tagged with (series id, offset
+range).  Two grouping policies are provided:
+
+* ``"fixed"`` — chunks of a constant number of offsets (FRM94's
+  I-fixed), and
+* ``"adaptive"`` — a greedy version of FRM94's I-adaptive: a sub-trail is
+  cut when admitting the next point would raise the marginal cost — the
+  MBR's margin per enclosed point — rather than lower it.
+
+Querying (Algorithm: range search):
+
+* query length == window ``w``: build the eps-ball MBR around the query's
+  feature point, collect intersecting sub-trails, then verify every
+  offset they cover against the raw series (early abandoning) — a
+  two-step filter-and-refine with no false dismissals, since the
+  truncated-spectrum distance lower-bounds the true window distance.
+* query length ``L > w`` (multipiece / "PrefixSearch"): split the query
+  into ``p = floor(L / w)`` disjoint pieces; if the whole match is within
+  ``eps``, some piece is within ``eps / sqrt(p)`` of its aligned window,
+  so the union of piece searches (with shifted offsets) is a candidate
+  superset; refine on the full length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.rtree.geometry import Rect
+from repro.rtree.rstar import RStarTree
+from repro.subseq.window import encode_rect, sliding_features
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class SubseqMatch:
+    """One verified subsequence match."""
+
+    series_id: int
+    offset: int
+    distance: float
+
+
+@dataclass
+class _SubTrail:
+    series_id: int
+    start: int  # first window offset covered
+    end: int  # last window offset covered (inclusive)
+
+
+class STIndex:
+    """Subsequence index over a collection of series.
+
+    Args:
+        window: window length ``w`` (the minimum query length).
+        k: DFT coefficients retained per window.
+        grouping: ``"adaptive"`` (default) or ``"fixed"``.
+        chunk: sub-trail size for the fixed policy (and the adaptive
+            policy's upper bound).
+        max_entries: R*-tree fanout.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        k: int = 3,
+        grouping: str = "adaptive",
+        chunk: int = 16,
+        max_entries: int = 32,
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if not 1 <= k <= window:
+            raise ValueError(f"k must be in [1, {window}], got {k}")
+        if grouping not in ("fixed", "adaptive"):
+            raise ValueError(
+                f"grouping must be 'fixed' or 'adaptive', got {grouping!r}"
+            )
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        self.window = window
+        self.k = k
+        self.grouping = grouping
+        self.chunk = chunk
+        self.dim = 2 * k
+        self.tree = RStarTree(self.dim, max_entries=max_entries)
+        self._series: list[np.ndarray] = []
+        self._subtrails: list[_SubTrail] = []
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+    def add_series(self, series: ArrayLike) -> int:
+        """Index a series; returns its id.  Series shorter than the window
+        are rejected."""
+        x = np.asarray(series, dtype=np.float64).copy()
+        if x.ndim != 1 or x.shape[0] < self.window:
+            raise ValueError(
+                f"series must be 1-D with length >= {self.window}, got {x.shape}"
+            )
+        series_id = len(self._series)
+        self._series.append(x)
+        points = encode_rect(sliding_features(x, self.window, self.k))
+        for start, end in self._group(points):
+            rect = Rect(
+                points[start : end + 1].min(axis=0),
+                points[start : end + 1].max(axis=0),
+            )
+            self._subtrails.append(_SubTrail(series_id, start, end))
+            self.tree.insert(rect, len(self._subtrails) - 1)
+        return series_id
+
+    def _group(self, points: np.ndarray) -> list[tuple[int, int]]:
+        m = points.shape[0]
+        if self.grouping == "fixed":
+            return [
+                (s, min(s + self.chunk - 1, m - 1)) for s in range(0, m, self.chunk)
+            ]
+        # Greedy adaptive: extend while the MBR margin per enclosed point
+        # stays roughly flat.  Smooth trails (consecutive windows overlap
+        # in w-1 values, so successive feature points are close) pack many
+        # offsets per MBR; a sharp trail turn raises the marginal cost and
+        # cuts the sub-trail.  The 1.3 growth factor and the minimum run of
+        # 4 keep smooth stock trails at ~chunk offsets per MBR instead of
+        # fragmenting on every small wiggle.
+        groups: list[tuple[int, int]] = []
+        start = 0
+        lo = points[0].copy()
+        hi = points[0].copy()
+        margin = 0.0
+        count = 1
+        for i in range(1, m):
+            new_lo = np.minimum(lo, points[i])
+            new_hi = np.maximum(hi, points[i])
+            new_margin = float(np.sum(new_hi - new_lo))
+            grown_cost = new_margin / (count + 1)
+            old_cost = margin / count if count else 0.0
+            if count >= self.chunk or (
+                count >= 4 and old_cost > 0 and grown_cost > 1.3 * old_cost
+            ):
+                groups.append((start, i - 1))
+                start = i
+                lo = points[i].copy()
+                hi = points[i].copy()
+                margin = 0.0
+                count = 1
+            else:
+                lo, hi = new_lo, new_hi
+                margin = new_margin
+                count += 1
+        groups.append((start, m - 1))
+        return groups
+
+    @property
+    def num_series(self) -> int:
+        return len(self._series)
+
+    @property
+    def num_subtrails(self) -> int:
+        return len(self._subtrails)
+
+    def series(self, series_id: int) -> np.ndarray:
+        """The raw series stored under ``series_id``."""
+        return self._series[series_id]
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def range_query(self, query: ArrayLike, eps: float) -> list[SubseqMatch]:
+        """All subsequences within ``eps`` of ``query``.
+
+        The query must be at least one window long; longer queries go
+        through the multipiece reduction.  Matches report the best offset
+        semantics of [FRM94]: every qualifying offset is returned.
+        """
+        q = np.asarray(query, dtype=np.float64)
+        if eps < 0:
+            raise ValueError(f"eps must be non-negative, got {eps}")
+        if q.ndim != 1 or q.shape[0] < self.window:
+            raise ValueError(
+                f"query must be 1-D with length >= {self.window}, got {q.shape}"
+            )
+        if q.shape[0] == self.window:
+            candidates = self._window_candidates(q, eps, shift=0)
+        else:
+            candidates = self._multipiece_candidates(q, eps)
+        return self._refine(q, eps, candidates)
+
+    def _window_candidates(
+        self, piece: np.ndarray, eps: float, shift: int
+    ) -> set[tuple[int, int]]:
+        """Candidate (series, query-start offset) pairs from one piece.
+
+        ``shift`` is the piece's offset inside the full query: a window
+        matching at data offset ``p`` implies the full query aligns at
+        ``p - shift``.
+        """
+        feat = encode_rect(sliding_features(piece, self.window, self.k))[0]
+        # Pad by a numerical tolerance: the trail features come from the
+        # O(k) incremental recurrence, the query's from a fresh FFT, and
+        # their last-ulp disagreement must not dismiss an exact match at
+        # eps == 0.  Padding only widens the candidate set (Lemma 1 safe).
+        pad = 1e-7 * (1.0 + float(np.max(np.abs(feat))))
+        qrect = Rect(feat - eps - pad, feat + eps + pad)
+        out: set[tuple[int, int]] = set()
+        for entry in self.tree.search(qrect):
+            sub = self._subtrails[entry.child]
+            for offset in range(sub.start, sub.end + 1):
+                aligned = offset - shift
+                if aligned >= 0:
+                    out.add((sub.series_id, aligned))
+        return out
+
+    def _multipiece_candidates(
+        self, q: np.ndarray, eps: float
+    ) -> set[tuple[int, int]]:
+        pieces = q.shape[0] // self.window
+        piece_eps = eps / math.sqrt(pieces)
+        out: set[tuple[int, int]] = set()
+        for j in range(pieces):
+            shift = j * self.window
+            piece = q[shift : shift + self.window]
+            out |= self._window_candidates(piece, piece_eps, shift)
+        return out
+
+    def _refine(
+        self, q: np.ndarray, eps: float, candidates: set[tuple[int, int]]
+    ) -> list[SubseqMatch]:
+        from repro.core.similarity import euclidean_early_abandon
+
+        L = q.shape[0]
+        out: list[SubseqMatch] = []
+        for series_id, offset in sorted(candidates):
+            x = self._series[series_id]
+            if offset + L > x.shape[0]:
+                continue
+            d = euclidean_early_abandon(x[offset : offset + L], q, eps)
+            if d is not None:
+                out.append(SubseqMatch(series_id, offset, d))
+        out.sort(key=lambda m: (m.distance, m.series_id, m.offset))
+        return out
+
+    # ------------------------------------------------------------------
+    def brute_force(self, query: ArrayLike, eps: float) -> list[SubseqMatch]:
+        """Reference scan over every offset of every series (for tests)."""
+        q = np.asarray(query, dtype=np.float64)
+        L = q.shape[0]
+        out: list[SubseqMatch] = []
+        for sid, x in enumerate(self._series):
+            for offset in range(0, x.shape[0] - L + 1):
+                d = float(np.linalg.norm(x[offset : offset + L] - q))
+                if d <= eps:
+                    out.append(SubseqMatch(sid, offset, d))
+        out.sort(key=lambda m: (m.distance, m.series_id, m.offset))
+        return out

@@ -1,0 +1,85 @@
+"""Sliding-window DFT features for subsequence matching.
+
+For a series ``x`` of length ``n`` and a window of length ``w``, every
+offset ``p`` in ``0..n-w`` yields the unitary DFT of ``x[p:p+w]``; its
+first ``k`` coefficients are the window's feature point.  Computing each
+window independently costs ``O(w log w)``; the classic trick ([FRM94]
+§4.2) updates all ``k`` retained coefficients in ``O(k)`` per step:
+
+    ``X_f(p+1) = e^{j 2 pi f / w} * (X_f(p) + (x[p+w] - x[p]) / sqrt(w))``
+
+Both paths are implemented; the incremental one is the default and the
+FFT path cross-checks it in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Union, Sequence
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def sliding_windows(series: ArrayLike, w: int) -> np.ndarray:
+    """All length-``w`` windows of ``series`` as an ``(n-w+1, w)`` matrix."""
+    x = np.asarray(series, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"series must be 1-D, got shape {x.shape}")
+    n = x.shape[0]
+    if not 1 <= w <= n:
+        raise ValueError(f"window must be in [1, {n}], got {w}")
+    return np.lib.stride_tricks.sliding_window_view(x, w).copy()
+
+
+def sliding_features(
+    series: ArrayLike, w: int, k: int, method: str = "incremental"
+) -> np.ndarray:
+    """First ``k`` unitary DFT coefficients of every window.
+
+    Args:
+        series: the time series.
+        w: window (and minimum query) length.
+        k: retained coefficients per window.
+        method: ``"incremental"`` (O(k) per step) or ``"fft"``
+            (per-window FFT; the reference path).
+
+    Returns:
+        complex array of shape ``(n - w + 1, k)``.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    n = x.shape[0]
+    if not 1 <= w <= n:
+        raise ValueError(f"window must be in [1, {n}], got {w}")
+    if not 1 <= k <= w:
+        raise ValueError(f"k must be in [1, {w}], got {k}")
+    if method == "fft":
+        return np.fft.fft(sliding_windows(x, w), axis=1)[:, :k] / np.sqrt(w)
+    if method != "incremental":
+        raise ValueError(f"method must be 'incremental' or 'fft', got {method!r}")
+    num = n - w + 1
+    out = np.empty((num, k), dtype=np.complex128)
+    current = np.fft.fft(x[:w])[:k] / np.sqrt(w)
+    out[0] = current
+    if num == 1:
+        return out
+    twiddle = np.exp(2j * np.pi * np.arange(k) / w)
+    scale = 1.0 / np.sqrt(w)
+    for p in range(1, num):
+        delta = (x[p + w - 1] - x[p - 1]) * scale
+        current = twiddle * (current + delta)
+        out[p] = current
+    return out
+
+
+def encode_rect(features: np.ndarray) -> np.ndarray:
+    """Interleave complex window features into real index coordinates.
+
+    Coefficient ``i`` occupies dimensions ``2i`` (real) and ``2i+1``
+    (imaginary), matching ``S_rect`` of :mod:`repro.core.features`.
+    """
+    m, k = features.shape
+    out = np.empty((m, 2 * k))
+    out[:, 0::2] = features.real
+    out[:, 1::2] = features.imag
+    return out

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SequenceRelation, make_stock_universe
+from repro.data.synthetic import random_walks
+from repro.rtree.node import MemoryNodeStore, PagedNodeStore
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def stock_relation() -> SequenceRelation:
+    """A small, session-cached stock universe (150 series of length 128)."""
+    return make_stock_universe(count=150, length=128, seed=7)
+
+
+@pytest.fixture(scope="session")
+def walk_matrix() -> np.ndarray:
+    """200 paper-style random walks of length 64."""
+    return random_walks(200, 64, seed=99)
+
+
+def make_store(kind: str, dim: int):
+    """Instantiate a node store by name ('memory' or 'paged')."""
+    if kind == "memory":
+        return MemoryNodeStore()
+    return PagedNodeStore(dim, buffer_capacity=64)
+
+
+@pytest.fixture(params=["memory", "paged"])
+def store_kind(request) -> str:
+    """Parametrises tree tests over both storage backends."""
+    return request.param

@@ -1,0 +1,147 @@
+"""Tests for the DFT toolkit: Eqs. 1-8 and the reference cross-check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dft import (
+    circular_convolve,
+    dft,
+    distance,
+    energy,
+    energy_concentration,
+    idft,
+    power_spectrum,
+)
+from repro.dft.reference import (
+    circular_convolve_reference,
+    dft_reference,
+    idft_reference,
+)
+
+signals = st.lists(
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    min_size=1,
+    max_size=32,
+)
+
+
+class TestAgainstReference:
+    @settings(max_examples=40, deadline=None)
+    @given(signals)
+    def test_dft_matches_literal_formula(self, x):
+        assert np.allclose(dft(x), dft_reference(x), atol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(signals)
+    def test_idft_matches_literal_formula(self, x):
+        assert np.allclose(idft(x), idft_reference(x), atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(signals)
+    def test_convolution_matches_literal_formula(self, x):
+        y = list(reversed(x))
+        assert np.allclose(
+            circular_convolve(x, y), circular_convolve_reference(x, y), atol=1e-5
+        )
+
+
+class TestUnitaryProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(signals)
+    def test_roundtrip(self, x):
+        assert np.allclose(idft(dft(x)).real, x, atol=1e-8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(signals)
+    def test_parseval(self, x):
+        """Eq. 7: E(x) == E(X) under the unitary convention."""
+        assert energy(x) == pytest.approx(energy(dft(x)), abs=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(signals, signals)
+    def test_distance_preserved(self, x, y):
+        """Eq. 8: D(x, y) == D(X, Y)."""
+        n = min(len(x), len(y))
+        x, y = x[:n], y[:n]
+        assert distance(x, y) == pytest.approx(
+            distance(dft(x), dft(y)), abs=1e-6
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(signals, st.floats(-5, 5), st.floats(-5, 5))
+    def test_linearity(self, x, a, b):
+        """Eq. 5: DFT(a x + b y) == a X + b Y."""
+        y = np.arange(len(x), dtype=np.float64)
+        lhs = dft(a * np.asarray(x) + b * y)
+        rhs = a * dft(x) + b * dft(y)
+        assert np.allclose(lhs, rhs, atol=1e-6)
+
+    def test_dc_coefficient_is_scaled_mean(self):
+        x = np.array([2.0, 2.0, 2.0, 2.0])
+        X = dft(x)
+        assert X[0] == pytest.approx(2.0 * np.sqrt(4))
+        assert np.allclose(X[1:], 0.0, atol=1e-12)
+
+    def test_convolution_multiplication_property(self):
+        """Eq. 6 with the unitary bookkeeping: DFT(conv) = sqrt(n) X*Y."""
+        rng = np.random.default_rng(3)
+        x, y = rng.normal(size=16), rng.normal(size=16)
+        lhs = dft(circular_convolve(x, y))
+        rhs = np.sqrt(16) * dft(x) * dft(y)
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dft([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            dft(np.zeros((2, 2)))
+
+    def test_distance_length_mismatch(self):
+        with pytest.raises(ValueError):
+            distance([1.0, 2.0], [1.0])
+
+    def test_convolution_length_mismatch(self):
+        with pytest.raises(ValueError):
+            circular_convolve([1.0, 2.0], [1.0])
+
+
+class TestEnergyConcentration:
+    def test_random_walks_concentrate_low_frequencies(self):
+        """The premise of the k-index: for random walks, the first few
+        coefficients carry most of the energy (after mean removal the
+        statement applies to the fluctuating part)."""
+        from repro.data.synthetic import random_walks
+
+        walks = random_walks(50, 128, seed=1)
+        fractions = []
+        for w in walks:
+            centered = w - w.mean()
+            fractions.append(energy_concentration(centered, 8))
+        # One-sided counting: the conjugate mirror coefficients hold a
+        # matching share, so ~0.44 one-sided means ~0.88 of total energy
+        # lives in the 7 lowest non-DC frequencies.
+        assert np.mean(fractions) > 0.4
+        assert 2 * np.mean(fractions) > 0.8
+
+    def test_full_k_is_total_energy(self):
+        x = np.array([1.0, -2.0, 3.0, 0.5])
+        assert energy_concentration(x, 4) == pytest.approx(1.0)
+
+    def test_zero_signal(self):
+        assert energy_concentration(np.zeros(8), 2) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            energy_concentration(np.ones(4), 0)
+        with pytest.raises(ValueError):
+            energy_concentration(np.ones(4), 5)
+
+    def test_power_spectrum_sums_to_energy(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert float(np.sum(power_spectrum(x))) == pytest.approx(energy(x))

@@ -1,0 +1,260 @@
+"""Integration tests: SimilarityEngine against brute force, all query types."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SimilarityEngine
+from repro.core.features import NormalFormSpace, PlainDFTSpace
+from repro.core.transforms import identity, moving_average, reverse, scale, time_warp
+from repro.data import SequenceRelation
+from repro.data.synthetic import random_walks
+from repro.rtree.guttman import GuttmanRTree
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return SequenceRelation.from_matrix(random_walks(180, 64, seed=21))
+
+
+@pytest.fixture(scope="module")
+def engine(relation):
+    return SimilarityEngine(relation, space=NormalFormSpace(64, k=2, coord="polar"))
+
+
+def brute_range(engine, q, eps, t=None):
+    Q = engine.query_spectrum(q)
+    out = []
+    for rid in range(len(engine.relation)):
+        d = engine.space.ground_distance(engine.ground_spectra[rid], Q, t)
+        if d <= eps:
+            out.append((rid, d))
+    return sorted(out, key=lambda m: (m[1], m[0]))
+
+
+class TestRangeQueries:
+    @pytest.mark.parametrize("eps", [0.5, 2.0, 5.0, 10.0])
+    def test_matches_brute_force_no_transform(self, relation, engine, eps):
+        q = relation.get(17)
+        got = engine.range_query(q, eps)
+        want = brute_range(engine, q, eps)
+        assert [(r, round(d, 8)) for r, d in got] == [
+            (r, round(d, 8)) for r, d in want
+        ]
+
+    @pytest.mark.parametrize(
+        "make_t",
+        [
+            lambda n: identity(n),
+            lambda n: moving_average(n, 10),
+            lambda n: reverse(n),
+            lambda n: scale(n, 2.0),
+            lambda n: time_warp(n, 2),
+            lambda n: moving_average(n, 5).power(2),
+        ],
+        ids=["identity", "mavg10", "reverse", "scale2", "warp2", "mavg5x2"],
+    )
+    def test_matches_brute_force_with_transform(self, relation, engine, make_t):
+        t = make_t(64)
+        q = relation.get(3)
+        got = engine.range_query(q, 4.0, transformation=t)
+        want = brute_range(engine, q, 4.0, t)
+        assert sorted(r for r, _ in got) == sorted(r for r, _ in want)
+
+    def test_query_not_in_relation(self, relation, engine, rng):
+        q = np.cumsum(rng.normal(size=64)) + 50
+        got = engine.range_query(q, 3.0)
+        want = brute_range(engine, q, 3.0)
+        assert sorted(r for r, _ in got) == sorted(r for r, _ in want)
+
+    def test_self_match_at_eps_zero(self, relation, engine):
+        q = relation.get(44)
+        got = engine.range_query(q, 0.0)
+        assert (44, 0.0) in [(r, round(d, 9)) for r, d in got]
+
+    def test_results_sorted_by_distance(self, relation, engine):
+        got = engine.range_query(relation.get(9), 8.0)
+        dists = [d for _, d in got]
+        assert dists == sorted(dists)
+
+    def test_aux_bounds_restrict_answers(self, relation):
+        """Mean bounds emulate [GK95] shift constraints."""
+        engine = SimilarityEngine(relation)
+        q = relation.get(0)
+        free = engine.range_query(q, 6.0)
+        mean_lo = float(np.mean(relation.get(0))) - 1.0
+        mean_hi = float(np.mean(relation.get(0))) + 1.0
+        bounded = engine.range_query(
+            q, 6.0, aux_bounds=[(mean_lo, mean_hi), (-1e18, 1e18)]
+        )
+        assert set(r for r, _ in bounded) <= set(r for r, _ in free)
+        means = [float(np.mean(relation.get(r))) for r, _ in bounded]
+        assert all(mean_lo - 1e-9 <= m <= mean_hi + 1e-9 for m in means)
+
+
+class TestKnnQueries:
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_matches_brute_force(self, relation, engine, k):
+        q = relation.get(60)
+        got = engine.knn_query(q, k)
+        Q = engine.query_spectrum(q)
+        dists = sorted(
+            (engine.space.ground_distance(engine.ground_spectra[rid], Q), rid)
+            for rid in range(len(relation))
+        )
+        want_d = [d for d, _ in dists[:k]]
+        assert np.allclose([d for _, d in got], want_d, atol=1e-9)
+
+    def test_with_transformation(self, relation, engine):
+        t = moving_average(64, 10)
+        q = relation.get(2)
+        got = engine.knn_query(q, 7, transformation=t)
+        Q = engine.query_spectrum(q)
+        dists = sorted(
+            (engine.space.ground_distance(engine.ground_spectra[rid], Q, t), rid)
+            for rid in range(len(relation))
+        )
+        assert np.allclose([d for _, d in got], [d for d, _ in dists[:7]], atol=1e-9)
+
+    def test_k_exceeding_relation(self, relation, engine):
+        got = engine.knn_query(relation.get(0), len(relation) + 50)
+        assert len(got) == len(relation)
+
+    def test_invalid_k(self, relation, engine):
+        with pytest.raises(ValueError):
+            engine.knn_query(relation.get(0), 0)
+
+
+class TestAllPairs:
+    @pytest.fixture(scope="class")
+    def small_engine(self):
+        rel = SequenceRelation.from_matrix(random_walks(60, 64, seed=5))
+        return SimilarityEngine(rel)
+
+    def brute_pairs(self, engine, eps, t):
+        out = []
+        m = len(engine.relation)
+        for i in range(m):
+            ti = (
+                engine.ground_spectra[i]
+                if t is None
+                else t.apply_spectrum(engine.ground_spectra[i])
+            )
+            for j in range(i + 1, m):
+                tj = (
+                    engine.ground_spectra[j]
+                    if t is None
+                    else t.apply_spectrum(engine.ground_spectra[j])
+                )
+                d = float(np.linalg.norm(ti - tj))
+                if d <= eps:
+                    out.append((i, j))
+        return sorted(out)
+
+    @pytest.mark.parametrize("method", ["scan", "scan-abandon", "index", "tree-join"])
+    @pytest.mark.parametrize("use_t", [False, True])
+    def test_all_methods_agree_with_brute_force(self, small_engine, method, use_t):
+        t = moving_average(64, 10) if use_t else None
+        eps = 1.5
+        got = sorted((i, j) for i, j, _ in small_engine.all_pairs(eps, t, method))
+        assert got == self.brute_pairs(small_engine, eps, t)
+
+    def test_unknown_method_rejected(self, small_engine):
+        with pytest.raises(ValueError):
+            small_engine.all_pairs(1.0, None, method="quantum")
+
+    def test_transformed_join_differs_from_plain(self, small_engine):
+        """Paper's c vs d: smoothing merges more pairs."""
+        t = moving_average(64, 20)
+        plain = small_engine.all_pairs(2.0, None, "index")
+        smoothed = small_engine.all_pairs(2.0, t, "index")
+        assert len(smoothed) >= len(plain)
+
+
+class TestEngineConfigurations:
+    def test_paged_and_memory_engines_agree(self, relation):
+        q = relation.get(8)
+        mem = SimilarityEngine(relation, paged=False)
+        paged = SimilarityEngine(relation, paged=True, buffer_capacity=4)
+        a = mem.range_query(q, 5.0)
+        b = paged.range_query(q, 5.0)
+        assert [(r, round(d, 9)) for r, d in a] == [(r, round(d, 9)) for r, d in b]
+        assert paged.stats.disk_accesses > 0  # it really did paged I/O
+
+    def test_bulk_and_inserted_engines_agree(self, relation):
+        q = relation.get(8)
+        bulk = SimilarityEngine(relation, bulk_load=True)
+        ins = SimilarityEngine(relation, bulk_load=False)
+        ins.tree.validate()
+        assert sorted(r for r, _ in bulk.range_query(q, 5.0)) == sorted(
+            r for r, _ in ins.range_query(q, 5.0)
+        )
+
+    def test_guttman_engine_agrees(self, relation):
+        q = relation.get(8)
+        rstar = SimilarityEngine(relation)
+        gutt = SimilarityEngine(relation, index_cls=GuttmanRTree, bulk_load=False)
+        assert sorted(r for r, _ in rstar.range_query(q, 5.0)) == sorted(
+            r for r, _ in gutt.range_query(q, 5.0)
+        )
+
+    def test_rect_space_engine(self, relation):
+        eng = SimilarityEngine(relation, space=PlainDFTSpace(64, 4, coord="rect"))
+        q = relation.get(8)
+        got = eng.range_query(q, 10.0)
+        want = brute_range(eng, q, 10.0)
+        assert sorted(r for r, _ in got) == sorted(r for r, _ in want)
+
+    def test_space_length_mismatch_rejected(self, relation):
+        with pytest.raises(ValueError):
+            SimilarityEngine(relation, space=NormalFormSpace(32, 2))
+
+    def test_empty_relation(self):
+        rel = SequenceRelation(16)
+        eng = SimilarityEngine(rel)
+        assert eng.range_query(np.zeros(16), 1.0) == []
+        assert eng.knn_query(np.zeros(16), 3) == []
+
+    def test_stats_track_candidates(self, relation):
+        eng = SimilarityEngine(relation)
+        eng.stats.reset()
+        eng.range_query(relation.get(0), 5.0)
+        assert eng.stats.candidate_count >= 0
+        assert eng.stats.distance_computations == eng.stats.candidate_count
+
+    def test_distance_helper(self, relation, engine):
+        t = moving_average(64, 10)
+        q = relation.get(10)
+        d = engine.distance(3, q, t)
+        Q = engine.query_spectrum(q)
+        want = engine.space.ground_distance(engine.ground_spectra[3], Q, t)
+        assert d == pytest.approx(want)
+
+    def test_repr_mentions_parts(self, engine):
+        text = repr(engine)
+        assert "SimilarityEngine" in text and "RStarTree" in text
+
+
+class TestFilterQuality:
+    def test_candidates_superset_of_answers(self, relation, engine):
+        """Lemma 1 at the engine level: every true answer is a candidate."""
+        engine.stats.reset()
+        q = relation.get(31)
+        got = engine.range_query(q, 6.0)
+        assert engine.stats.candidate_count >= len(got)
+
+    def test_identity_transform_same_answers_as_none(self, relation, engine):
+        q = relation.get(12)
+        a = engine.range_query(q, 5.0)
+        b = engine.range_query(q, 5.0, transformation=identity(64))
+        assert [(r, round(d, 9)) for r, d in a] == [(r, round(d, 9)) for r, d in b]
+
+    def test_identity_transform_same_node_reads(self, relation):
+        """The paper's Figures 8/9 claim: identical disk accesses."""
+        eng = SimilarityEngine(relation, paged=True, buffer_capacity=0)
+        q = relation.get(12)
+        eng.stats.reset()
+        eng.range_query(q, 5.0)
+        plain_reads = eng.stats.node_reads
+        eng.stats.reset()
+        eng.range_query(q, 5.0, transformation=identity(64))
+        assert eng.stats.node_reads == plain_reads

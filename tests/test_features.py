@@ -1,0 +1,358 @@
+"""Tests for the feature spaces: layouts, Fig. 7, Theorems 2-3, bounds."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import (
+    AUX_RANGE,
+    NormalFormSpace,
+    PlainDFTSpace,
+    UnsafeTransformationError,
+)
+from repro.core.normal_form import normal_form
+from repro.core.transforms import (
+    moving_average,
+    reverse,
+    scale,
+    shift,
+    time_warp,
+)
+from repro.dft import dft
+
+series32 = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=32,
+    max_size=32,
+)
+
+
+def spaces(n=32, k=3):
+    return [
+        PlainDFTSpace(n, k, coord="rect"),
+        PlainDFTSpace(n, k, coord="polar"),
+        NormalFormSpace(n, k, coord="rect"),
+        NormalFormSpace(n, k, coord="polar"),
+    ]
+
+
+class TestLayout:
+    def test_plain_dims(self):
+        s = PlainDFTSpace(32, 4, coord="rect")
+        assert s.dim == 8
+        assert s.freqs == [0, 1, 2, 3]
+        assert s.circular_mask is None
+
+    def test_normal_form_dims(self):
+        s = NormalFormSpace(128, 2, coord="polar")
+        assert s.dim == 6  # the paper's exact index layout
+        assert s.freqs == [1, 2]
+        mask = s.circular_mask
+        assert list(mask) == [False, False, False, True, False, True]
+
+    def test_invalid_coord(self):
+        with pytest.raises(ValueError):
+            PlainDFTSpace(16, 2, coord="cylindrical")
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            PlainDFTSpace(16, 0)
+        with pytest.raises(ValueError):
+            NormalFormSpace(16, 0)
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            PlainDFTSpace(4, 5)
+
+    def test_extract_validates_length(self):
+        s = PlainDFTSpace(16, 2)
+        with pytest.raises(ValueError):
+            s.extract(np.zeros(15))
+
+
+class TestExtraction:
+    def test_rect_encoding_roundtrip(self, rng):
+        s = PlainDFTSpace(32, 4, coord="rect")
+        c = rng.normal(size=4) + 1j * rng.normal(size=4)
+        assert np.allclose(s.decode_coefficients(s.encode_coefficients(c)), c)
+
+    def test_polar_encoding_roundtrip(self, rng):
+        s = PlainDFTSpace(32, 4, coord="polar")
+        c = rng.normal(size=4) + 1j * rng.normal(size=4)
+        assert np.allclose(s.decode_coefficients(s.encode_coefficients(c)), c)
+
+    def test_plain_point_is_truncated_spectrum(self, rng):
+        x = rng.normal(size=32)
+        s = PlainDFTSpace(32, 3, coord="rect")
+        p = s.extract(x)
+        X = dft(x)
+        assert np.allclose(p[0::2], X[:3].real)
+        assert np.allclose(p[1::2], X[:3].imag)
+
+    def test_normal_form_point_layout(self, rng):
+        x = rng.normal(5, 2, size=64)
+        s = NormalFormSpace(64, 2, coord="polar")
+        p = s.extract(x)
+        assert p[0] == pytest.approx(float(np.mean(x)))
+        assert p[1] == pytest.approx(float(np.std(x)))
+        Z = dft(normal_form(x))
+        assert p[2] == pytest.approx(abs(Z[1]))
+        assert p[3] == pytest.approx(float(np.angle(Z[1])))
+
+    def test_extract_many_matches_extract(self, rng):
+        xs = rng.normal(size=(5, 32))
+        for s in spaces():
+            many = s.extract_many(xs)
+            for i in range(5):
+                assert np.allclose(many[i], s.extract(xs[i]))
+
+
+class TestSearchRect:
+    """Fig. 7: the search rectangle must contain every point whose true
+    distance to the query is within eps (the superset property)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(series32, series32, st.floats(0.1, 20.0))
+    def test_epsilon_ball_containment(self, q_list, x_list, eps):
+        q = np.asarray(q_list) + np.linspace(0, 1, 32)  # avoid constant
+        x = np.asarray(x_list) + np.linspace(1, 0, 32)
+        for space in spaces():
+            d = float(
+                np.linalg.norm(space.series_spectrum(x) - space.series_spectrum(q))
+            )
+            if d > eps:
+                continue
+            rect = space.search_rect(space.extract(q), eps)
+            from repro.rtree.geometry import intersects_circular, Rect
+
+            point_rect = Rect.from_point(space.extract(x))
+            assert intersects_circular(rect, point_rect, space.circular_mask), (
+                type(space).__name__,
+                space.coord,
+                d,
+                eps,
+            )
+
+    def test_polar_angle_window_formula(self):
+        """The angle half-width is asin(eps/m), magnitudes m-eps..m+eps."""
+        s = PlainDFTSpace(32, 1, coord="polar")
+        point = np.array([4.0, 0.5])
+        rect = s.search_rect(point, 1.0)
+        assert rect.lows[0] == pytest.approx(3.0)
+        assert rect.highs[0] == pytest.approx(5.0)
+        half = math.asin(1.0 / 4.0)
+        assert rect.lows[1] == pytest.approx(0.5 - half)
+        assert rect.highs[1] == pytest.approx(0.5 + half)
+
+    def test_polar_small_magnitude_gives_full_circle(self):
+        s = PlainDFTSpace(32, 1, coord="polar")
+        rect = s.search_rect(np.array([0.5, 1.0]), 1.0)
+        assert rect.lows[1] == pytest.approx(-math.pi)
+        assert rect.highs[1] == pytest.approx(math.pi)
+        assert rect.lows[0] == 0.0  # magnitudes clamped at zero
+
+    def test_aux_dims_unbounded_by_default(self, rng):
+        s = NormalFormSpace(32, 2, coord="polar")
+        rect = s.search_rect(s.extract(rng.normal(size=32)), 1.0)
+        assert rect.lows[0] == -AUX_RANGE
+        assert rect.highs[1] == AUX_RANGE
+
+    def test_aux_bounds_respected(self, rng):
+        s = NormalFormSpace(32, 2, coord="polar")
+        rect = s.search_rect(
+            s.extract(rng.normal(size=32)), 1.0, aux_bounds=[(0.0, 5.0), (1.0, 2.0)]
+        )
+        assert rect.lows[0] == 0.0 and rect.highs[0] == 5.0
+        assert rect.lows[1] == 1.0 and rect.highs[1] == 2.0
+
+    def test_aux_bounds_wrong_count(self, rng):
+        s = NormalFormSpace(32, 2)
+        with pytest.raises(ValueError):
+            s.search_rect(s.extract(rng.normal(size=32)), 1.0, aux_bounds=[(0, 1)])
+
+    def test_negative_eps_rejected(self, rng):
+        s = PlainDFTSpace(32, 2)
+        with pytest.raises(ValueError):
+            s.search_rect(s.extract(rng.normal(size=32)), -1.0)
+
+    def test_symmetry_tightens_rect(self, rng):
+        """exploit_symmetry shrinks per-coefficient windows by sqrt(2)."""
+        x = rng.normal(size=32)
+        plain = PlainDFTSpace(32, 3, coord="rect")
+        tight = PlainDFTSpace(32, 3, coord="rect", exploit_symmetry=True)
+        r1 = plain.search_rect(plain.extract(x), 2.0)
+        r2 = tight.search_rect(tight.extract(x), 2.0)
+        # f=0 dims identical; f=1,2 dims narrower by sqrt(2).
+        assert r2.extents[0] == pytest.approx(r1.extents[0])
+        assert r2.extents[2] == pytest.approx(r1.extents[2] / math.sqrt(2))
+
+
+class TestExpandRect:
+    @settings(max_examples=25, deadline=None)
+    @given(series32, series32, st.floats(0.1, 10.0))
+    def test_expansion_covers_epsilon_neighbours(self, a_list, b_list, eps):
+        """If D(x, y) <= eps then y's point is inside expand(point-rect of x)."""
+        from repro.rtree.geometry import Rect, intersects_circular
+
+        x = np.asarray(a_list) + np.linspace(0, 2, 32)
+        y = np.asarray(b_list) + np.linspace(2, 0, 32)
+        for space in spaces():
+            d = float(
+                np.linalg.norm(space.series_spectrum(x) - space.series_spectrum(y))
+            )
+            if d > eps:
+                continue
+            grown = space.expand_rect(Rect.from_point(space.extract(x)), eps)
+            py = Rect.from_point(space.extract(y))
+            assert intersects_circular(grown, py, space.circular_mask)
+
+    def test_negative_eps_rejected(self, rng):
+        s = PlainDFTSpace(32, 2)
+        from repro.rtree.geometry import Rect
+
+        with pytest.raises(ValueError):
+            s.expand_rect(Rect.from_point(s.extract(rng.normal(size=32))), -0.5)
+
+
+class TestAffineMaps:
+    """Theorems 2 and 3: the affine map on index points must agree with
+    transforming the series and re-extracting."""
+
+    @pytest.mark.parametrize(
+        "make_t",
+        [
+            lambda n: scale(n, 2.5),
+            lambda n: scale(n, -1.5),
+            lambda n: shift(n, 3.0),
+            lambda n: reverse(n),
+        ],
+        ids=["scale", "negscale", "shift", "reverse"],
+    )
+    def test_rect_space_theorem2(self, rng, make_t):
+        n = 32
+        space = PlainDFTSpace(n, 3, coord="rect")
+        t = make_t(n)
+        amap = space.affine_map(t)
+        x = rng.normal(size=n)
+        mapped = amap.apply_point(space.extract(x))
+        direct = space.point_from_spectrum(t.apply_spectrum(dft(x)))
+        assert np.allclose(mapped, direct, atol=1e-8)
+
+    @pytest.mark.parametrize(
+        "make_t",
+        [
+            lambda n: moving_average(n, 5),
+            lambda n: scale(n, 2.0),
+            lambda n: reverse(n),
+            lambda n: time_warp(n, 2),
+        ],
+        ids=["mavg", "scale", "reverse", "warp"],
+    )
+    def test_polar_space_theorem3(self, rng, make_t):
+        n = 32
+        space = PlainDFTSpace(n, 3, coord="polar")
+        t = make_t(n)
+        amap = space.affine_map(t)
+        x = rng.normal(size=n)
+        mapped = amap.apply_point(space.extract(x))
+        direct = space.point_from_spectrum(t.apply_spectrum(dft(x)))
+        # Magnitudes must agree exactly; angles up to 2*pi wrap.
+        assert np.allclose(mapped[0::2], direct[0::2], atol=1e-8)
+        dtheta = (mapped[1::2] - direct[1::2]) % (2 * math.pi)
+        dtheta = np.minimum(dtheta, 2 * math.pi - dtheta)
+        # Skip angle comparison where the coefficient vanished.
+        nonzero = direct[0::2] > 1e-9
+        assert np.allclose(dtheta[nonzero], 0.0, atol=1e-6)
+
+    def test_complex_stretch_unsafe_in_rect(self):
+        space = PlainDFTSpace(16, 2, coord="rect")
+        with pytest.raises(UnsafeTransformationError):
+            space.affine_map(moving_average(16, 3))
+
+    def test_translation_unsafe_in_polar(self):
+        space = PlainDFTSpace(16, 2, coord="polar")
+        with pytest.raises(UnsafeTransformationError):
+            space.affine_map(shift(16, 1.0))
+
+    def test_length_mismatch_rejected(self):
+        space = PlainDFTSpace(16, 2)
+        with pytest.raises(ValueError):
+            space.affine_map(scale(8, 2.0))
+
+    def test_normal_form_aux_maps(self):
+        space = NormalFormSpace(16, 2, coord="rect")
+        amap = space.affine_map(shift(16, 5.0))
+        # mean dim shifts by 5, std dim unchanged.
+        assert amap.scale[0] == 1.0 and amap.offset[0] == 5.0
+        assert amap.scale[1] == 1.0 and amap.offset[1] == 0.0
+
+    def test_zero_coefficient_pins_angle(self):
+        """When a_f == 0 the angle dimension is pinned (no false dismissal
+        through an arbitrary angle)."""
+        n = 16
+        space = PlainDFTSpace(n, 5, coord="polar")
+        t = moving_average(n, 4)  # FFT of boxcar has exact zeros at f=4,8,12
+        assert abs(t.a[4]) < 1e-12
+        amap = space.affine_map(t)
+        base = 2 * 4  # coefficient f=4 is the 5th retained pair
+        assert amap.scale[base] == 0.0
+        assert amap.scale[base + 1] == 0.0
+        assert amap.offset[base + 1] == 0.0
+
+
+class TestLowerBounds:
+    @settings(max_examples=40, deadline=None)
+    @given(series32, series32)
+    def test_point_dist_lower_bounds_true_distance(self, a_list, b_list):
+        """Lemma 1's inequality in feature coordinates, both spaces."""
+        x = np.asarray(a_list) + np.linspace(0, 1, 32)
+        y = np.asarray(b_list) + np.linspace(1, 0, 32)
+        for space in spaces():
+            true = float(
+                np.linalg.norm(space.series_spectrum(x) - space.series_spectrum(y))
+            )
+            lb = space.point_dist(space.extract(x), space.extract(y))
+            assert lb <= true + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(series32, series32)
+    def test_rect_mindist_bounds_point_dist(self, a_list, b_list):
+        """mindist(rect, q) <= point_dist(p, q) for any p in rect."""
+        from repro.rtree.geometry import Rect
+
+        x = np.asarray(a_list) + np.linspace(0, 1, 32)
+        y = np.asarray(b_list) + np.linspace(1, 0, 32)
+        for space in spaces():
+            px, py = space.extract(x), space.extract(y)
+            rect = Rect.from_point(px)
+            assert space.rect_mindist(rect, py) <= space.point_dist(px, py) + 1e-6
+
+    def test_rect_mindist_wider_box(self, rng):
+        """For a genuine box containing the point, mindist still bounds."""
+        from repro.rtree.geometry import Rect
+
+        for space in spaces():
+            x = rng.normal(size=32)
+            y = rng.normal(size=32)
+            px, py = space.extract(x), space.extract(y)
+            rect = Rect(px - 0.3, px + 0.3)
+            assert space.rect_mindist(rect, py) <= space.point_dist(px, py) + 1e-9
+
+    def test_point_dist_rect_equals_euclidean_on_coeff_dims(self, rng):
+        space = PlainDFTSpace(32, 3, coord="rect")
+        x, y = rng.normal(size=32), rng.normal(size=32)
+        px, py = space.extract(x), space.extract(y)
+        assert space.point_dist(px, py) == pytest.approx(
+            float(np.linalg.norm(px - py))
+        )
+
+    def test_polar_point_dist_equals_complex_distance(self, rng):
+        space = PlainDFTSpace(32, 3, coord="polar")
+        x, y = rng.normal(size=32), rng.normal(size=32)
+        cx, cy = dft(x)[:3], dft(y)[:3]
+        want = float(np.linalg.norm(cx - cy))
+        got = space.point_dist(space.extract(x), space.extract(y))
+        assert got == pytest.approx(want, abs=1e-9)

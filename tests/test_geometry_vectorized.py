@@ -1,0 +1,89 @@
+"""The vectorised intersection path must agree with the scalar one.
+
+``TransformedIndexView.search`` tests whole nodes at once through
+:func:`repro.rtree.geometry.intersects_circular_many`; the scalar
+:func:`intersects_circular` is the independently-tested reference.  These
+property tests pin the two together, including the wrap-around closed
+form the vectorised path uses.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.geometry import (
+    Rect,
+    intersects_circular,
+    intersects_circular_many,
+)
+
+coord = st.floats(min_value=-20, max_value=20, allow_nan=False)
+width = st.floats(min_value=0, max_value=8, allow_nan=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    lows=st.lists(st.tuples(coord, coord, coord), min_size=1, max_size=20),
+    widths=st.lists(st.tuples(width, width, width), min_size=1, max_size=20),
+    qlo=st.tuples(coord, coord, coord),
+    qw=st.tuples(width, width, width),
+    mask_bits=st.tuples(st.booleans(), st.booleans(), st.booleans()),
+)
+def test_vectorized_agrees_with_scalar(lows, widths, qlo, qw, mask_bits):
+    m = min(len(lows), len(widths))
+    lo = np.array(lows[:m], dtype=np.float64)
+    hi = lo + np.array(widths[:m], dtype=np.float64)
+    qlo_arr = np.array(qlo, dtype=np.float64)
+    qhi_arr = qlo_arr + np.array(qw, dtype=np.float64)
+    mask = np.array(mask_bits)
+    got = intersects_circular_many(lo, hi, qlo_arr, qhi_arr, mask)
+    query = Rect(qlo_arr, qhi_arr)
+    for i in range(m):
+        want = intersects_circular(Rect(lo[i], hi[i]), query, mask)
+        assert bool(got[i]) == want, (lo[i], hi[i], qlo_arr, qhi_arr, mask)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    a0=coord,
+    wa=st.floats(0, 10),
+    b0=coord,
+    wb=st.floats(0, 10),
+)
+def test_closed_form_matches_segment_form_1d(a0, wa, b0, wb):
+    """The (b0-a0) mod P <= wa closed form == the split-segment test."""
+    lo = np.array([[a0]])
+    hi = np.array([[a0 + wa]])
+    got = intersects_circular_many(
+        lo, hi, np.array([b0]), np.array([b0 + wb]), np.array([True])
+    )
+    want = intersects_circular(
+        Rect([a0], [a0 + wa]), Rect([b0], [b0 + wb]), np.array([True])
+    )
+    assert bool(got[0]) == want
+
+
+def test_no_mask_is_plain_intersection():
+    lo = np.array([[0.0, 0.0], [5.0, 5.0]])
+    hi = np.array([[1.0, 1.0], [6.0, 6.0]])
+    got = intersects_circular_many(
+        lo, hi, np.array([0.5, 0.5]), np.array([0.8, 0.8]), None
+    )
+    assert list(got) == [True, False]
+
+
+def test_full_circle_rectangle_hits_everything():
+    lo = np.array([[0.0, -np.pi]])
+    hi = np.array([[1.0, np.pi]])
+    mask = np.array([False, True])
+    got = intersects_circular_many(
+        lo, hi, np.array([0.5, 100.0]), np.array([0.6, 100.1]), mask
+    )
+    assert bool(got[0])
+
+
+def test_empty_input():
+    got = intersects_circular_many(
+        np.empty((0, 2)), np.empty((0, 2)), np.zeros(2), np.ones(2), None
+    )
+    assert got.shape == (0,)

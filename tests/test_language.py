@@ -1,0 +1,192 @@
+"""Tests for the declarative query language."""
+
+import numpy as np
+import pytest
+
+from repro.core.language import (
+    JoinQuery,
+    KnnQuery,
+    QueryError,
+    QuerySession,
+    RangeQuery,
+    parse,
+    tokenize,
+)
+from repro.core.transforms import moving_average
+from repro.data import SequenceRelation
+from repro.data.synthetic import random_walks
+
+
+@pytest.fixture(scope="module")
+def session():
+    rel = SequenceRelation.from_matrix(random_walks(80, 64, seed=3))
+    s = QuerySession()
+    s.bind_relation("walks", rel)
+    s.bind_sequence("q", rel.get(0))
+    s.bind_sequence("p", rel.get(1))
+    return s
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("range Q in R eps 1.5")
+        assert toks[0].kind == "kw" and toks[0].text == "RANGE"
+        assert toks[2].kind == "kw" and toks[2].text == "IN"
+
+    def test_numbers(self):
+        toks = tokenize("EPS -2.5e3")
+        assert toks[1].kind == "number"
+        assert float(toks[1].text) == -2500.0
+
+    def test_bad_character(self):
+        with pytest.raises(QueryError):
+            tokenize("RANGE q @ r")
+
+    def test_punctuation(self):
+        kinds = [t.kind for t in tokenize("mavg(20)")]
+        assert kinds == ["ident", "punct", "number", "punct", "end"]
+
+
+class TestParser:
+    def test_range_ast(self):
+        q = parse("RANGE q IN stocks EPS 2.5 USING mavg(20)")
+        assert isinstance(q, RangeQuery)
+        assert q.seq == "q" and q.relation == "stocks" and q.eps == 2.5
+        assert q.using.calls[0].name == "mavg"
+        assert q.using.calls[0].args == [20.0]
+
+    def test_knn_ast(self):
+        q = parse("KNN q IN stocks K 10")
+        assert isinstance(q, KnnQuery)
+        assert q.k == 10 and q.using is None
+
+    def test_join_ast_with_method(self):
+        q = parse("JOIN stocks EPS 1 USING reverse METHOD index")
+        assert isinstance(q, JoinQuery)
+        assert q.method == "index"
+        assert q.using.calls[0].name == "reverse"
+
+    def test_then_chain(self):
+        q = parse("RANGE q IN r EPS 1 USING reverse THEN mavg(20) THEN identity")
+        assert [c.name for c in q.using.calls] == ["reverse", "mavg", "identity"]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse("RANGE q IN r EPS 1 JUNK more")
+
+    def test_missing_clause_rejected(self):
+        with pytest.raises(QueryError):
+            parse("RANGE q IN r")
+
+    def test_non_integer_k_rejected(self):
+        with pytest.raises(QueryError):
+            parse("KNN q IN r K 2.5")
+
+    def test_unknown_verb(self):
+        with pytest.raises(QueryError):
+            parse("FETCH q IN r EPS 1")
+
+    def test_empty_query(self):
+        with pytest.raises(QueryError):
+            parse("")
+
+
+class TestExecution:
+    def test_range_equals_engine_call(self, session):
+        got = session.execute("RANGE q IN walks EPS 5.0 USING mavg(10)")
+        engine = session.engine("walks")
+        want = engine.range_query(
+            engine.relation.get(0),
+            5.0,
+            transformation=moving_average(64, 10),
+            transform_query=True,
+        )
+        assert [(r, round(d, 9)) for r, d in got] == [
+            (r, round(d, 9)) for r, d in want
+        ]
+
+    def test_knn_returns_k_results(self, session):
+        got = session.execute("KNN q IN walks K 4")
+        assert len(got) == 4
+
+    def test_join_runs(self, session):
+        got = session.execute("JOIN walks EPS 1.0 USING mavg(20)")
+        assert all(i < j for i, j, _ in got)
+
+    def test_dist_with_transform(self, session):
+        d_plain = session.execute("DIST q, p")
+        d_smooth = session.execute("DIST q, p USING mavg(10)")
+        assert d_smooth <= d_plain + 1e-9
+
+    def test_then_composition_order(self, session):
+        a = session.execute("RANGE q IN walks EPS 4.0 USING reverse THEN mavg(10)")
+        engine = session.engine("walks")
+        from repro.core.transforms import reverse as rev
+
+        t = rev(64).then(moving_average(64, 10))
+        b = engine.range_query(
+            engine.relation.get(0), 4.0, transformation=t, transform_query=True
+        )
+        assert sorted(r for r, _ in a) == sorted(r for r, _ in b)
+
+    def test_unknown_relation(self, session):
+        with pytest.raises(QueryError):
+            session.execute("RANGE q IN nothing EPS 1")
+
+    def test_unknown_sequence(self, session):
+        with pytest.raises(QueryError):
+            session.execute("RANGE missing IN walks EPS 1")
+
+    def test_unknown_transformation(self, session):
+        with pytest.raises(QueryError):
+            session.execute("RANGE q IN walks EPS 1 USING fourier")
+
+    def test_wrong_arity(self, session):
+        with pytest.raises(QueryError):
+            session.execute("RANGE q IN walks EPS 1 USING mavg")
+        with pytest.raises(QueryError):
+            session.execute("RANGE q IN walks EPS 1 USING reverse(3)")
+
+    def test_invalid_builtin_argument(self, session):
+        with pytest.raises(QueryError):
+            session.execute("RANGE q IN walks EPS 1 USING mavg(1000)")
+
+    def test_bad_join_method(self, session):
+        with pytest.raises(QueryError):
+            session.execute("JOIN walks EPS 1 METHOD bogus")
+
+    def test_dist_length_mismatch(self, session):
+        session.bind_sequence("short", np.zeros(8))
+        with pytest.raises(QueryError):
+            session.execute("DIST q, short")
+
+
+class TestBindings:
+    def test_user_transformation(self, session):
+        t = moving_average(64, 10)
+        session.bind_transformation("smooth10", t)
+        a = session.execute("RANGE q IN walks EPS 5.0 USING smooth10")
+        b = session.execute("RANGE q IN walks EPS 5.0 USING mavg(10)")
+        assert [(r, round(d, 9)) for r, d in a] == [(r, round(d, 9)) for r, d in b]
+
+    def test_cannot_shadow_builtin(self, session):
+        with pytest.raises(QueryError):
+            session.bind_transformation("mavg", moving_average(64, 3))
+
+    def test_bound_transformation_length_checked(self, session):
+        session.bind_transformation("tiny", moving_average(8, 2))
+        with pytest.raises(QueryError):
+            session.execute("RANGE q IN walks EPS 1 USING tiny")
+
+    def test_bound_transformation_with_args_rejected(self, session):
+        session.bind_transformation("noargs", moving_average(64, 2))
+        with pytest.raises(QueryError):
+            session.execute("RANGE q IN walks EPS 1 USING noargs(2)")
+
+    def test_rebinding_relation_drops_engine(self, session):
+        rel2 = SequenceRelation.from_matrix(random_walks(10, 64, seed=9))
+        session.bind_relation("tmp", rel2)
+        e1 = session.engine("tmp")
+        session.bind_relation("tmp", rel2)
+        e2 = session.engine("tmp")
+        assert e1 is not e2

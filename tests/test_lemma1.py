@@ -1,0 +1,146 @@
+"""Property tests for Lemma 1: the k-index filter has no false dismissals.
+
+For random data sets, random query objects, random thresholds and every
+safe transformation in a pool, the candidate set produced by the (possibly
+transformed) index traversal must contain every true answer.  This is the
+paper's central correctness claim; it holds here for both coordinate
+systems and both index layouts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import SimilarityEngine
+from repro.core.features import NormalFormSpace, PlainDFTSpace
+from repro.core.queries import _make_view
+from repro.core.transforms import (
+    identity,
+    moving_average,
+    reverse,
+    scale,
+    shift,
+    time_warp,
+)
+from repro.data import SequenceRelation
+from repro.data.synthetic import random_walks
+
+N = 32
+
+POLAR_TRANSFORMS = [
+    lambda: identity(N),
+    lambda: moving_average(N, 4),
+    lambda: moving_average(N, 9),
+    lambda: reverse(N),
+    lambda: scale(N, 0.5),
+    lambda: time_warp(N, 3),
+]
+RECT_TRANSFORMS = [
+    lambda: identity(N),
+    lambda: reverse(N),
+    lambda: scale(N, -2.0),
+    lambda: shift(N, 4.0),
+]
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    eps=st.floats(0.05, 30.0),
+    t_idx=st.integers(0, len(POLAR_TRANSFORMS) - 1),
+    coord_nf=st.booleans(),
+)
+def test_no_false_dismissals_polar(seed, eps, t_idx, coord_nf):
+    rng = np.random.default_rng(seed)
+    rel = SequenceRelation.from_matrix(random_walks(40, N, seed=seed))
+    space = (
+        NormalFormSpace(N, 2, coord="polar")
+        if coord_nf
+        else PlainDFTSpace(N, 3, coord="polar")
+    )
+    engine = SimilarityEngine(rel, space=space)
+    t = POLAR_TRANSFORMS[t_idx]()
+    q = rel.get(int(rng.integers(0, 40)))
+    q_spec = engine.query_spectrum(q)
+    view = _make_view(engine.tree, space, t)
+    rect = space.search_rect(engine.query_point(q), eps)
+    candidates = {e.child for e in view.search(rect)}
+    for rid in range(len(rel)):
+        d = space.ground_distance(engine.ground_spectra[rid], q_spec, t)
+        if d <= eps:
+            assert rid in candidates, (
+                f"false dismissal: record {rid} at distance {d} <= {eps} "
+                f"missing under {t.name} in {type(space).__name__}"
+            )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    eps=st.floats(0.05, 30.0),
+    t_idx=st.integers(0, len(RECT_TRANSFORMS) - 1),
+    coord_nf=st.booleans(),
+)
+def test_no_false_dismissals_rect(seed, eps, t_idx, coord_nf):
+    rel = SequenceRelation.from_matrix(random_walks(40, N, seed=seed + 1))
+    space = (
+        NormalFormSpace(N, 2, coord="rect")
+        if coord_nf
+        else PlainDFTSpace(N, 3, coord="rect")
+    )
+    engine = SimilarityEngine(rel, space=space)
+    t = RECT_TRANSFORMS[t_idx]()
+    q = rel.get(0)
+    q_spec = engine.query_spectrum(q)
+    view = _make_view(engine.tree, space, t)
+    rect = space.search_rect(engine.query_point(q), eps)
+    candidates = {e.child for e in view.search(rect)}
+    for rid in range(len(rel)):
+        d = space.ground_distance(engine.ground_spectra[rid], q_spec, t)
+        if d <= eps:
+            assert rid in candidates
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 5000), eps=st.floats(0.05, 10.0))
+def test_no_false_dismissals_with_symmetry_weights(seed, eps):
+    """The tighter FRM94-style filter must still never dismiss answers."""
+    rel = SequenceRelation.from_matrix(random_walks(30, N, seed=seed + 2))
+    space = PlainDFTSpace(N, 3, coord="rect", exploit_symmetry=True)
+    engine = SimilarityEngine(rel, space=space)
+    q = rel.get(0)
+    q_spec = engine.query_spectrum(q)
+    view = _make_view(engine.tree, space, None)
+    rect = space.search_rect(engine.query_point(q), eps)
+    candidates = {e.child for e in view.search(rect)}
+    for rid in range(len(rel)):
+        d = space.ground_distance(engine.ground_spectra[rid], q_spec, None)
+        if d <= eps:
+            assert rid in candidates
+
+
+def test_paper_unsafety_counterexample():
+    """Section 3.1's counterexample: multiplying by s = 2-3j maps the point
+    r = -2+2j from inside the rectangle [p, q] to outside its image —
+    complex stretches are not safe in S_rect."""
+    s = 2 - 3j
+    p, q, r = -5 - 5j, 5 + 5j, -2 + 2j
+    ps, qs, rs = p * s, q * s, r * s
+    lo = np.array([min(ps.real, qs.real), min(ps.imag, qs.imag)])
+    hi = np.array([max(ps.real, qs.real), max(ps.imag, qs.imag)])
+    inside_before = (
+        min(p.real, q.real) <= r.real <= max(p.real, q.real)
+        and min(p.imag, q.imag) <= r.imag <= max(p.imag, q.imag)
+    )
+    inside_after = lo[0] <= rs.real <= hi[0] and lo[1] <= rs.imag <= hi[1]
+    assert inside_before and not inside_after
+    assert rs == pytest.approx(2 + 10j)

@@ -1,0 +1,86 @@
+"""Tests for the Goldin-Kanellakis normal form (Eq. 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normal_form import denormalize, is_normal_form, mean_std, normal_form
+
+series = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    min_size=2,
+    max_size=64,
+)
+
+
+class TestNormalForm:
+    def test_mean_zero_std_one(self, rng):
+        x = rng.normal(10, 3, size=100)
+        z = normal_form(x)
+        assert float(np.mean(z)) == pytest.approx(0.0, abs=1e-10)
+        assert float(np.std(z)) == pytest.approx(1.0, abs=1e-10)
+
+    def test_constant_series_maps_to_zero(self):
+        assert np.array_equal(normal_form(np.full(10, 7.0)), np.zeros(10))
+
+    def test_idempotent(self, rng):
+        x = rng.normal(size=50)
+        once = normal_form(x)
+        assert np.allclose(normal_form(once), once, atol=1e-9)
+
+    def test_shift_scale_invariance(self, rng):
+        """The whole point: normal form is invariant under positive affine
+        rescaling of the series."""
+        x = rng.normal(size=40)
+        assert np.allclose(normal_form(3.5 * x + 100.0), normal_form(x), atol=1e-9)
+
+    def test_negative_scale_flips(self, rng):
+        x = rng.normal(size=40)
+        assert np.allclose(normal_form(-x), -normal_form(x), atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normal_form([])
+        with pytest.raises(ValueError):
+            normal_form(np.zeros((2, 2)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(series)
+    def test_roundtrip_property(self, xs):
+        x = np.asarray(xs)
+        m, s = mean_std(x)
+        z = normal_form(x)
+        if s > 1e-9:
+            assert np.allclose(denormalize(z, m, s), x, atol=1e-6 * max(1, abs(m)))
+
+
+class TestHelpers:
+    def test_denormalize_validation(self):
+        with pytest.raises(ValueError):
+            denormalize([0.0], 1.0, -1.0)
+
+    def test_is_normal_form(self, rng):
+        x = rng.normal(size=30)
+        assert is_normal_form(normal_form(x))
+        assert not is_normal_form(x + 100)
+        assert is_normal_form(np.zeros(5))
+
+    def test_mean_std(self):
+        m, s = mean_std([1.0, 2.0, 3.0])
+        assert m == pytest.approx(2.0)
+        assert s == pytest.approx(np.std([1.0, 2.0, 3.0]))
+
+    def test_example_2_1_statistics_shape(self, stock_relation):
+        """Normal forms of two stocks are closer than shifted forms, which
+        are closer than the originals (Example 2.1's chain), for a typical
+        correlated pair."""
+        a = stock_relation.get(30)
+        b = stock_relation.get(31)
+        d_orig = float(np.linalg.norm(a - b))
+        d_shift = float(np.linalg.norm((a - a.mean()) - (b - b.mean())))
+        d_norm = float(np.linalg.norm(normal_form(a) - normal_form(b)))
+        assert d_shift <= d_orig + 1e-9
+        # Scaling to unit variance cannot be guaranteed to shrink further in
+        # every case, but it must stay bounded by the crude upper bound.
+        assert d_norm <= d_shift + 2 * np.sqrt(len(a))

@@ -1,0 +1,86 @@
+"""Exact reproductions of the numbers printed in the paper."""
+
+import numpy as np
+import pytest
+
+from repro.core.normal_form import normal_form
+from repro.core.similarity import euclidean
+from repro.core.transforms import moving_average, reverse, time_warp, warp_series
+from repro.data.examples import EX11_S1, EX11_S2, EX12_P, EX12_S
+from repro.dft import dft
+
+
+class TestExample11:
+    """Example 1.1: two stocks that look different raw, similar smoothed."""
+
+    def test_raw_distance_is_11_92(self):
+        assert euclidean(EX11_S1, EX11_S2) == pytest.approx(11.92, abs=0.005)
+
+    def test_three_day_moving_average_distance_is_0_47(self):
+        t = moving_average(15, 3)
+        d = euclidean(t.apply_series(EX11_S1), t.apply_series(EX11_S2))
+        assert d == pytest.approx(0.47, abs=0.005)
+
+    def test_moving_average_computed_via_convolution_rule(self):
+        """Section 3.2: T_mavg3(S1) = S1 * M3 in the frequency domain
+        equals conv(s1, m3) in the time domain."""
+        from repro.dft import circular_convolve
+
+        m3 = np.zeros(15)
+        m3[:3] = 1.0 / 3.0
+        t = moving_average(15, 3)
+        assert np.allclose(
+            t.apply_series(EX11_S1), circular_convolve(EX11_S1, m3), atol=1e-9
+        )
+
+
+class TestExample12:
+    """Example 1.2: time warping aligns series sampled at different rates."""
+
+    def test_warping_p_by_2_gives_s_exactly(self):
+        assert np.array_equal(warp_series(EX12_P, 2), EX12_S)
+
+    def test_direct_distance_is_large(self):
+        """Any length-4 subsequence of s is far from p (paper: > 1.41)."""
+        dists = [
+            euclidean(EX12_S[i : i + 4], EX12_P) for i in range(len(EX12_S) - 3)
+        ]
+        assert min(dists) >= 1.41 - 1e-9
+
+    def test_warp_transformation_matches_warped_spectrum(self):
+        """Eq. 18/19 on the actual example, paper normalisation."""
+        t = time_warp(4, 2)
+        S = dft(EX12_P)
+        S_warp = np.fft.fft(EX12_S) / np.sqrt(4)
+        assert np.allclose(t.a * S, S_warp[:4], atol=1e-9)
+
+
+class TestExample22Reverse:
+    """Example 2.2's machinery: T_rev in the frequency domain negates."""
+
+    def test_trev_is_negation(self, rng):
+        x = rng.normal(size=128)
+        t = reverse(128)
+        assert np.allclose(t.apply_series(x), -x, atol=1e-9)
+
+    def test_reversed_series_match_after_reversal(self, rng):
+        """D(T_rev(x), y) == 0 when y = -x: opposite movers are found."""
+        x = rng.normal(size=128)
+        t = reverse(128)
+        assert euclidean(t.apply_series(x), -x) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSection5IndexLayout:
+    """Section 5: normal form's first coefficient is always zero."""
+
+    def test_first_coefficient_of_normal_form_is_zero(self, rng):
+        for _ in range(10):
+            x = rng.normal(50, 10, size=128)
+            Z = dft(normal_form(x))
+            assert abs(Z[0]) < 1e-9
+
+    def test_paper_feature_vector_is_six_dimensional(self):
+        from repro.core.features import NormalFormSpace
+
+        space = NormalFormSpace(128, k=2, coord="polar")
+        assert space.dim == 6

@@ -1,0 +1,93 @@
+"""Tests for access-path selection (the Figure-12 crossover planner)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SimilarityEngine
+from repro.core.planner import QueryPlanner
+from repro.core.transforms import moving_average
+from repro.data import make_stock_universe
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SimilarityEngine(make_stock_universe(count=300, length=128, seed=3))
+
+
+@pytest.fixture(scope="module")
+def planner(engine):
+    return QueryPlanner(engine, sample_size=100, seed=1)
+
+
+class TestEstimation:
+    def test_fraction_monotone_in_eps(self, engine, planner):
+        q = engine.relation.get(0)
+        t = moving_average(128, 20)
+        fractions = [
+            planner.estimate_candidate_fraction(q, eps, t, transform_query=True)
+            for eps in [0.5, 2.0, 8.0, 30.0]
+        ]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 0.9  # a huge ball catches (almost) everything
+
+    def test_fraction_bounds(self, engine, planner):
+        q = engine.relation.get(0)
+        f = planner.estimate_candidate_fraction(q, 1.0)
+        assert 0.0 <= f <= 1.0
+
+    def test_estimate_close_to_true_fraction(self, engine, planner):
+        """Sampled estimate within a reasonable band of the exact count."""
+        q = engine.relation.get(5)
+        t = moving_average(128, 20)
+        eps = 4.0
+        est = planner.estimate_candidate_fraction(q, eps, t, transform_query=True)
+        engine.stats.reset()
+        engine.range_query(q, eps, transformation=t, transform_query=True)
+        true = engine.stats.candidate_count / len(engine.relation)
+        assert abs(est - true) < 0.15
+
+
+class TestChoice:
+    def test_selective_query_uses_index(self, engine, planner):
+        q = engine.relation.get(0)
+        t = moving_average(128, 20)
+        assert planner.choose(q, 0.5, t, transform_query=True) == "index"
+
+    def test_broad_query_uses_scan(self, engine, planner):
+        q = engine.relation.get(0)
+        t = moving_average(128, 20)
+        assert planner.choose(q, 50.0, t, transform_query=True) == "scan"
+
+    def test_execute_returns_exact_answers_either_way(self, engine, planner):
+        q = engine.relation.get(7)
+        t = moving_average(128, 20)
+        for eps in [1.0, 50.0]:
+            plan, got = planner.execute(q, eps, t, transform_query=True)
+            want = engine.range_query(q, eps, transformation=t, transform_query=True)
+            assert [(r, round(d, 8)) for r, d in got] == [
+                (r, round(d, 8)) for r, d in want
+            ], plan
+        # And the two eps values exercised both plans.
+        assert planner.choose(q, 1.0, t, transform_query=True) == "index"
+        assert planner.choose(q, 50.0, t, transform_query=True) == "scan"
+
+
+class TestValidation:
+    def test_bad_sample_size(self, engine):
+        with pytest.raises(ValueError):
+            QueryPlanner(engine, sample_size=0)
+
+    def test_bad_crossover(self, engine):
+        with pytest.raises(ValueError):
+            QueryPlanner(engine, crossover_fraction=0.0)
+        with pytest.raises(ValueError):
+            QueryPlanner(engine, crossover_fraction=1.5)
+
+    def test_empty_relation(self):
+        from repro.data import SequenceRelation
+
+        eng = SimilarityEngine(SequenceRelation(16))
+        planner = QueryPlanner(eng)
+        assert planner.choose(np.zeros(16), 1.0) == "index"
+        plan, got = planner.execute(np.zeros(16), 1.0)
+        assert got == []

@@ -1,0 +1,228 @@
+"""Unit and property tests for rectangles and RKV95 metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.geometry import (
+    Rect,
+    TWO_PI,
+    intersects_circular,
+    union_all,
+)
+
+
+def boxes(dim=3):
+    coord = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+    return st.lists(
+        st.tuples(coord, coord), min_size=dim, max_size=dim
+    ).map(
+        lambda pairs: Rect(
+            [min(a, b) for a, b in pairs], [max(a, b) for a, b in pairs]
+        )
+    )
+
+
+class TestConstruction:
+    def test_point_rect_is_degenerate(self):
+        r = Rect.from_point([1.0, 2.0, 3.0])
+        assert r.is_point()
+        assert r.area() == 0.0
+
+    def test_around_builds_linf_ball(self):
+        r = Rect.around([0.0, 0.0], 2.0)
+        assert np.array_equal(r.lows, [-2, -2])
+        assert np.array_equal(r.highs, [2, 2])
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Rect([1.0], [0.0])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Rect([0.0, 0.0], [1.0])
+
+    def test_rect_copies_input(self):
+        lows = np.zeros(2)
+        r = Rect(lows, [1.0, 1.0])
+        lows[0] = 99.0
+        assert r.lows[0] == 0.0
+
+
+class TestMeasures:
+    def test_area_and_margin(self):
+        r = Rect([0, 0, 0], [2, 3, 4])
+        assert r.area() == 24.0
+        assert r.margin() == 9.0
+
+    def test_enlargement(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([2, 2], [3, 3])
+        assert a.enlargement(b) == 9.0 - 1.0
+
+    def test_overlap_area_disjoint_is_zero(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([2, 2], [3, 3])
+        assert a.overlap_area(b) == 0.0
+
+    def test_overlap_area_partial(self):
+        a = Rect([0, 0], [2, 2])
+        b = Rect([1, 1], [3, 3])
+        assert a.overlap_area(b) == 1.0
+
+
+class TestRelations:
+    def test_touching_rectangles_intersect(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([1, 1], [2, 2])
+        assert a.intersects(b)
+
+    def test_containment(self):
+        outer = Rect([0, 0], [10, 10])
+        inner = Rect([2, 2], [3, 3])
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_contains_point_boundary_is_closed(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.contains_point([1.0, 1.0])
+        assert not r.strictly_contains_point([1.0, 1.0])
+
+    def test_intersection_region(self):
+        a = Rect([0, 0], [2, 2])
+        b = Rect([1, 1], [3, 3])
+        got = a.intersection(b)
+        assert got == Rect([1, 1], [2, 2])
+        assert a.intersection(Rect([5, 5], [6, 6])) is None
+
+
+class TestRKVMetrics:
+    def test_mindist_zero_inside(self):
+        r = Rect([0, 0], [2, 2])
+        assert r.mindist([1, 1]) == 0.0
+
+    def test_mindist_outside(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.mindist([4, 5]) == pytest.approx(5.0)
+
+    def test_minmaxdist_point_rect(self):
+        # For a degenerate rect, both metrics equal the point distance.
+        r = Rect.from_point([3.0, 4.0])
+        assert r.mindist([0, 0]) == pytest.approx(5.0)
+        assert r.minmaxdist([0, 0]) == pytest.approx(5.0)
+
+    def test_minmaxdist_known_square(self):
+        # Unit square, query at origin: nearest face has farthest corner
+        # (0,1) or (1,0) at distance 1.
+        r = Rect([0, 0], [1, 1])
+        assert r.minmaxdist([0, 0]) == pytest.approx(1.0)
+
+    def test_max_dist_is_farthest_corner(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.max_dist([0, 0]) == pytest.approx(math.sqrt(2))
+
+    @settings(max_examples=100, deadline=None)
+    @given(boxes(), st.lists(st.floats(-1e6, 1e6), min_size=3, max_size=3))
+    def test_mindist_le_minmaxdist_le_maxdist(self, rect, point):
+        p = np.array(point)
+        assert rect.mindist(p) <= rect.minmaxdist(p) + 1e-6
+        assert rect.minmaxdist(p) <= rect.max_dist(p) + 1e-6
+
+    @settings(max_examples=100, deadline=None)
+    @given(boxes(), st.lists(st.floats(-1e3, 1e3), min_size=3, max_size=3))
+    def test_mindist_is_attained_by_clamp(self, rect, point):
+        p = np.array(point)
+        clamped = np.clip(p, rect.lows, rect.highs)
+        assert rect.mindist(p) == pytest.approx(
+            float(np.linalg.norm(p - clamped))
+        )
+
+
+class TestUnion:
+    def test_union_all(self):
+        rects = [Rect([0, 0], [1, 1]), Rect([-1, 2], [0, 3]), Rect([5, 5], [6, 6])]
+        u = union_all(rects)
+        assert u == Rect([-1, 0], [6, 6])
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            union_all([])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(boxes(), min_size=1, max_size=8))
+    def test_union_contains_every_member(self, rects):
+        u = union_all(rects)
+        assert all(u.contains(r) for r in rects)
+
+
+class TestCircularIntersection:
+    def test_plain_dims_behave_normally(self):
+        a = Rect([0.0], [1.0])
+        b = Rect([2.0], [3.0])
+        assert not intersects_circular(a, b, np.array([False]))
+
+    def test_wraparound_intervals_meet_across_seam(self):
+        # [3.0, 3.5] and [-3.3, -3.1] (i.e. ~2.98..3.18 rad) overlap on the
+        # circle even though the raw intervals are disjoint on the line.
+        a = Rect([3.0], [3.5])
+        b = Rect([-3.3], [-3.1])
+        mask = np.array([True])
+        assert intersects_circular(a, b, mask)
+        assert not a.intersects(b)
+
+    def test_disjoint_on_circle(self):
+        a = Rect([0.0], [0.5])
+        b = Rect([2.0], [2.5])
+        assert not intersects_circular(a, b, np.array([True]))
+
+    def test_full_circle_interval_matches_everything(self):
+        a = Rect([-math.pi], [math.pi])
+        b = Rect([17.0], [17.1])
+        assert intersects_circular(a, b, np.array([True]))
+
+    def test_mixed_dimensions(self):
+        mask = np.array([False, True])
+        a = Rect([0.0, 3.0], [1.0, 3.5])
+        b = Rect([0.5, -3.3], [2.0, -3.1])
+        assert intersects_circular(a, b, mask)
+        # Break the linear dimension: no intersection.
+        c = Rect([5.0, -3.3], [6.0, -3.1])
+        assert not intersects_circular(a, c, mask)
+
+    def test_none_mask_is_plain_intersection(self):
+        a = Rect([3.0], [3.5])
+        b = Rect([-3.3], [-3.1])
+        assert not intersects_circular(a, b, None)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        lo_a=st.floats(-10, 10),
+        w_a=st.floats(0, 3),
+        lo_b=st.floats(-10, 10),
+        w_b=st.floats(0, 3),
+    )
+    def test_agrees_with_sampled_membership(self, lo_a, w_a, lo_b, w_b):
+        """Circular intersection agrees with dense sampling of the circle."""
+        a = Rect([lo_a], [lo_a + w_a])
+        b = Rect([lo_b], [lo_b + w_b])
+        mask = np.array([True])
+        got = intersects_circular(a, b, mask)
+        theta = np.linspace(0, TWO_PI, 2000, endpoint=False)
+
+        def member(lo, hi, t):
+            if hi - lo >= TWO_PI:
+                return np.ones_like(t, dtype=bool)
+            lo_m, hi_m = lo % TWO_PI, hi % TWO_PI
+            if lo_m <= hi_m:
+                return (t >= lo_m) & (t <= hi_m)
+            return (t >= lo_m) | (t <= hi_m)
+
+        sampled = bool(np.any(member(lo_a, lo_a + w_a, theta) & member(lo_b, lo_b + w_b, theta)))
+        # Sampling can only miss very thin overlaps, never invent them.
+        if sampled:
+            assert got
+        if not got:
+            assert not sampled

@@ -1,0 +1,104 @@
+"""Hypothesis property tests on the R-tree core invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.bulk import str_pack
+from repro.rtree.geometry import Rect
+from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.rstar import RStarTree
+from repro.rtree.search import nearest_neighbors
+from repro.rtree.transformed import TransformedIndexView
+
+coords = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+points2d = st.lists(st.tuples(coords, coords), min_size=1, max_size=120)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(pts=points2d, lo=st.tuples(coords, coords), hi=st.tuples(coords, coords))
+def test_range_search_equals_brute_force(pts, lo, hi):
+    """For arbitrary points and query boxes, tree results == linear scan."""
+    arr = np.array(pts, dtype=np.float64)
+    tree = RStarTree(2, max_entries=6)
+    for i, p in enumerate(arr):
+        tree.insert_point(p, i)
+    qlo = np.minimum(lo, hi).astype(np.float64)
+    qhi = np.maximum(lo, hi).astype(np.float64)
+    got = sorted(e.child for e in tree.search(Rect(qlo, qhi)))
+    want = sorted(
+        i for i, p in enumerate(arr) if np.all(p >= qlo) and np.all(p <= qhi)
+    )
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    pts=points2d,
+    deletions=st.lists(st.integers(min_value=0, max_value=119), max_size=60),
+)
+def test_insert_delete_interleaving_keeps_invariants(pts, deletions):
+    """Arbitrary delete subsets leave a structurally valid tree holding
+    exactly the surviving records."""
+    arr = np.array(pts, dtype=np.float64)
+    tree = GuttmanRTree(2, max_entries=6)
+    for i, p in enumerate(arr):
+        tree.insert_point(p, i)
+    alive = set(range(len(arr)))
+    for d in deletions:
+        if d in alive:
+            assert tree.delete_point(arr[d], d)
+            alive.discard(d)
+    tree.validate()
+    assert len(tree) == len(alive)
+    everything = Rect(np.full(2, -1e5), np.full(2, 1e5))
+    assert sorted(e.child for e in tree.search(everything)) == sorted(alive)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(pts=points2d, q=st.tuples(coords, coords), k=st.integers(1, 10))
+def test_knn_equals_brute_force(pts, q, k):
+    arr = np.array(pts, dtype=np.float64)
+    tree = str_pack(arr, max_entries=6)
+    got = nearest_neighbors(TransformedIndexView(tree), np.array(q), k=k)
+    want_d = np.sort(np.linalg.norm(arr - np.array(q), axis=1))[: min(k, len(arr))]
+    assert np.allclose([d for d, _ in got], want_d)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(pts=points2d)
+def test_bulk_load_always_valid(pts):
+    arr = np.array(pts, dtype=np.float64)
+    tree = str_pack(arr, max_entries=5)
+    tree.validate()
+    assert sorted(e.child for e in tree) == list(range(len(arr)))
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    pts=points2d,
+    scale=st.tuples(st.floats(-3, 3), st.floats(-3, 3)),
+    offset=st.tuples(st.floats(-10, 10), st.floats(-10, 10)),
+    lo=st.tuples(coords, coords),
+    hi=st.tuples(coords, coords),
+)
+def test_transformed_view_equals_transform_then_scan(pts, scale, offset, lo, hi):
+    """Algorithm 1 property: searching T(I) == filtering T(points) directly."""
+    from repro.rtree.transformed import AffineMap
+
+    arr = np.array(pts, dtype=np.float64)
+    tree = str_pack(arr, max_entries=6)
+    amap = AffineMap(np.array(scale), np.array(offset))
+    view = TransformedIndexView(tree, amap)
+    qlo = np.minimum(lo, hi).astype(np.float64)
+    qhi = np.maximum(lo, hi).astype(np.float64)
+    got = sorted(e.child for e in view.search(Rect(qlo, qhi)))
+    mapped = arr * amap.scale + amap.offset
+    want = sorted(
+        i
+        for i, p in enumerate(mapped)
+        if np.all(p >= qlo) and np.all(p <= qhi)
+    )
+    assert got == want

@@ -1,0 +1,299 @@
+"""Tests for k-NN search, spatial joins, bulk loading and transformed views."""
+
+import numpy as np
+import pytest
+
+from repro.rtree.bulk import str_pack
+from repro.rtree.geometry import Rect
+from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.join import index_nested_loop_join, tree_matching_join
+from repro.rtree.node import PagedNodeStore
+from repro.rtree.rstar import RStarTree
+from repro.rtree.search import (
+    depth_first_nearest,
+    incremental_nearest,
+    nearest_neighbors,
+)
+from repro.rtree.transformed import AffineMap, TransformedIndexView
+
+
+@pytest.fixture
+def pts(rng):
+    return rng.uniform(-50, 50, size=(600, 3))
+
+
+@pytest.fixture
+def tree(pts):
+    t = RStarTree(3, max_entries=10)
+    for i, p in enumerate(pts):
+        t.insert_point(p, i)
+    return t
+
+
+class TestNearestNeighbors:
+    @pytest.mark.parametrize("k", [1, 3, 10, 50])
+    def test_best_first_matches_brute_force(self, pts, tree, rng, k):
+        q = rng.uniform(-50, 50, size=3)
+        got = nearest_neighbors(TransformedIndexView(tree), q, k=k)
+        want = np.argsort(np.linalg.norm(pts - q, axis=1))[:k]
+        assert [e.child for _, e in got] == list(want)
+
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_depth_first_matches_best_first(self, pts, tree, rng, k):
+        q = rng.uniform(-50, 50, size=3)
+        bf = nearest_neighbors(TransformedIndexView(tree), q, k=k)
+        df = depth_first_nearest(TransformedIndexView(tree), q, k=k)
+        assert [e.child for _, e in bf] == [e.child for _, e in df]
+        assert np.allclose([d for d, _ in bf], [d for d, _ in df])
+
+    def test_distances_are_nondecreasing(self, tree, rng):
+        q = rng.uniform(-50, 50, size=3)
+        stream = incremental_nearest(TransformedIndexView(tree), q)
+        dists = [d for d, _ in (next(stream) for _ in range(100))]
+        assert dists == sorted(dists)
+
+    def test_k_larger_than_tree(self, tree):
+        got = nearest_neighbors(TransformedIndexView(tree), np.zeros(3), k=10_000)
+        assert len(got) == 600
+
+    def test_invalid_k_rejected(self, tree):
+        with pytest.raises(ValueError):
+            nearest_neighbors(TransformedIndexView(tree), np.zeros(3), k=0)
+        with pytest.raises(ValueError):
+            depth_first_nearest(TransformedIndexView(tree), np.zeros(3), k=-1)
+
+    def test_nn_under_transformation(self, pts, tree, rng):
+        amap = AffineMap([2.0, -1.0, 0.5], [10.0, 0.0, -3.0])
+        view = TransformedIndexView(tree, amap)
+        q = rng.uniform(-50, 50, size=3)
+        got = nearest_neighbors(view, q, k=5)
+        tp = pts * amap.scale + amap.offset
+        want = np.argsort(np.linalg.norm(tp - q, axis=1))[:5]
+        assert [e.child for _, e in got] == list(want)
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("n", [0, 1, 7, 33, 500, 2111])
+    def test_pack_valid_and_complete(self, rng, n):
+        pts = rng.uniform(0, 10, size=(n, 4))
+        tree = str_pack(pts, max_entries=12)
+        tree.validate()
+        assert len(tree) == n
+        assert sorted(e.child for e in tree) == list(range(n))
+
+    def test_pack_with_custom_ids(self, rng):
+        pts = rng.uniform(0, 10, size=(50, 2))
+        ids = np.arange(100, 150)
+        tree = str_pack(pts, record_ids=ids, max_entries=8)
+        assert sorted(e.child for e in tree) == list(ids)
+
+    def test_pack_searches_equal_inserted_tree(self, rng):
+        pts = rng.uniform(0, 100, size=(800, 3))
+        packed = str_pack(pts, max_entries=16)
+        inserted = RStarTree(3, max_entries=16)
+        for i, p in enumerate(pts):
+            inserted.insert_point(p, i)
+        q = Rect(np.full(3, 20.0), np.full(3, 70.0))
+        assert sorted(e.child for e in packed.search(q)) == sorted(
+            e.child for e in inserted.search(q)
+        )
+
+    def test_pack_into_paged_store(self, rng):
+        pts = rng.uniform(0, 100, size=(700, 5))
+        store = PagedNodeStore(5, buffer_capacity=16)
+        tree = str_pack(pts, store=store, max_entries=32)
+        tree.validate()
+        assert len(tree) == 700
+
+    def test_pack_guttman_class(self, rng):
+        pts = rng.uniform(0, 100, size=(300, 2))
+        tree = str_pack(pts, max_entries=8, tree_cls=GuttmanRTree)
+        assert isinstance(tree, GuttmanRTree)
+        tree.validate()
+
+    def test_packed_tree_is_compact(self, rng):
+        pts = rng.uniform(0, 100, size=(1000, 2))
+        packed = str_pack(pts, max_entries=10)
+        inserted = RStarTree(2, max_entries=10)
+        for i, p in enumerate(pts):
+            inserted.insert_point(p, i)
+        assert packed.node_count() <= inserted.node_count()
+
+    def test_mismatched_ids_rejected(self, rng):
+        with pytest.raises(ValueError):
+            str_pack(rng.uniform(0, 1, (5, 2)), record_ids=[1, 2])
+
+    def test_non_2d_points_rejected(self):
+        with pytest.raises(ValueError):
+            str_pack(np.zeros(5))
+
+
+class TestAffineMap:
+    def test_identity(self):
+        m = AffineMap.identity(3)
+        assert m.is_identity()
+        p = np.array([1.0, -2.0, 3.0])
+        assert np.array_equal(m.apply_point(p), p)
+
+    def test_negative_scale_flips_intervals(self):
+        m = AffineMap([-1.0], [0.0])
+        r = m.apply_rect(Rect([1.0], [2.0]))
+        assert r == Rect([-2.0], [-1.0])
+
+    def test_compose(self):
+        inner = AffineMap([2.0], [1.0])
+        outer = AffineMap([3.0], [-1.0])
+        both = outer.compose(inner)
+        x = np.array([5.0])
+        assert np.allclose(both.apply_point(x), outer.apply_point(inner.apply_point(x)))
+
+    def test_inverse_roundtrip(self):
+        m = AffineMap([2.0, -0.5], [3.0, 1.0])
+        inv = m.inverse()
+        p = np.array([7.0, -2.0])
+        assert np.allclose(inv.apply_point(m.apply_point(p)), p)
+
+    def test_zero_scale_not_invertible(self):
+        with pytest.raises(ValueError):
+            AffineMap([0.0], [1.0]).inverse()
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AffineMap([1.0], [0.0]).compose(AffineMap([1.0, 1.0], [0.0, 0.0]))
+
+    def test_safety_on_rects(self, rng):
+        """The affine image of a rect contains images of inside points and
+        excludes images of outside points (Definition 1, via Theorem 1)."""
+        m = AffineMap(rng.uniform(-3, 3, 4), rng.uniform(-5, 5, 4))
+        lo = rng.uniform(-10, 0, 4)
+        hi = lo + rng.uniform(0.1, 10, 4)
+        rect = Rect(lo, hi)
+        image = m.apply_rect(rect)
+        for _ in range(50):
+            inside = rng.uniform(lo, hi)
+            assert image.contains_point(m.apply_point(inside))
+        for _ in range(50):
+            outside = rng.uniform(-20, 20, 4)
+            if rect.contains_point(outside) or np.any(np.abs(m.scale) < 1e-12):
+                continue
+            if not rect.strictly_contains_point(outside) and not rect.contains_point(outside):
+                # strictly outside the closed rect
+                assert not image.strictly_contains_point(m.apply_point(outside))
+
+
+class TestTransformedView:
+    def test_identity_view_equals_tree_search(self, pts, tree):
+        view = TransformedIndexView(tree)
+        q = Rect(np.full(3, -10.0), np.full(3, 10.0))
+        assert sorted(e.child for e in view.search(q)) == sorted(
+            e.child for e in tree.search(q)
+        )
+
+    def test_same_node_accesses_as_plain_search(self, pts, rng):
+        """Algorithm 1's headline property: the transformed traversal reads
+        exactly as many nodes as the plain one (Figures 8-9 rationale)."""
+        store = PagedNodeStore(3, buffer_capacity=0)
+        t = RStarTree(3, store=store, max_entries=16)
+        for i, p in enumerate(pts):
+            t.insert_point(p, i)
+        q = Rect(np.full(3, -10.0), np.full(3, 10.0))
+
+        store.stats.reset()
+        t.search(q)
+        plain = store.stats.node_reads
+
+        # A "volume-preserving" transformation keeps selectivity identical.
+        amap = AffineMap(np.ones(3), np.full(3, 7.5))
+        view = TransformedIndexView(t, amap)
+        q_shifted = Rect(q.lows + 7.5, q.highs + 7.5)
+        store.stats.reset()
+        view.search(q_shifted)
+        assert store.stats.node_reads == plain
+
+    def test_view_iterates_transformed_points(self, pts, tree):
+        amap = AffineMap([1.0, 2.0, 3.0], [0.0, -1.0, 0.5])
+        view = TransformedIndexView(tree, amap)
+        got = {e.child: e.rect.lows for e in view}
+        for i, p in enumerate(pts):
+            assert np.allclose(got[i], amap.apply_point(p))
+
+    def test_root_mbr_transformed(self, tree):
+        amap = AffineMap([2.0, 2.0, 2.0], [1.0, 1.0, 1.0])
+        view = TransformedIndexView(tree, amap)
+        plain = tree.root_mbr()
+        assert view.root_mbr().approx_equal(amap.apply_rect(plain))
+
+    def test_dim_mismatch_rejected(self, tree):
+        with pytest.raises(ValueError):
+            TransformedIndexView(tree, AffineMap([1.0], [0.0]))
+
+
+class TestJoins:
+    def test_nested_loop_self_join_matches_brute(self, rng):
+        pts = rng.uniform(0, 20, size=(150, 2))
+        tree = str_pack(pts, max_entries=8)
+        view = TransformedIndexView(tree)
+        eps = 1.5
+
+        def search_rect(point_rect):
+            return Rect(point_rect.lows - eps, point_rect.highs + eps)
+
+        outer = ((i, Rect.from_point(p)) for i, p in enumerate(pts))
+        got = sorted(index_nested_loop_join(outer, view, search_rect))
+        want = sorted(
+            (i, j)
+            for i in range(150)
+            for j in range(i + 1, 150)
+            if np.all(np.abs(pts[i] - pts[j]) <= eps)
+        )
+        assert got == want
+
+    def test_tree_matching_join_matches_nested_loop(self, rng):
+        pts = rng.uniform(0, 20, size=(150, 2))
+        tree = str_pack(pts, max_entries=8)
+        view = TransformedIndexView(tree)
+        eps = 1.5
+        got = sorted(
+            tree_matching_join(
+                view,
+                view,
+                expand=lambda r: Rect(r.lows - eps, r.highs + eps),
+                self_join=True,
+            )
+        )
+        want = sorted(
+            (i, j)
+            for i in range(150)
+            for j in range(i + 1, 150)
+            if np.all(np.abs(pts[i] - pts[j]) <= eps)
+        )
+        assert got == want
+
+    def test_join_of_two_distinct_trees(self, rng):
+        a_pts = rng.uniform(0, 10, size=(60, 2))
+        b_pts = rng.uniform(0, 10, size=(80, 2))
+        view_a = TransformedIndexView(str_pack(a_pts, max_entries=8))
+        view_b = TransformedIndexView(str_pack(b_pts, max_entries=8))
+        eps = 0.8
+        got = sorted(
+            tree_matching_join(
+                view_a,
+                view_b,
+                expand=lambda r: Rect(r.lows - eps, r.highs + eps),
+            )
+        )
+        want = sorted(
+            (i, j)
+            for i in range(60)
+            for j in range(80)
+            if np.all(np.abs(a_pts[i] - b_pts[j]) <= eps)
+        )
+        assert got == want
+
+    def test_join_with_empty_tree(self, rng):
+        a = TransformedIndexView(str_pack(rng.uniform(0, 1, (10, 2)), max_entries=8))
+        b = TransformedIndexView(str_pack(np.empty((0, 2)), max_entries=8))
+        got = list(
+            tree_matching_join(a, b, expand=lambda r: Rect(r.lows - 1, r.highs + 1))
+        )
+        assert got == []

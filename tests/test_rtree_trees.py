@@ -1,0 +1,222 @@
+"""Structural tests for the R*-tree and Guttman R-tree over both stores."""
+
+import numpy as np
+import pytest
+
+from repro.rtree.base import RTreeError
+from repro.rtree.geometry import Rect
+from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.node import MemoryNodeStore, PagedNodeStore
+from repro.rtree.rstar import RStarTree
+from tests.conftest import make_store
+
+TREE_MAKERS = {
+    "rstar": lambda dim, store: RStarTree(dim, store=store, max_entries=8),
+    "rstar-noreinsert": lambda dim, store: RStarTree(
+        dim, store=store, max_entries=8, reinsert_fraction=0.0
+    ),
+    "guttman-quadratic": lambda dim, store: GuttmanRTree(
+        dim, store=store, max_entries=8, split="quadratic"
+    ),
+    "guttman-linear": lambda dim, store: GuttmanRTree(
+        dim, store=store, max_entries=8, split="linear"
+    ),
+}
+
+
+@pytest.fixture(params=sorted(TREE_MAKERS))
+def tree_kind(request):
+    return request.param
+
+
+def build(tree_kind, store_kind, pts):
+    tree = TREE_MAKERS[tree_kind](pts.shape[1], make_store(store_kind, pts.shape[1]))
+    for i, p in enumerate(pts):
+        tree.insert_point(p, i)
+    return tree
+
+
+def brute_range(pts, lo, hi):
+    return sorted(
+        i
+        for i, p in enumerate(pts)
+        if np.all(p >= lo) and np.all(p <= hi)
+    )
+
+
+class TestInsertSearch:
+    def test_empty_tree_searches_cleanly(self, tree_kind, store_kind):
+        tree = TREE_MAKERS[tree_kind](3, make_store(store_kind, 3))
+        assert tree.search(Rect([0, 0, 0], [1, 1, 1])) == []
+        assert len(tree) == 0
+        assert tree.root_mbr() is None
+
+    def test_single_point(self, tree_kind, store_kind):
+        tree = TREE_MAKERS[tree_kind](2, make_store(store_kind, 2))
+        tree.insert_point([1.0, 2.0], 42)
+        hits = tree.search(Rect([0, 0], [3, 3]))
+        assert [e.child for e in hits] == [42]
+        tree.validate()
+
+    def test_range_matches_brute_force(self, tree_kind, store_kind, rng):
+        pts = rng.uniform(0, 100, size=(500, 3))
+        tree = build(tree_kind, store_kind, pts)
+        tree.validate()
+        for lo_v, hi_v in [(10, 30), (0, 100), (50, 50.5), (90, 99)]:
+            lo, hi = np.full(3, float(lo_v)), np.full(3, float(hi_v))
+            got = sorted(e.child for e in tree.search(Rect(lo, hi)))
+            assert got == brute_range(pts, lo, hi)
+
+    def test_duplicate_points_all_found(self, tree_kind, store_kind):
+        tree = TREE_MAKERS[tree_kind](2, make_store(store_kind, 2))
+        for i in range(50):
+            tree.insert_point([5.0, 5.0], i)
+        hits = tree.search(Rect([5, 5], [5, 5]))
+        assert sorted(e.child for e in hits) == list(range(50))
+        tree.validate()
+
+    def test_iteration_yields_every_entry(self, tree_kind, store_kind, rng):
+        pts = rng.uniform(0, 10, size=(120, 2))
+        tree = build(tree_kind, store_kind, pts)
+        assert sorted(e.child for e in tree) == list(range(120))
+
+    def test_height_grows(self, tree_kind, store_kind, rng):
+        pts = rng.uniform(0, 10, size=(200, 2))
+        tree = build(tree_kind, store_kind, pts)
+        assert tree.height >= 2
+        assert len(tree) == 200
+
+    def test_rect_entries_supported(self, tree_kind, store_kind):
+        tree = TREE_MAKERS[tree_kind](2, make_store(store_kind, 2))
+        for i in range(30):
+            lo = np.array([float(i), float(i)])
+            tree.insert(Rect(lo, lo + 2.0), i)
+        tree.validate()
+        hits = tree.search(Rect([10.5, 10.5], [11.0, 11.0]))
+        # Rectangles are closed: entry 11 = [11,13]^2 touches at (11,11).
+        assert sorted(e.child for e in hits) == [9, 10, 11]
+
+    def test_dimension_mismatch_rejected(self, tree_kind, store_kind):
+        tree = TREE_MAKERS[tree_kind](2, make_store(store_kind, 2))
+        with pytest.raises(RTreeError):
+            tree.insert_point([1.0, 2.0, 3.0], 0)
+
+
+class TestDelete:
+    def test_delete_returns_false_for_missing(self, tree_kind, store_kind):
+        tree = TREE_MAKERS[tree_kind](2, make_store(store_kind, 2))
+        tree.insert_point([1.0, 1.0], 0)
+        assert not tree.delete_point([1.0, 1.0], 999)
+        assert not tree.delete_point([2.0, 2.0], 0)
+
+    def test_delete_then_search(self, tree_kind, store_kind, rng):
+        pts = rng.uniform(0, 100, size=(300, 3))
+        tree = build(tree_kind, store_kind, pts)
+        for i in range(0, 300, 2):
+            assert tree.delete_point(pts[i], i)
+        tree.validate()
+        assert len(tree) == 150
+        got = sorted(e.child for e in tree.search(Rect(np.zeros(3), np.full(3, 100.0))))
+        assert got == list(range(1, 300, 2))
+
+    def test_delete_everything(self, tree_kind, store_kind, rng):
+        pts = rng.uniform(0, 10, size=(100, 2))
+        tree = build(tree_kind, store_kind, pts)
+        for i in range(100):
+            assert tree.delete_point(pts[i], i)
+        assert len(tree) == 0
+        tree.validate()
+        assert tree.search(Rect([0, 0], [10, 10])) == []
+
+    def test_reinsert_after_full_delete(self, tree_kind, store_kind, rng):
+        pts = rng.uniform(0, 10, size=(80, 2))
+        tree = build(tree_kind, store_kind, pts)
+        for i in range(80):
+            tree.delete_point(pts[i], i)
+        for i, p in enumerate(pts):
+            tree.insert_point(p, 1000 + i)
+        tree.validate()
+        assert len(tree) == 80
+
+    def test_root_shrinks_after_mass_delete(self, tree_kind, store_kind, rng):
+        pts = rng.uniform(0, 10, size=(400, 2))
+        tree = build(tree_kind, store_kind, pts)
+        height_full = tree.height
+        for i in range(390):
+            tree.delete_point(pts[i], i)
+        tree.validate()
+        assert tree.height <= height_full
+        got = sorted(e.child for e in tree.search(Rect([0, 0], [10, 10])))
+        assert got == list(range(390, 400))
+
+
+class TestConstructorValidation:
+    def test_bad_dim(self):
+        with pytest.raises(RTreeError):
+            RStarTree(0)
+
+    def test_bad_min_fill(self):
+        with pytest.raises(RTreeError):
+            RStarTree(2, min_fill=0.9)
+
+    def test_bad_max_entries(self):
+        with pytest.raises(RTreeError):
+            RStarTree(2, max_entries=2)
+
+    def test_bad_split_name(self):
+        with pytest.raises(RTreeError):
+            GuttmanRTree(2, split="foo")
+
+    def test_bad_reinsert_fraction(self):
+        with pytest.raises(ValueError):
+            RStarTree(2, reinsert_fraction=1.5)
+
+    def test_paged_store_caps_fanout(self):
+        store = PagedNodeStore(dim=6)
+        tree = RStarTree(6, store=store, max_entries=10_000)
+        assert tree.max_entries == store.max_entries - 1
+
+
+class TestStoreEquivalence:
+    def test_memory_and_paged_trees_answer_identically(self, rng):
+        pts = rng.uniform(0, 100, size=(400, 4))
+        mem = RStarTree(4, store=MemoryNodeStore(), max_entries=16)
+        paged = RStarTree(4, store=PagedNodeStore(4, buffer_capacity=8), max_entries=16)
+        for i, p in enumerate(pts):
+            mem.insert_point(p, i)
+            paged.insert_point(p, i)
+        q = Rect(np.full(4, 25.0), np.full(4, 60.0))
+        assert sorted(e.child for e in mem.search(q)) == sorted(
+            e.child for e in paged.search(q)
+        )
+
+    def test_tiny_buffer_forces_disk_io(self, rng):
+        pts = rng.uniform(0, 100, size=(500, 4))
+        store = PagedNodeStore(4, buffer_capacity=2)
+        tree = RStarTree(4, store=store, max_entries=16)
+        for i, p in enumerate(pts):
+            tree.insert_point(p, i)
+        store.stats.reset()
+        tree.search(Rect(np.zeros(4), np.full(4, 100.0)))
+        assert store.stats.page_reads > 0
+
+
+class TestRStarPolicies:
+    def test_forced_reinsert_reduces_node_count(self, rng):
+        """With reinsertion on, the R*-tree should be at least as compact."""
+        pts = rng.uniform(0, 100, size=(1500, 2))
+        with_r = RStarTree(2, max_entries=8, reinsert_fraction=0.3)
+        without = RStarTree(2, max_entries=8, reinsert_fraction=0.0)
+        for i, p in enumerate(pts):
+            with_r.insert_point(p, i)
+            without.insert_point(p, i)
+        with_r.validate()
+        without.validate()
+        assert with_r.node_count() <= without.node_count() * 1.1
+
+    def test_split_respects_min_fill(self, rng):
+        tree = RStarTree(2, max_entries=10, min_fill=0.4)
+        pts = rng.uniform(0, 100, size=(600, 2))
+        for i, p in enumerate(pts):
+            tree.insert_point(p, i)
+        tree.validate()  # validate() itself asserts min-fill on every node

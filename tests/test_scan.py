@@ -1,0 +1,79 @@
+"""Tests for the tuned sequential-scan baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SimilarityEngine
+from repro.core.transforms import moving_average, reverse
+from repro.data import SequenceRelation
+from repro.data.synthetic import random_walks
+from repro.scan import scan_knn, scan_range
+from repro.storage.stats import IOStats
+
+
+@pytest.fixture(scope="module")
+def engine():
+    rel = SequenceRelation.from_matrix(random_walks(120, 64, seed=77))
+    return SimilarityEngine(rel)
+
+
+class TestScanRange:
+    @pytest.mark.parametrize("early", [True, False])
+    @pytest.mark.parametrize("use_t", [False, True])
+    def test_matches_index_answers(self, engine, early, use_t):
+        """Index and scan must return exactly the same answer set."""
+        t = moving_average(64, 10) if use_t else None
+        q = engine.relation.get(5)
+        via_index = engine.range_query(q, 4.0, transformation=t)
+        via_scan = scan_range(
+            engine.ground_spectra,
+            engine.query_spectrum(q),
+            4.0,
+            transformation=t,
+            early_abandon=early,
+        )
+        assert [(r, round(d, 8)) for r, d in via_index] == [
+            (r, round(d, 8)) for r, d in via_scan
+        ]
+
+    def test_counts_all_records_as_computations(self, engine):
+        stats = IOStats()
+        scan_range(
+            engine.ground_spectra,
+            engine.query_spectrum(engine.relation.get(0)),
+            1.0,
+            stats=stats,
+        )
+        assert stats.distance_computations == len(engine.relation)
+
+    def test_empty_answer(self, engine):
+        got = scan_range(
+            engine.ground_spectra,
+            engine.query_spectrum(engine.relation.get(0)) + 1e6,
+            0.5,
+        )
+        assert got == []
+
+
+class TestScanKnn:
+    @pytest.mark.parametrize("k", [1, 4, 20])
+    def test_matches_engine_knn(self, engine, k):
+        q = engine.relation.get(33)
+        a = engine.knn_query(q, k)
+        b = scan_knn(engine.ground_spectra, engine.query_spectrum(q), k)
+        assert np.allclose([d for _, d in a], [d for _, d in b], atol=1e-9)
+
+    def test_with_transformation(self, engine):
+        t = reverse(64)
+        q = engine.relation.get(10)
+        a = engine.knn_query(q, 5, transformation=t)
+        b = scan_knn(engine.ground_spectra, engine.query_spectrum(q), 5, transformation=t)
+        assert np.allclose([d for _, d in a], [d for _, d in b], atol=1e-9)
+
+    def test_invalid_k(self, engine):
+        with pytest.raises(ValueError):
+            scan_knn(engine.ground_spectra, engine.ground_spectra[0], 0)
+
+    def test_k_larger_than_relation(self, engine):
+        got = scan_knn(engine.ground_spectra, engine.query_spectrum(engine.relation.get(0)), 10_000)
+        assert len(got) == len(engine.relation)

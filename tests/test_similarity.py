@@ -1,0 +1,212 @@
+"""Tests for distances and the Eq. 10 closure dissimilarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import (
+    TransformationClosureDistance,
+    cityblock,
+    euclidean,
+    euclidean_early_abandon,
+)
+from repro.core.transforms import identity, moving_average, reverse, scale, shift
+
+vec = st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=4, max_size=24)
+
+
+class TestBasicDistances:
+    def test_euclidean_known(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_cityblock_known(self):
+        assert cityblock([0.0, 0.0], [3.0, 4.0]) == pytest.approx(7.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            cityblock([1.0], [1.0, 2.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(vec)
+    def test_self_distance_zero(self, x):
+        assert euclidean(x, x) == 0.0
+        assert cityblock(x, x) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(vec, vec, vec)
+    def test_triangle_inequality(self, a, b, c):
+        n = min(len(a), len(b), len(c))
+        a, b, c = a[:n], b[:n], c[:n]
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-6
+
+
+class TestEarlyAbandon:
+    @settings(max_examples=60, deadline=None)
+    @given(vec, vec, st.floats(0.0, 100.0))
+    def test_agrees_with_exact(self, a, b, eps):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        exact = euclidean(a, b)
+        got = euclidean_early_abandon(a, b, eps)
+        if exact <= eps:
+            assert got == pytest.approx(exact, rel=1e-9)
+        else:
+            assert got is None
+
+    def test_abandons_immediately_on_first_block(self):
+        a = np.zeros(100)
+        b = np.concatenate([[100.0], np.zeros(99)])
+        assert euclidean_early_abandon(a, b, 1.0, block=1) is None
+
+    def test_infinite_eps_returns_exact(self, rng):
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        got = euclidean_early_abandon(a, b, float("inf"))
+        assert got == pytest.approx(euclidean(a, b))
+
+    def test_complex_inputs(self, rng):
+        a = rng.normal(size=20) + 1j * rng.normal(size=20)
+        b = rng.normal(size=20) + 1j * rng.normal(size=20)
+        exact = float(np.linalg.norm(a - b))
+        got = euclidean_early_abandon(a, b, exact + 1.0)
+        assert got == pytest.approx(exact)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            euclidean_early_abandon([1.0], [1.0], -1.0)
+        with pytest.raises(ValueError):
+            euclidean_early_abandon([1.0], [1.0, 2.0], 1.0)
+
+
+class TestClosureDistance:
+    def test_no_transformations_is_euclidean(self, rng):
+        x, y = rng.normal(size=16), rng.normal(size=16)
+        d = TransformationClosureDistance([], max_steps=0)
+        assert d(x, y) == pytest.approx(euclidean(x, y))
+
+    def test_identity_changes_nothing(self, rng):
+        x, y = rng.normal(size=16), rng.normal(size=16)
+        d = TransformationClosureDistance([identity(16)], max_steps=2)
+        assert d(x, y) == pytest.approx(euclidean(x, y))
+
+    def test_shift_closes_offset_gap(self, rng):
+        """x and x+5 become identical under a free shift."""
+        x = rng.normal(size=16)
+        d = TransformationClosureDistance([shift(16, 5.0)], max_steps=1)
+        assert d(x, x + 5.0) == pytest.approx(0.0, abs=1e-7)
+
+    def test_reverse_matches_mirrored_series(self, rng):
+        x = rng.normal(size=16)
+        d = TransformationClosureDistance([reverse(16)], max_steps=1)
+        assert d(x, -x) == pytest.approx(0.0, abs=1e-7)
+
+    def test_cost_is_charged(self, rng):
+        x = rng.normal(size=16)
+        t = shift(16, 5.0, cost=1.0)
+        d = TransformationClosureDistance([t], max_steps=1)
+        # Either pay 1.0 to transform, or the raw distance; min of both.
+        raw = euclidean(x, x + 5.0)
+        assert d(x, x + 5.0) == pytest.approx(min(1.0, raw))
+
+    def test_budget_blocks_expensive_plans(self, rng):
+        x = rng.normal(size=16)
+        t = shift(16, 5.0, cost=10.0)
+        d = TransformationClosureDistance([t], budget=5.0, max_steps=1)
+        assert d(x, x + 5.0) == pytest.approx(euclidean(x, x + 5.0))
+
+    def test_never_exceeds_euclidean(self, rng):
+        """Eq. 10 takes a min including D0, so it's bounded by it."""
+        x, y = rng.normal(size=16), rng.normal(size=16)
+        d = TransformationClosureDistance(
+            [moving_average(16, 3, cost=0.1), reverse(16, cost=0.1)], max_steps=2
+        )
+        assert d(x, y) <= euclidean(x, y) + 1e-9
+
+    def test_both_sides_transformed(self, rng):
+        """Matching requires transforming x AND y (scale each by 2)."""
+        base = rng.normal(size=16)
+        x, y = base.copy(), base.copy()
+        t = scale(16, 2.0)
+        # 2*x vs 2*y identical; but also raw x == y, so craft asymmetry:
+        x = base
+        y = 2.0 * base
+        d = TransformationClosureDistance([t], max_steps=1)
+        # Transforming x by 2 gives 2*base == y exactly.
+        assert d(x, y) == pytest.approx(0.0, abs=1e-7)
+
+    def test_max_steps_zero_means_no_transforms(self, rng):
+        x = rng.normal(size=16)
+        d = TransformationClosureDistance([shift(16, 1.0)], max_steps=0)
+        assert d(x, x + 1.0) == pytest.approx(euclidean(x, x + 1.0))
+
+    def test_repeated_smoothing_bounded_by_steps(self, rng):
+        """Example 2.3's point: dissimilar trends stay apart when the
+        number of smoothing applications is bounded."""
+        rng2 = np.random.default_rng(5)
+        x = np.cumsum(rng2.normal(size=32))
+        y = -np.cumsum(rng2.normal(size=32))  # different trend
+        t = moving_average(32, 5)
+        d = TransformationClosureDistance([t], max_steps=2)
+        assert d(x, y) > 0.5
+
+    def test_explain_reports_chain(self, rng):
+        x = rng.normal(size=16)
+        t = shift(16, 5.0)
+        d = TransformationClosureDistance([t], max_steps=1)
+        info = d.explain(x, x + 5.0)
+        assert info["distance"] == pytest.approx(0.0, abs=1e-7)
+        assert info["x_chain"] == ["shift(5)"] or info["y_chain"] == ["shift(5)"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransformationClosureDistance([], max_steps=-1)
+        with pytest.raises(ValueError):
+            TransformationClosureDistance([], budget=-1.0)
+
+    def test_spectra_entry_point(self, rng):
+        from repro.dft import dft
+
+        x, y = rng.normal(size=16), rng.normal(size=16)
+        d = TransformationClosureDistance([reverse(16)], max_steps=1)
+        assert d.distance_spectra(dft(x), dft(y)) == pytest.approx(d(x, y))
+
+    def test_spectra_length_mismatch(self):
+        d = TransformationClosureDistance([])
+        with pytest.raises(ValueError):
+            d.distance_spectra(np.zeros(4, complex), np.zeros(5, complex))
+
+
+class TestClosureDistanceProperties:
+    def test_symmetry(self, rng):
+        """Eq. 10 is symmetric: transformations may hit either side."""
+        from repro.core.transforms import moving_average, scale, shift
+
+        ts = [shift(16, 2.0, cost=0.5), scale(16, 2.0, cost=0.5),
+              moving_average(16, 3, cost=0.5)]
+        d = TransformationClosureDistance(ts, max_steps=1)
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            x, y = r.normal(size=16), r.normal(size=16)
+            assert d(x, y) == pytest.approx(d(y, x), abs=1e-8)
+
+    def test_monotone_in_budget(self, rng):
+        """A larger budget can only reduce the dissimilarity."""
+        from repro.core.transforms import shift
+
+        x = rng.normal(size=16)
+        y = x + 5.0
+        t = shift(16, 5.0, cost=3.0)
+        tight = TransformationClosureDistance([t], budget=1.0, max_steps=1)
+        loose = TransformationClosureDistance([t], budget=10.0, max_steps=1)
+        assert loose(x, y) <= tight(x, y) + 1e-12
+
+    def test_monotone_in_steps(self, rng):
+        from repro.core.transforms import moving_average
+
+        x, y = rng.normal(size=16), rng.normal(size=16)
+        t = moving_average(16, 3)
+        d1 = TransformationClosureDistance([t], max_steps=1)
+        d3 = TransformationClosureDistance([t], max_steps=3)
+        assert d3(x, y) <= d1(x, y) + 1e-12

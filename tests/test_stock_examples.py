@@ -1,0 +1,157 @@
+"""Qualitative reproduction of the Section 2 stock-analysis examples.
+
+The original BBA/ZTR/CC/VAR/DMIC/MXF price data is gone (see DESIGN.md);
+these tests check that the *shape* of each example — which transformation
+chain shrinks which distances, and which does not — reproduces on the
+synthetic market.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.normal_form import normal_form
+from repro.core.similarity import euclidean
+from repro.core.transforms import moving_average, reverse
+from repro.data import make_stock_universe
+from repro.data.stocks import paired_stocks
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return paired_stocks(length=128, seed=42)
+
+
+class TestExample21Chain:
+    """Example 2.1: original -> shifted -> scaled -> 20-day MA distances
+    fall monotonically for a pair of related stocks."""
+
+    def test_shift_reduces_distance(self, pair):
+        base, corr, _ = pair
+        d0 = euclidean(base, corr)
+        d1 = euclidean(base - base.mean(), corr - corr.mean())
+        assert d1 <= d0 + 1e-9
+
+    def test_normal_form_changes_scale_sensitivity(self, pair):
+        base, corr, _ = pair
+        d1 = euclidean(base - base.mean(), corr - corr.mean())
+        d2 = euclidean(normal_form(base), normal_form(corr))
+        # For stocks trading at different price levels (12 vs 30), scaling
+        # by std brings the shapes together.
+        assert d2 <= d1
+
+    def test_moving_average_smooths_residual_noise(self, pair):
+        base, corr, _ = pair
+        t = moving_average(128, 20)
+        d2 = euclidean(normal_form(base), normal_form(corr))
+        d3 = euclidean(
+            t.apply_series(normal_form(base)), t.apply_series(normal_form(corr))
+        )
+        assert d3 < d2
+        # Correlated stocks end up genuinely close, like BBA/ZTR's 2.75.
+        assert d3 < 0.6 * d2
+
+
+class TestExample22Inverse:
+    """Example 2.2: reversing one series of an anti-correlated pair makes
+    them similar; smoothing tightens it further."""
+
+    def test_chain_of_distances(self, pair):
+        base, _, inverse = pair
+        nb, ni = normal_form(base), normal_form(inverse)
+        d_norm = euclidean(nb, ni)
+        d_reversed = euclidean(nb, -ni)
+        assert d_reversed < d_norm
+        t = moving_average(128, 20)
+        d_final = euclidean(t.apply_series(nb), t.apply_series(-ni))
+        assert d_final < d_reversed
+
+    def test_trev_formulation_matches_manual_negation(self, pair):
+        _, _, inverse = pair
+        ni = normal_form(inverse)
+        t = reverse(128)
+        assert np.allclose(t.apply_series(ni), -ni, atol=1e-9)
+
+
+class TestExample23Resistance:
+    """Example 2.3: dissimilar trends stay apart under repeated smoothing."""
+
+    def test_unrelated_stocks_resist_smoothing(self):
+        rng = np.random.default_rng(11)
+        # Two independent walks with opposite drifts: genuinely different.
+        a = np.cumsum(rng.normal(0.3, 1.0, 128))
+        b = np.cumsum(rng.normal(-0.3, 1.0, 128))
+        na, nb = normal_form(a), normal_form(b)
+        t = moving_average(128, 20)
+        d = [euclidean(na, nb)]
+        xa, xb = na, nb
+        for _ in range(10):
+            xa, xb = t.apply_series(xa), t.apply_series(xb)
+            d.append(euclidean(xa, xb))
+        # Distances may decline but remain substantial even after the 10th
+        # moving average (paper: 11.06 -> 6.57 over ten applications).
+        assert d[10] > 0.3 * d[0]
+        assert d[10] > 1.0
+
+
+class TestStockUniverse:
+    def test_size_and_shape(self):
+        rel = make_stock_universe(count=50, length=64, seed=1)
+        assert len(rel) == 50
+        assert rel.length == 64
+
+    def test_prices_positive(self):
+        rel = make_stock_universe(count=80, length=64, seed=2)
+        assert np.all(rel.matrix > 0)
+
+    def test_reproducible(self):
+        a = make_stock_universe(count=20, length=32, seed=3)
+        b = make_stock_universe(count=20, length=32, seed=3)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_different_seeds_differ(self):
+        a = make_stock_universe(count=20, length=32, seed=3)
+        b = make_stock_universe(count=20, length=32, seed=4)
+        assert not np.array_equal(a.matrix, b.matrix)
+
+    def test_funds_have_low_volatility(self):
+        rel = make_stock_universe(count=100, length=128, seed=5)
+        fund_stds, stock_stds = [], []
+        for rid in range(len(rel)):
+            series = rel.get(rid)
+            rel_std = float(np.std(series) / np.mean(series))
+            (fund_stds if rel.attrs(rid)["is_fund"] else stock_stds).append(rel_std)
+        assert np.mean(fund_stds) < np.mean(stock_stds)
+
+    def test_inverse_instruments_anticorrelate_with_market(self):
+        rel = make_stock_universe(count=200, length=128, seed=6)
+        # Average the normal forms of positive-beta stocks as a market proxy.
+        pos = [
+            normal_form(rel.get(rid))
+            for rid in range(len(rel))
+            if rel.attrs(rid)["beta"] > 0.5
+        ]
+        market = np.mean(pos, axis=0)
+        neg_corr = [
+            float(np.corrcoef(normal_form(rel.get(rid)), market)[0, 1])
+            for rid in range(len(rel))
+            if rel.attrs(rid)["beta"] < 0
+        ]
+        assert len(neg_corr) > 0
+        assert np.mean(neg_corr) < -0.2
+
+    def test_universe_contains_close_pairs_under_smoothing(self):
+        """The Table-1 join premise: some pairs are close after mavg20."""
+        rel = make_stock_universe(count=150, length=128, seed=7)
+        t = moving_average(128, 20)
+        nf = np.stack([t.apply_series(normal_form(rel.get(r))) for r in range(150)])
+        close = 0
+        for i in range(150):
+            d = np.linalg.norm(nf - nf[i], axis=1)
+            close += int(np.sum(d < 2.0)) - 1
+        assert close > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_stock_universe(count=0)
+        with pytest.raises(ValueError):
+            make_stock_universe(length=1)

@@ -1,0 +1,112 @@
+"""Unit tests for the fixed-size page file."""
+
+import os
+
+import pytest
+
+from repro.storage.pager import PAGE_SIZE, PageError, PageFile
+
+
+class TestAllocation:
+    def test_ids_are_sequential(self):
+        pf = PageFile()
+        assert [pf.allocate() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_num_pages_tracks_allocations(self):
+        pf = PageFile()
+        for _ in range(3):
+            pf.allocate()
+        assert pf.num_pages == 3
+
+    def test_freed_pages_are_reused(self):
+        pf = PageFile()
+        a = pf.allocate()
+        pf.allocate()
+        pf.free(a)
+        assert pf.allocate() == a
+
+    def test_free_rejects_unallocated_page(self):
+        pf = PageFile()
+        with pytest.raises(PageError):
+            pf.free(0)
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        pf = PageFile()
+        pid = pf.allocate()
+        pf.write_page(pid, b"hello")
+        assert pf.read_page(pid)[:5] == b"hello"
+
+    def test_short_payload_is_zero_padded(self):
+        pf = PageFile()
+        pid = pf.allocate()
+        pf.write_page(pid, b"x")
+        data = pf.read_page(pid)
+        assert len(data) == PAGE_SIZE
+        assert data[1:] == b"\x00" * (PAGE_SIZE - 1)
+
+    def test_fresh_page_reads_as_zeros(self):
+        pf = PageFile()
+        pid = pf.allocate()
+        assert pf.read_page(pid) == b"\x00" * PAGE_SIZE
+
+    def test_oversized_payload_rejected(self):
+        pf = PageFile()
+        pid = pf.allocate()
+        with pytest.raises(PageError):
+            pf.write_page(pid, b"z" * (PAGE_SIZE + 1))
+
+    def test_out_of_range_read_rejected(self):
+        pf = PageFile()
+        with pytest.raises(PageError):
+            pf.read_page(0)
+
+    def test_writes_do_not_leak_across_pages(self):
+        pf = PageFile()
+        a, b = pf.allocate(), pf.allocate()
+        pf.write_page(a, b"a" * 100)
+        pf.write_page(b, b"b" * 100)
+        assert pf.read_page(a)[:100] == b"a" * 100
+        assert pf.read_page(b)[:100] == b"b" * 100
+
+
+class TestStats:
+    def test_reads_and_writes_counted(self):
+        pf = PageFile()
+        pid = pf.allocate()
+        pf.write_page(pid, b"x")
+        pf.read_page(pid)
+        pf.read_page(pid)
+        assert pf.stats.page_writes == 1
+        assert pf.stats.page_reads == 2
+        assert pf.stats.disk_accesses == 3
+
+
+class TestDiskBacked:
+    def test_roundtrip_on_disk(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        with PageFile(path=path) as pf:
+            pid = pf.allocate()
+            pf.write_page(pid, b"persistent")
+        with PageFile(path=path) as pf2:
+            assert pf2.read_page(pid)[:10] == b"persistent"
+
+    def test_reopen_sees_existing_pages(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        with PageFile(path=path) as pf:
+            for _ in range(4):
+                pf.allocate()
+            pf.write_page(3, b"tail")
+        with PageFile(path=path) as pf2:
+            assert pf2.num_pages == 4
+
+    def test_custom_page_size(self, tmp_path):
+        pf = PageFile(page_size=512)
+        pid = pf.allocate()
+        pf.write_page(pid, b"y" * 512)
+        assert len(pf.read_page(pid)) == 512
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(PageError):
+            PageFile(page_size=0)

@@ -1,0 +1,109 @@
+"""Unit and property tests for the node page layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.geometry import Rect
+from repro.rtree.node import Entry, Node
+from repro.storage.serialization import (
+    decode_node,
+    encode_node,
+    max_entries_for_page,
+)
+
+
+def make_node(level, dim, count, seed=0):
+    rng = np.random.default_rng(seed)
+    entries = []
+    for i in range(count):
+        lo = rng.uniform(-100, 100, dim)
+        hi = lo + rng.uniform(0, 10, dim)
+        entries.append(Entry(Rect(lo, hi), int(rng.integers(0, 2**40))))
+    return Node(node_id=7, level=level, entries=entries)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dim", [1, 2, 6, 16])
+    @pytest.mark.parametrize("level", [0, 1, 5])
+    def test_roundtrip_preserves_everything(self, dim, level):
+        node = make_node(level, dim, count=10, seed=dim * 10 + level)
+        data = encode_node(node, dim, 4096)
+        back = decode_node(data, node_id=7)
+        assert back.level == node.level
+        assert back.node_id == 7
+        assert len(back.entries) == len(node.entries)
+        for a, b in zip(node.entries, back.entries):
+            assert a.child == b.child
+            assert np.array_equal(a.rect.lows, b.rect.lows)
+            assert np.array_equal(a.rect.highs, b.rect.highs)
+
+    def test_empty_node_roundtrip(self):
+        node = Node(node_id=0, level=0, entries=[])
+        back = decode_node(encode_node(node, 4, 4096), 0)
+        assert back.entries == []
+        assert back.is_leaf
+
+    def test_negative_child_ids_survive(self):
+        node = Node(0, 0, [Entry(Rect.from_point([1.0, 2.0]), -5)])
+        back = decode_node(encode_node(node, 2, 4096), 0)
+        assert back.entries[0].child == -5
+
+
+class TestCapacity:
+    def test_max_entries_formula(self):
+        # dim=6: entry = 16*6+8 = 104 bytes; header 8 -> (4096-8)//104 = 39.
+        assert max_entries_for_page(4096, 6) == 39
+
+    def test_overfull_node_rejected(self):
+        cap = max_entries_for_page(4096, 6)
+        node = make_node(0, 6, cap + 1)
+        with pytest.raises(ValueError):
+            encode_node(node, 6, 4096)
+
+    def test_exactly_full_node_fits(self):
+        cap = max_entries_for_page(4096, 6)
+        node = make_node(0, 6, cap)
+        assert len(encode_node(node, 6, 4096)) <= 4096
+
+    def test_page_too_small_for_one_entry(self):
+        with pytest.raises(ValueError):
+            max_entries_for_page(16, 8)
+
+
+class TestValidation:
+    def test_dimension_mismatch_rejected(self):
+        node = make_node(0, 3, 2)
+        with pytest.raises(ValueError):
+            encode_node(node, 4, 4096)
+
+    def test_bad_magic_rejected(self):
+        node = make_node(0, 2, 1)
+        data = bytearray(encode_node(node, 2, 4096))
+        data[0] = 0x00
+        with pytest.raises(ValueError):
+            decode_node(bytes(data), 0)
+
+    def test_level_out_of_range_rejected(self):
+        node = make_node(300, 2, 1)
+        with pytest.raises(ValueError):
+            encode_node(node, 2, 4096)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    dim=st.integers(min_value=1, max_value=8),
+    count=st.integers(min_value=0, max_value=20),
+    level=st.integers(min_value=0, max_value=255),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_roundtrip_property(dim, count, level, seed):
+    """Any encodable node decodes to an identical node."""
+    node = make_node(level, dim, count, seed=seed)
+    back = decode_node(encode_node(node, dim, 65536), node_id=node.node_id)
+    assert back.level == node.level
+    assert [e.child for e in back.entries] == [e.child for e in node.entries]
+    for a, b in zip(node.entries, back.entries):
+        assert np.array_equal(a.rect.lows, b.rect.lows)
+        assert np.array_equal(a.rect.highs, b.rect.highs)

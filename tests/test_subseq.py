@@ -1,0 +1,207 @@
+"""Tests for the subsequence-matching subsystem (FRM94 ST-index)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.examples import EX12_P, EX12_S
+from repro.subseq import STIndex, sliding_features, sliding_windows
+from repro.subseq.window import encode_rect
+
+
+class TestSlidingWindows:
+    def test_shapes(self, rng):
+        x = rng.normal(size=50)
+        wins = sliding_windows(x, 8)
+        assert wins.shape == (43, 8)
+        assert np.array_equal(wins[0], x[:8])
+        assert np.array_equal(wins[-1], x[-8:])
+
+    def test_window_equal_length(self, rng):
+        x = rng.normal(size=10)
+        wins = sliding_windows(x, 10)
+        assert wins.shape == (1, 10)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sliding_windows(rng.normal(size=5), 6)
+        with pytest.raises(ValueError):
+            sliding_windows(rng.normal(size=(2, 5)), 2)
+        with pytest.raises(ValueError):
+            sliding_windows(rng.normal(size=5), 0)
+
+
+class TestSlidingFeatures:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(8, 60),
+        w=st.integers(4, 16),
+        k=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    def test_incremental_matches_fft(self, n, w, k, seed):
+        """The O(k) recurrence reproduces per-window FFTs exactly."""
+        if w > n:
+            w = n
+        k = min(k, w)
+        x = np.random.default_rng(seed).normal(size=n)
+        inc = sliding_features(x, w, k, method="incremental")
+        fft = sliding_features(x, w, k, method="fft")
+        assert np.allclose(inc, fft, atol=1e-8)
+
+    def test_first_window_is_plain_dft(self, rng):
+        x = rng.normal(size=30)
+        feats = sliding_features(x, 8, 3)
+        want = np.fft.fft(x[:8])[:3] / np.sqrt(8)
+        assert np.allclose(feats[0], want)
+
+    def test_feature_distance_lower_bounds_window_distance(self, rng):
+        """The filter premise: truncated-spectrum distance <= true."""
+        x = rng.normal(size=40)
+        y = rng.normal(size=40)
+        fx = sliding_features(x, 16, 4)
+        fy = sliding_features(y, 16, 4)
+        for p in range(fx.shape[0]):
+            lb = float(np.linalg.norm(fx[p] - fy[p]))
+            true = float(np.linalg.norm(x[p : p + 16] - y[p : p + 16]))
+            assert lb <= true + 1e-9
+
+    def test_bad_method(self, rng):
+        with pytest.raises(ValueError):
+            sliding_features(rng.normal(size=10), 4, 2, method="magic")
+
+    def test_encode_rect_layout(self, rng):
+        f = rng.normal(size=(3, 2)) + 1j * rng.normal(size=(3, 2))
+        enc = encode_rect(f)
+        assert enc.shape == (3, 4)
+        assert np.allclose(enc[:, 0], f[:, 0].real)
+        assert np.allclose(enc[:, 3], f[:, 1].imag)
+
+
+def build_index(rng, grouping="adaptive", num=12, length=80, window=8):
+    idx = STIndex(window=window, k=3, grouping=grouping, chunk=8)
+    for _ in range(num):
+        idx.add_series(np.cumsum(rng.uniform(-1, 1, size=length)))
+    return idx
+
+
+class TestSTIndexExact:
+    @pytest.mark.parametrize("grouping", ["fixed", "adaptive"])
+    def test_window_query_matches_brute_force(self, rng, grouping):
+        idx = build_index(rng, grouping)
+        q = idx.series(3)[10:18].copy()
+        for eps in [0.0, 0.5, 2.0, 5.0]:
+            got = idx.range_query(q, eps)
+            want = idx.brute_force(q, eps)
+            assert [(m.series_id, m.offset) for m in got] == [
+                (m.series_id, m.offset) for m in want
+            ]
+
+    @pytest.mark.parametrize("grouping", ["fixed", "adaptive"])
+    def test_long_query_matches_brute_force(self, rng, grouping):
+        idx = build_index(rng, grouping)
+        q = idx.series(5)[4:36].copy()  # 4 pieces of 8
+        for eps in [0.5, 2.0, 6.0]:
+            got = idx.range_query(q, eps)
+            want = idx.brute_force(q, eps)
+            assert [(m.series_id, m.offset) for m in got] == [
+                (m.series_id, m.offset) for m in want
+            ]
+
+    def test_non_multiple_length_query(self, rng):
+        """Queries whose length is not a window multiple still work (the
+        remainder tail is verified in refinement)."""
+        idx = build_index(rng)
+        q = idx.series(2)[7:28].copy()  # length 21 = 2*8 + 5
+        got = idx.range_query(q, 3.0)
+        want = idx.brute_force(q, 3.0)
+        assert [(m.series_id, m.offset) for m in got] == [
+            (m.series_id, m.offset) for m in want
+        ]
+
+    def test_exact_self_match_found(self, rng):
+        idx = build_index(rng)
+        q = idx.series(0)[20:28].copy()
+        got = idx.range_query(q, 0.0)
+        assert any(m.series_id == 0 and m.offset == 20 for m in got)
+        assert got[0].distance == pytest.approx(0.0)
+
+    def test_perturbed_match_distance(self, rng):
+        idx = build_index(rng)
+        q = idx.series(1)[5:13] + rng.normal(0, 0.05, size=8)
+        got = idx.range_query(q, 1.0)
+        hit = [m for m in got if m.series_id == 1 and m.offset == 5]
+        assert hit and hit[0].distance <= 1.0
+
+
+class TestSTIndexProperties:
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(seed=st.integers(0, 5000), eps=st.floats(0.1, 8.0), qlen=st.integers(8, 30))
+    def test_no_false_dismissals_property(self, seed, eps, qlen):
+        rng = np.random.default_rng(seed)
+        idx = build_index(rng, num=6, length=60)
+        src = idx.series(int(rng.integers(0, 6)))
+        start = int(rng.integers(0, len(src) - qlen))
+        q = src[start : start + qlen] + rng.normal(0, 0.1, size=qlen)
+        got = {(m.series_id, m.offset) for m in idx.range_query(q, eps)}
+        want = {(m.series_id, m.offset) for m in idx.brute_force(q, eps)}
+        assert want <= got or want == got  # index answers == brute force
+        assert got == want
+
+    def test_adaptive_produces_fewer_or_equal_subtrails(self, rng):
+        fixed = build_index(rng, "fixed", num=10)
+        rng2 = np.random.default_rng(12345)
+        adaptive = build_index(rng2, "adaptive", num=10)
+        # Both must at least cover every offset; counts are implementation
+        # detail but must stay sane (no degenerate 1-point explosion).
+        per_series = adaptive.num_subtrails / adaptive.num_series
+        assert per_series < (80 - 8 + 1)  # strictly better than one MBR/point
+
+
+class TestSTIndexValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            STIndex(window=1)
+        with pytest.raises(ValueError):
+            STIndex(window=8, k=0)
+        with pytest.raises(ValueError):
+            STIndex(window=8, k=9)
+        with pytest.raises(ValueError):
+            STIndex(window=8, grouping="magic")
+        with pytest.raises(ValueError):
+            STIndex(window=8, chunk=0)
+
+    def test_short_series_rejected(self):
+        idx = STIndex(window=8)
+        with pytest.raises(ValueError):
+            idx.add_series(np.zeros(5))
+
+    def test_short_query_rejected(self, rng):
+        idx = build_index(rng)
+        with pytest.raises(ValueError):
+            idx.range_query(np.zeros(4), 1.0)
+
+    def test_negative_eps_rejected(self, rng):
+        idx = build_index(rng)
+        with pytest.raises(ValueError):
+            idx.range_query(np.zeros(8), -1.0)
+
+
+class TestPaperExample12AsSubsequenceQuery:
+    def test_no_length4_window_of_s_matches_p(self):
+        """Example 1.2 restated: every window of s is farther than 1.41
+        from p, so a subsequence query at eps=1.41 misses — motivating the
+        time-warp transformation."""
+        idx = STIndex(window=4, k=2)
+        idx.add_series(EX12_S)
+        got = idx.range_query(EX12_P, 1.41 - 1e-9)
+        assert got == []
+        # But the warped query matches exactly.
+        from repro.core.transforms import warp_series
+
+        warped = warp_series(EX12_P, 2)
+        hits = idx.range_query(warped[:4], 0.0)
+        assert hits  # the first warped window (20,20,21,21) occurs in s

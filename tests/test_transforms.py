@@ -1,0 +1,230 @@
+"""Tests for the transformation language (Section 3 + Appendix A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transforms import (
+    Transformation,
+    identity,
+    moving_average,
+    reverse,
+    scale,
+    shift,
+    time_warp,
+    warp_series,
+)
+from repro.dft import dft
+
+series16 = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=16,
+    max_size=16,
+)
+
+
+class TestConstruction:
+    def test_mismatched_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            Transformation([1.0, 2.0], [0.0])
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Transformation([1.0], [0.0], cost=-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Transformation([], [])
+
+    def test_repr_contains_name(self):
+        assert "mavg3" in repr(moving_average(8, 3))
+
+
+class TestNamedTransformations:
+    def test_identity_is_noop(self, rng):
+        x = rng.normal(size=32)
+        assert np.allclose(identity(32).apply_series(x), x)
+        assert identity(32).is_identity()
+
+    def test_shift_adds_constant(self, rng):
+        x = rng.normal(size=16)
+        got = shift(16, 2.5).apply_series(x)
+        assert np.allclose(got, x + 2.5, atol=1e-9)
+
+    def test_scale_multiplies(self, rng):
+        x = rng.normal(size=16)
+        assert np.allclose(scale(16, -3.0).apply_series(x), -3.0 * x, atol=1e-9)
+
+    def test_reverse_negates(self, rng):
+        x = rng.normal(size=16)
+        assert np.allclose(reverse(16).apply_series(x), -x, atol=1e-9)
+
+    def test_moving_average_equals_circular_window_mean(self, rng):
+        """Frequency-domain T_mavg == literal circular moving average."""
+        x = rng.normal(size=20)
+        got = moving_average(20, 5).apply_series(x)
+        want = np.array(
+            [np.mean([x[(i - j) % 20] for j in range(5)]) for i in range(20)]
+        )
+        assert np.allclose(got, want, atol=1e-9)
+
+    def test_moving_average_window_one_is_identity(self, rng):
+        x = rng.normal(size=12)
+        assert np.allclose(moving_average(12, 1).apply_series(x), x, atol=1e-9)
+
+    def test_weighted_moving_average(self, rng):
+        x = rng.normal(size=10)
+        w = np.array([0.5, 0.3, 0.2])
+        got = moving_average(10, 3, weights=w).apply_series(x)
+        want = np.array(
+            [sum(w[j] * x[(i - j) % 10] for j in range(3)) for i in range(10)]
+        )
+        assert np.allclose(got, want, atol=1e-9)
+
+    def test_moving_average_validation(self):
+        with pytest.raises(ValueError):
+            moving_average(10, 0)
+        with pytest.raises(ValueError):
+            moving_average(10, 11)
+        with pytest.raises(ValueError):
+            moving_average(10, 3, weights=[1.0, 2.0])
+
+    def test_paper_m3_vector(self):
+        """Section 3.2: T_mavg3's stretch is the DFT of (1/3,1/3,1/3,0...)."""
+        t = moving_average(15, 3)
+        w = np.zeros(15)
+        w[:3] = 1.0 / 3.0
+        assert np.allclose(t.a, np.fft.fft(w))
+        assert np.allclose(t.b, 0.0)
+
+
+class TestTimeWarp:
+    @pytest.mark.parametrize("n,m", [(4, 2), (8, 3), (16, 2), (5, 4)])
+    def test_eq19_matches_literal_warp(self, rng, n, m):
+        """a_f * S_f equals the warped series' coefficients under the
+        paper's normalisation (1/sqrt(n), Appendix A)."""
+        s = rng.normal(size=n)
+        t = time_warp(n, m)
+        S = dft(s)
+        warped = warp_series(s, m)
+        S_warp = np.fft.fft(warped) / np.sqrt(n)  # paper's 1/sqrt(n) convention
+        assert np.allclose(t.a * S, S_warp[:n], atol=1e-9)
+
+    def test_m_equals_one_is_identity(self, rng):
+        s = rng.normal(size=8)
+        t = time_warp(8, 1)
+        assert np.allclose(t.a, 1.0)
+
+    def test_warp_series_literal(self):
+        assert np.array_equal(
+            warp_series([1.0, 2.0], 3), [1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+        )
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ValueError):
+            time_warp(8, 0)
+        with pytest.raises(ValueError):
+            warp_series([1.0], 0)
+
+    def test_dc_stretch_is_m(self):
+        """a_0 = m: warping multiplies total mass by m (under 1/sqrt(n))."""
+        t = time_warp(8, 4)
+        assert t.a[0] == pytest.approx(4.0)
+
+
+class TestComposition:
+    def test_then_applies_in_order(self, rng):
+        x = rng.normal(size=16)
+        t = scale(16, 2.0).then(shift(16, 1.0))  # first *2, then +1
+        assert np.allclose(t.apply_series(x), 2.0 * x + 1.0, atol=1e-8)
+
+    def test_then_other_order(self, rng):
+        x = rng.normal(size=16)
+        t = shift(16, 1.0).then(scale(16, 2.0))  # first +1, then *2
+        assert np.allclose(t.apply_series(x), 2.0 * (x + 1.0), atol=1e-8)
+
+    def test_costs_add(self):
+        t = scale(8, 2.0, cost=1.5).then(shift(8, 1.0, cost=2.0))
+        assert t.cost == pytest.approx(3.5)
+
+    def test_power_repeats(self, rng):
+        x = rng.normal(size=20)
+        t2 = moving_average(20, 5).power(2)
+        once = moving_average(20, 5).apply_series(x)
+        twice = moving_average(20, 5).apply_series(once)
+        assert np.allclose(t2.apply_series(x), twice, atol=1e-8)
+
+    def test_power_validation(self):
+        with pytest.raises(ValueError):
+            identity(4).power(0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            identity(8).then(identity(16))
+
+    def test_mean_std_maps_compose(self):
+        t = scale(8, 2.0).then(shift(8, 3.0))
+        # mean -> 2*mean + 3; std -> 2*std.
+        assert t.mean_map == pytest.approx((2.0, 3.0))
+        assert t.std_map == pytest.approx((2.0, 0.0))
+
+
+class TestSafety:
+    def test_real_stretch_safe_in_rect(self):
+        assert scale(8, -2.0).is_safe_rect()
+        assert shift(8, 1.0).is_safe_rect()
+        assert reverse(8).is_safe_rect()
+
+    def test_moving_average_unsafe_in_rect_but_safe_in_polar(self):
+        t = moving_average(16, 4)
+        assert not t.is_safe_rect()
+        assert t.is_safe_polar()
+
+    def test_shift_unsafe_in_polar(self):
+        assert not shift(8, 1.0).is_safe_polar()
+
+    def test_time_warp_safe_in_polar(self):
+        assert time_warp(8, 2).is_safe_polar()
+        assert not time_warp(8, 2).is_safe_rect()
+
+
+class TestApplication:
+    def test_truncated_spectrum_application(self, rng):
+        """T_k on the first k coefficients == truncation of T on all."""
+        x = rng.normal(size=32)
+        t = moving_average(32, 5)
+        full = t.apply_spectrum(dft(x))
+        part = t.apply_spectrum(dft(x)[:6])
+        assert np.allclose(part, full[:6])
+
+    def test_too_long_spectrum_rejected(self):
+        with pytest.raises(ValueError):
+            identity(4).apply_spectrum(np.zeros(8, dtype=complex))
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            identity(4).apply_series(np.zeros(5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(series16, st.floats(-3, 3), st.floats(-3, 3))
+    def test_linearity_of_application(self, x, a, c):
+        """T(a*x) relates linearly for pure-stretch transformations."""
+        t = scale(16, c)
+        lhs = t.apply_spectrum(a * dft(np.asarray(x)))
+        rhs = a * t.apply_spectrum(dft(np.asarray(x)))
+        assert np.allclose(lhs, rhs, atol=1e-6)
+
+
+class TestDistanceReduction:
+    def test_moving_average_is_nonexpansive(self, rng):
+        """Plain averaging never increases Euclidean distance (each |a_f|<=1),
+        the mechanism behind every Section 2 example."""
+        t = moving_average(64, 10)
+        assert np.all(np.abs(t.a) <= 1.0 + 1e-12)
+        x, y = rng.normal(size=64), rng.normal(size=64)
+        d_before = float(np.linalg.norm(x - y))
+        d_after = float(
+            np.linalg.norm(t.apply_series(x) - t.apply_series(y))
+        )
+        assert d_after <= d_before + 1e-9

@@ -1,0 +1,120 @@
+"""Tests for the extension transformations (difference, exp. smoothing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import NormalFormSpace, PlainDFTSpace
+from repro.core.transforms import (
+    difference,
+    exponential_smoothing,
+    moving_average,
+)
+
+
+class TestDifference:
+    def test_matches_literal_circular_difference(self, rng):
+        x = rng.normal(size=24)
+        got = difference(24).apply_series(x)
+        want = x - np.roll(x, 1)
+        assert np.allclose(got, want, atol=1e-9)
+
+    def test_constant_series_maps_to_zero(self):
+        got = difference(16).apply_series(np.full(16, 3.5))
+        assert np.allclose(got, 0.0, atol=1e-9)
+
+    def test_removes_linear_trend_interior(self, rng):
+        """Away from the wrap point, differencing a trend is constant."""
+        x = 2.0 * np.arange(32) + 5.0
+        got = difference(32).apply_series(x)
+        assert np.allclose(got[1:], 2.0, atol=1e-8)
+
+    def test_safe_in_polar_only(self):
+        t = difference(16)
+        assert t.is_safe_polar()
+        assert not t.is_safe_rect()
+        PlainDFTSpace(16, 3, coord="polar").affine_map(t)  # must not raise
+
+    def test_mean_map_zeroes_level(self):
+        assert difference(8).mean_map == (0.0, 0.0)
+
+    def test_index_query_with_difference(self, rng):
+        """End-to-end: difference as a query transformation, vs brute force."""
+        from repro.core.engine import SimilarityEngine
+        from repro.data import SequenceRelation
+        from repro.data.synthetic import random_walks
+
+        rel = SequenceRelation.from_matrix(random_walks(60, 32, seed=4))
+        engine = SimilarityEngine(rel, space=NormalFormSpace(32, 2, coord="polar"))
+        t = difference(32)
+        q = rel.get(0)
+        got = engine.range_query(q, 3.0, transformation=t)
+        Q = engine.query_spectrum(q)
+        want = sorted(
+            rid
+            for rid in range(60)
+            if engine.space.ground_distance(engine.ground_spectra[rid], Q, t) <= 3.0
+        )
+        assert sorted(r for r, _ in got) == want
+
+
+class TestExponentialSmoothing:
+    def test_weights_sum_to_one_effect_on_constant(self):
+        t = exponential_smoothing(32, 0.3)
+        x = np.full(32, 7.0)
+        assert np.allclose(t.apply_series(x), 7.0, atol=1e-9)
+
+    def test_alpha_one_is_identity(self, rng):
+        x = rng.normal(size=16)
+        t = exponential_smoothing(16, 1.0)
+        assert np.allclose(t.apply_series(x), x, atol=1e-9)
+
+    def test_matches_literal_weighted_window(self, rng):
+        x = rng.normal(size=20)
+        t = exponential_smoothing(20, 0.5, window=4)
+        w = 0.5 * 0.5 ** np.arange(4)
+        w = w / w.sum()
+        want = np.array(
+            [sum(w[j] * x[(i - j) % 20] for j in range(4)) for i in range(20)]
+        )
+        assert np.allclose(t.apply_series(x), want, atol=1e-9)
+
+    def test_smooths_noise(self, rng):
+        base = np.sin(np.linspace(0, 4 * np.pi, 64))
+        noisy = base + rng.normal(0, 0.4, size=64)
+        t = exponential_smoothing(64, 0.25)
+        smoothed = t.apply_series(noisy)
+        assert np.std(np.diff(smoothed)) < np.std(np.diff(noisy))
+
+    def test_recency_weighting_tracks_latest(self, rng):
+        """Higher alpha follows the raw series more closely."""
+        x = np.cumsum(rng.normal(size=64))
+        slow = exponential_smoothing(64, 0.1).apply_series(x)
+        fast = exponential_smoothing(64, 0.8).apply_series(x)
+        assert np.linalg.norm(fast - x) < np.linalg.norm(slow - x)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_smoothing(16, 0.0)
+        with pytest.raises(ValueError):
+            exponential_smoothing(16, 1.5)
+        with pytest.raises(ValueError):
+            exponential_smoothing(16, 0.5, window=0)
+        with pytest.raises(ValueError):
+            exponential_smoothing(16, 0.5, window=17)
+
+    def test_default_window_covers_mass(self):
+        t = exponential_smoothing(128, 0.3)
+        # window chosen so truncated tail < 0.1% of total mass
+        assert "expsmooth" in t.name
+
+    def test_safe_in_polar(self):
+        t = exponential_smoothing(32, 0.4)
+        assert t.is_safe_polar()
+
+    def test_composes_with_moving_average(self, rng):
+        x = rng.normal(size=32)
+        chain = moving_average(32, 4).then(exponential_smoothing(32, 0.5))
+        step = exponential_smoothing(32, 0.5).apply_series(
+            moving_average(32, 4).apply_series(x)
+        )
+        assert np.allclose(chain.apply_series(x), step, atol=1e-8)

@@ -1,0 +1,107 @@
+"""Throughput of the engine-level batch APIs versus the scalar baseline.
+
+Two headline numbers for the batch execution layer:
+
+* **build speedup** — index construction (batched extraction + ground
+  spectra) against the seed's per-row scalar pipeline, and
+* **queries/sec** — ``range_query_batch`` / ``knn_query_batch`` (shared
+  preprocessing + shared transformed view + batched verification) against
+  a loop of scalar-path single queries.
+
+Run:  ``PYTHONPATH=src python -m benchmarks.bench_batch_throughput``
+Quick: add ``--count 2000 --queries 50``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from benchmarks.common import print_series
+from repro.core import queries as q
+from repro.core.engine import SimilarityEngine
+from repro.core.features import NormalFormSpace
+from repro.core.transforms import moving_average
+from repro.data import SequenceRelation
+from repro.data.synthetic import random_walks
+
+LENGTH = 128
+RANGE_EPS = 6.0
+KNN_K = 10
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--count", type=int, default=10_000)
+    parser.add_argument("--queries", type=int, default=200)
+    args = parser.parse_args()
+
+    matrix = random_walks(args.count, LENGTH, seed=1997)
+    space = NormalFormSpace(LENGTH, k=2, coord="polar")
+    space.extract_many_with_spectra(matrix[:64])  # warm the FFT plan cache
+
+    # ------------------------------------------------------------------
+    t0 = time.perf_counter()
+    space.extract_many_with_spectra(matrix)
+    batched_build = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    np.stack([space.extract(row) for row in matrix])
+    np.stack([space.series_spectrum(row) for row in matrix])
+    scalar_build = time.perf_counter() - t0
+    print_series(
+        f"Index build inputs ({args.count} x {LENGTH})",
+        ["path", "seconds", "speedup"],
+        [
+            ("scalar", scalar_build, 1.0),
+            ("batched", batched_build, scalar_build / batched_build),
+        ],
+    )
+
+    # ------------------------------------------------------------------
+    rel = SequenceRelation.from_matrix(matrix)
+    engine = SimilarityEngine(rel)
+    rng = np.random.default_rng(5)
+    queries = matrix[rng.choice(args.count, size=args.queries, replace=False)]
+    t = moving_average(LENGTH, 20)
+
+    rows = []
+    for label, transformation in (("identity", None), ("mavg20", t)):
+        t0 = time.perf_counter()
+        for series in queries:
+            q.range_query(
+                engine.tree, engine.space, engine.ground_spectra,
+                engine.query_spectrum(series), engine.query_point(series),
+                RANGE_EPS, transformation=transformation, batched=False,
+            )
+        scalar_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        engine.range_query_batch(queries, RANGE_EPS, transformation=transformation)
+        batch_s = time.perf_counter() - t0
+        rows.append((f"range/{label}", len(queries) / scalar_s,
+                     len(queries) / batch_s, scalar_s / batch_s))
+
+        t0 = time.perf_counter()
+        for series in queries:
+            q.knn_query(
+                engine.tree, engine.space, engine.ground_spectra,
+                engine.query_spectrum(series), engine.query_point(series),
+                KNN_K, transformation=transformation, batched=False,
+            )
+        scalar_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        engine.knn_query_batch(queries, KNN_K, transformation=transformation)
+        batch_s = time.perf_counter() - t0
+        rows.append((f"knn/{label}", len(queries) / scalar_s,
+                     len(queries) / batch_s, scalar_s / batch_s))
+
+    print_series(
+        f"Query throughput ({args.count} series, {args.queries} queries)",
+        ["workload", "scalar q/s", "batched q/s", "speedup"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

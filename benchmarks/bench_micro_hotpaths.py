@@ -1,0 +1,245 @@
+"""Micro-benchmarks of the batch execution layer's hot paths.
+
+Times every scalar-vs-batched pair the batch layer replaces — index build
+(extraction + ground spectra), range-query verification, end-to-end range
+and k-NN latency, and the all-pairs join — and emits a machine-readable
+``BENCH_hotpaths.json`` at the repository root so future PRs can track the
+performance trajectory.
+
+Default configuration is the acceptance workload: 10,000 random walks of
+length 128 with the paper's six-dimensional polar normal-form space.
+
+Run:  ``PYTHONPATH=src python -m benchmarks.bench_micro_hotpaths``
+Quick: add ``--count 2000 --pairs 400`` for a fast smoke pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.common import print_series
+from repro.core import queries as q
+from repro.core.engine import SimilarityEngine
+from repro.core.features import NormalFormSpace
+from repro.data import SequenceRelation
+from repro.data.synthetic import random_walks
+
+LENGTH = 128
+#: ~8% of the relation becomes a range candidate at this eps (1.5% answers).
+RANGE_EPS = 6.0
+JOIN_EPS = 3.0
+KNN_K = 10
+
+
+def _timed(fn, repeats: int = 1) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_build(matrix: np.ndarray, space: NormalFormSpace) -> dict:
+    """Index-build inputs: extract_many + ground-spectra, scalar vs batched."""
+    space.extract_many_with_spectra(matrix[:64])  # warm the FFT plan cache
+
+    def scalar() -> None:
+        np.stack([space.extract(row) for row in matrix])
+        np.stack([space.series_spectrum(row) for row in matrix])
+
+    batched_s = _timed(lambda: space.extract_many_with_spectra(matrix), repeats=3)
+    scalar_s = _timed(scalar)
+    return {"scalar_s": scalar_s, "batched_s": batched_s,
+            "speedup": scalar_s / batched_s}
+
+
+def bench_range_verification(
+    engine: SimilarityEngine, queries: np.ndarray, eps: float
+) -> dict:
+    """Post-processing (Algorithm 2 step 3) only: candidate verification."""
+    space, spectra = engine.space, engine.ground_spectra
+    view = q._make_view(engine.tree, space, None)
+    prepared = []
+    for series in queries:
+        spec = engine.query_spectrum(series)
+        qrect = space.search_rect(engine.query_point(series), eps)
+        cands = np.fromiter(
+            (e.child for e in view.search(qrect)), dtype=np.intp
+        )
+        prepared.append((spec, cands))
+    candidates = int(sum(len(c) for _, c in prepared))
+
+    def scalar() -> None:
+        for spec, cands in prepared:
+            for c in cands:
+                space.ground_distance_within(spectra[c], spec, eps)
+
+    def batched() -> None:
+        for spec, cands in prepared:
+            space.ground_distances_within_many(spectra[cands], spec, eps)
+
+    batched_s = _timed(batched, repeats=3)
+    scalar_s = _timed(scalar)
+    return {
+        "candidates": candidates,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def bench_query_latency(engine: SimilarityEngine, queries: np.ndarray) -> dict:
+    """End-to-end range and k-NN latency, scalar vs batched paths."""
+    space, spectra = engine.space, engine.ground_spectra
+
+    def run_range(batched: bool) -> None:
+        for series in queries:
+            q.range_query(
+                engine.tree, space, spectra,
+                engine.query_spectrum(series), engine.query_point(series),
+                RANGE_EPS, batched=batched,
+            )
+
+    def run_knn(batched: bool) -> None:
+        for series in queries:
+            q.knn_query(
+                engine.tree, space, spectra,
+                engine.query_spectrum(series), engine.query_point(series),
+                KNN_K, batched=batched,
+            )
+
+    out = {}
+    for name, fn in (("range", run_range), ("knn", run_knn)):
+        batched_s = _timed(lambda: fn(True), repeats=2)
+        scalar_s = _timed(lambda: fn(False))
+        out[name] = {
+            "queries": len(queries),
+            "scalar_ms_per_query": 1000 * scalar_s / len(queries),
+            "batched_ms_per_query": 1000 * batched_s / len(queries),
+            "speedup": scalar_s / batched_s,
+        }
+    return out
+
+
+def bench_all_pairs(matrix: np.ndarray, eps: float) -> dict:
+    """All-pairs wall time (scan with early abandoning, and the index join)."""
+    rel = SequenceRelation.from_matrix(matrix)
+    engine = SimilarityEngine(rel)
+    spectra = engine.ground_spectra
+    out = {"count": matrix.shape[0]}
+    batched_s = _timed(
+        lambda: q.all_pairs_scan(spectra, eps, early_abandon=True, batched=True)
+    )
+    scalar_s = _timed(
+        lambda: q.all_pairs_scan(spectra, eps, early_abandon=True, batched=False)
+    )
+    out["scan_abandon"] = {
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+    out["index_join_s"] = _timed(
+        lambda: q.all_pairs_index(
+            engine.tree, engine.space, spectra, engine.points, eps
+        )
+    )
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--count", type=int, default=10_000,
+                        help="relation cardinality (default 10000)")
+    parser.add_argument("--pairs", type=int, default=1_000,
+                        help="cardinality for the all-pairs timing")
+    parser.add_argument("--queries", type=int, default=50,
+                        help="number of query series (default 50)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: repo-root BENCH_hotpaths.json)")
+    args = parser.parse_args()
+
+    matrix = random_walks(args.count, LENGTH, seed=1997)
+    space = NormalFormSpace(LENGTH, k=2, coord="polar")
+    report: dict = {
+        "workload": {
+            "count": args.count,
+            "length": LENGTH,
+            "space": "NormalFormSpace(k=2, polar)",
+            "range_eps": RANGE_EPS,
+            "knn_k": KNN_K,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        }
+    }
+
+    report["build"] = bench_build(matrix, space)
+    print_series(
+        f"Index build inputs ({args.count} x {LENGTH})",
+        ["path", "seconds", "speedup"],
+        [
+            ("scalar", report["build"]["scalar_s"], 1.0),
+            ("batched", report["build"]["batched_s"], report["build"]["speedup"]),
+        ],
+    )
+
+    rel = SequenceRelation.from_matrix(matrix)
+    engine = SimilarityEngine(rel)
+    rng = np.random.default_rng(5)
+    queries = matrix[rng.choice(args.count, size=args.queries, replace=False)]
+
+    report["range_verification"] = bench_range_verification(
+        engine, queries, RANGE_EPS
+    )
+    rv = report["range_verification"]
+    print_series(
+        f"Range verification (eps={RANGE_EPS}, {rv['candidates']} candidates)",
+        ["path", "seconds", "speedup"],
+        [
+            ("scalar", rv["scalar_s"], 1.0),
+            ("batched", rv["batched_s"], rv["speedup"]),
+        ],
+    )
+
+    report["latency"] = bench_query_latency(engine, queries)
+    print_series(
+        "End-to-end latency (ms/query)",
+        ["query", "scalar", "batched", "speedup"],
+        [
+            (name, row["scalar_ms_per_query"], row["batched_ms_per_query"],
+             row["speedup"])
+            for name, row in report["latency"].items()
+        ],
+    )
+
+    report["all_pairs"] = bench_all_pairs(matrix[: args.pairs], JOIN_EPS)
+    ap = report["all_pairs"]
+    print_series(
+        f"All-pairs ({ap['count']} series, eps={JOIN_EPS})",
+        ["method", "seconds", "speedup"],
+        [
+            ("scan-abandon scalar", ap["scan_abandon"]["scalar_s"], 1.0),
+            ("scan-abandon batched", ap["scan_abandon"]["batched_s"],
+             ap["scan_abandon"]["speedup"]),
+            ("index join (batched)", ap["index_join_s"],
+             ap["scan_abandon"]["scalar_s"] / ap["index_join_s"]),
+        ],
+    )
+
+    out_path = (
+        Path(args.out)
+        if args.out
+        else Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+    )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,8 @@ SWEEPS = [
     ("benchmarks.bench_ablation_k", False),
     ("benchmarks.bench_ablation_index", False),
     ("benchmarks.bench_subseq_stindex", False),
+    ("benchmarks.bench_batch_throughput", True),
+    ("benchmarks.bench_micro_hotpaths", True),
 ]
 
 

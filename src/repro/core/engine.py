@@ -83,18 +83,12 @@ class SimilarityEngine:
         else:
             store = MemoryNodeStore(stats=self.stats)
 
-        matrix = relation.matrix
-        self.points = (
-            self.space.extract_many(matrix)
-            if len(relation)
-            else np.empty((0, self.space.dim))
-        )
-        # Full spectra of the ground objects (normal forms for the
-        # normal-form space): what post-processing verifies against.
-        self.ground_spectra = (
-            np.stack([self.space.series_spectrum(row) for row in matrix])
-            if len(relation)
-            else np.empty((0, relation.length), dtype=np.complex128)
+        # Index points plus full spectra of the ground objects (normal
+        # forms for the normal-form space — what post-processing verifies
+        # against), from one shared batched pipeline; both come out as
+        # (0, ...) for an empty relation.
+        self.points, self.ground_spectra = self.space.extract_many_with_spectra(
+            relation.matrix
         )
 
         if bulk_load and len(relation) > 0:
@@ -203,6 +197,93 @@ class SimilarityEngine:
             transformation=transformation,
             stats=self.stats,
         )
+
+    def _query_reps_batch(
+        self,
+        series_matrix: ArrayLike,
+        transformation: Optional[Transformation],
+        transform_query: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`_query_reps`: one numpy pipeline for all queries."""
+        rows = np.asarray(series_matrix, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.space.n:
+            raise ValueError(
+                f"queries must be (m, {self.space.n}), got {rows.shape}"
+            )
+        q_specs = self.space.series_spectrum_many(rows)
+        q_points = self.space.extract_many(rows)
+        if transform_query and transformation is not None:
+            q_specs = transformation.apply_spectrum(q_specs)
+            amap = self.space.affine_map(transformation)
+            q_points = q_points * amap.scale + amap.offset
+        return q_specs, q_points
+
+    def range_query_batch(
+        self,
+        series_matrix: ArrayLike,
+        eps: float,
+        transformation: Optional[Transformation] = None,
+        aux_bounds: Optional[Sequence[tuple[float, float]]] = None,
+        transform_query: bool = False,
+    ) -> list[list[tuple[int, float]]]:
+        """Batched :meth:`range_query` over an ``(m, n)`` matrix of queries.
+
+        Query preprocessing (spectra, feature points, the transformed view)
+        is shared across the whole batch; each query then runs Algorithm 2
+        with batched candidate verification.  Returns one result list per
+        query row, in order.
+        """
+        q_specs, q_points = self._query_reps_batch(
+            series_matrix, transformation, transform_query
+        )
+        view = q._make_view(self.tree, self.space, transformation)
+        return [
+            q.range_query(
+                self.tree,
+                self.space,
+                self.ground_spectra,
+                q_specs[i],
+                q_points[i],
+                eps,
+                transformation=transformation,
+                aux_bounds=aux_bounds,
+                stats=self.stats,
+                view=view,
+            )
+            for i in range(q_points.shape[0])
+        ]
+
+    def knn_query_batch(
+        self,
+        series_matrix: ArrayLike,
+        k: int,
+        transformation: Optional[Transformation] = None,
+        transform_query: bool = False,
+    ) -> list[list[tuple[int, float]]]:
+        """Batched :meth:`knn_query` over an ``(m, n)`` matrix of queries.
+
+        Shares preprocessing and the transformed view like
+        :meth:`range_query_batch`; each query's traversal scores whole
+        nodes at a time through the batched lower-bound metrics.
+        """
+        q_specs, q_points = self._query_reps_batch(
+            series_matrix, transformation, transform_query
+        )
+        view = q._make_view(self.tree, self.space, transformation)
+        return [
+            q.knn_query(
+                self.tree,
+                self.space,
+                self.ground_spectra,
+                q_specs[i],
+                q_points[i],
+                k,
+                transformation=transformation,
+                stats=self.stats,
+                view=view,
+            )
+            for i in range(q_points.shape[0])
+        ]
 
     def all_pairs(
         self,

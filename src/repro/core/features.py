@@ -49,9 +49,9 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.normal_form import mean_std, normal_form
+from repro.core.normal_form import mean_std, mean_std_many, normal_form, normal_form_many
 from repro.core.transforms import SAFETY_TOL, Transformation
-from repro.dft import dft
+from repro.dft import dft, dft_many
 from repro.rtree.geometry import Rect
 from repro.rtree.transformed import AffineMap
 
@@ -111,6 +111,14 @@ class FeatureSpace(ABC):
             for i, f in enumerate(self.freqs):
                 if 0 < f < n / 2:
                     self.weights[i] = 2.0
+        # Cache the wrap-around-dimension mask: it is immutable once the
+        # layout is fixed, and views are built once per query.
+        if self.coord == "polar":
+            mask = np.zeros(self.dim, dtype=bool)
+            mask[self.aux_dims + 1 :: 2] = True
+            self._circular_mask: Optional[np.ndarray] = mask
+        else:
+            self._circular_mask = None
 
     # ------------------------------------------------------------------
     # subclass layout hooks
@@ -127,6 +135,24 @@ class FeatureSpace(ABC):
     def aux_values(self, series: ArrayLike) -> np.ndarray:
         """Values of the auxiliary dimensions for this series."""
 
+    def series_spectrum_many(self, matrix: ArrayLike) -> np.ndarray:
+        """Row-wise :meth:`series_spectrum` of an ``(m, n)`` matrix.
+
+        The base implementation loops over rows; both concrete spaces
+        override it with a single-FFT-call pipeline.
+        """
+        rows = np.asarray(matrix, dtype=np.float64)
+        if rows.shape[0] == 0:
+            return np.empty((0, self.n), dtype=np.complex128)
+        return np.stack([self.series_spectrum(row) for row in rows])
+
+    def aux_values_many(self, matrix: ArrayLike) -> np.ndarray:
+        """Row-wise :meth:`aux_values` as an ``(m, aux_dims)`` matrix."""
+        rows = np.asarray(matrix, dtype=np.float64)
+        if rows.shape[0] == 0:
+            return np.empty((0, self.aux_dims))
+        return np.stack([self.aux_values(row) for row in rows])
+
     # ------------------------------------------------------------------
     # derived layout
     # ------------------------------------------------------------------
@@ -137,13 +163,8 @@ class FeatureSpace(ABC):
 
     @property
     def circular_mask(self) -> Optional[np.ndarray]:
-        """Boolean mask of wrap-around (phase angle) dimensions."""
-        if self.coord != "polar":
-            return None
-        mask = np.zeros(self.dim, dtype=bool)
-        for i in range(self.k):
-            mask[self.aux_dims + 2 * i + 1] = True
-        return mask
+        """Boolean mask of wrap-around (phase angle) dimensions (cached)."""
+        return self._circular_mask
 
     def coeff_slice(self, point: ArrayLike) -> np.ndarray:
         """The coefficient-encoding part of an index point."""
@@ -163,11 +184,35 @@ class FeatureSpace(ABC):
         )
 
     def extract_many(self, matrix: ArrayLike) -> np.ndarray:
-        """Vectorised :meth:`extract` over the rows of ``matrix``."""
+        """Vectorised :meth:`extract` over the rows of ``matrix``.
+
+        One numpy pipeline for the whole relation: batched spectra, batched
+        aux values, batched coefficient encoding.  An empty ``(0, n)``
+        matrix yields ``(0, dim)``.
+        """
+        return self.extract_many_with_spectra(matrix)[0]
+
+    def extract_many_with_spectra(
+        self, matrix: ArrayLike
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both the index points and the full ground spectra of a relation.
+
+        One shared batched pipeline — the engine needs both at build time,
+        and the spectra computation (normal form + FFT) dominates, so
+        computing it once roughly halves index-construction cost.
+        """
         rows = np.asarray(matrix, dtype=np.float64)
         if rows.ndim != 2 or rows.shape[1] != self.n:
             raise ValueError(f"matrix must be (m, {self.n}), got {rows.shape}")
-        return np.stack([self.extract(row) for row in rows])
+        spec = self.series_spectrum_many(rows)
+        points = np.concatenate(
+            [
+                self.aux_values_many(rows),
+                self.encode_coefficients_many(spec[:, self.freqs]),
+            ],
+            axis=1,
+        )
+        return points, spec
 
     def encode_coefficients(self, coeffs: ArrayLike) -> np.ndarray:
         """Encode complex coefficients as index coordinates (pairs)."""
@@ -179,6 +224,18 @@ class FeatureSpace(ABC):
         else:
             out[0::2] = np.abs(c)
             out[1::2] = np.angle(c)
+        return out
+
+    def encode_coefficients_many(self, coeffs: ArrayLike) -> np.ndarray:
+        """Row-wise :meth:`encode_coefficients` of an ``(m, k)`` matrix."""
+        c = np.asarray(coeffs, dtype=np.complex128)
+        out = np.empty((c.shape[0], 2 * c.shape[1]))
+        if self.coord == "rect":
+            out[:, 0::2] = c.real
+            out[:, 1::2] = c.imag
+        else:
+            out[:, 0::2] = np.abs(c)
+            out[:, 1::2] = np.angle(c)
         return out
 
     def decode_coefficients(self, encoded: ArrayLike) -> np.ndarray:
@@ -366,6 +423,25 @@ class FeatureSpace(ABC):
             d2 = np.maximum(d2, 0.0)
         return float(math.sqrt(float(np.sum(self.weights * d2))))
 
+    def point_dist_many(self, points: np.ndarray, q: ArrayLike) -> np.ndarray:
+        """Row-wise :meth:`point_dist` of an ``(m, dim)`` matrix of points.
+
+        One law-of-cosines (or squared-difference) evaluation over the whole
+        matrix; agrees with the scalar path to float tolerance.
+        """
+        pts = np.asarray(points, dtype=np.float64)[:, self.aux_dims :]
+        b = np.asarray(q, dtype=np.float64)[self.aux_dims :]
+        if self.coord == "rect":
+            d2 = (pts[:, 0::2] - b[0::2]) ** 2 + (pts[:, 1::2] - b[1::2]) ** 2
+        else:
+            d2 = (
+                pts[:, 0::2] ** 2
+                + b[0::2] ** 2
+                - 2.0 * pts[:, 0::2] * b[0::2] * np.cos(pts[:, 1::2] - b[1::2])
+            )
+            d2 = np.maximum(d2, 0.0)
+        return np.sqrt(d2 @ self.weights)
+
     def rect_mindist(self, rect: Rect, q: ArrayLike) -> float:
         """Lower bound on :meth:`point_dist` over every point in ``rect``.
 
@@ -397,6 +473,32 @@ class FeatureSpace(ABC):
                 )
         return float(math.sqrt(total))
 
+    def rect_mindist_many(
+        self, lows: np.ndarray, highs: np.ndarray, q: ArrayLike
+    ) -> np.ndarray:
+        """Row-wise :meth:`rect_mindist` over stacked ``(m, dim)`` bounds.
+
+        This is the per-node lower bound the k-NN traversal evaluates for a
+        whole node's child MBRs in one numpy call.
+        """
+        point = np.asarray(q, dtype=np.float64)
+        lo = np.asarray(lows, dtype=np.float64)[:, self.aux_dims :]
+        hi = np.asarray(highs, dtype=np.float64)[:, self.aux_dims :]
+        if self.coord == "rect":
+            v = point[self.aux_dims :]
+            gap = np.maximum(lo - v, 0.0) + np.maximum(v - hi, 0.0)
+            d2 = gap[:, 0::2] ** 2 + gap[:, 1::2] ** 2
+        else:
+            d2 = self._polar_box_dist2_many(
+                point[self.aux_dims + 0 :: 2],
+                point[self.aux_dims + 1 :: 2],
+                lo[:, 0::2],
+                hi[:, 0::2],
+                lo[:, 1::2],
+                hi[:, 1::2],
+            )
+        return np.sqrt(d2 @ self.weights)
+
     @staticmethod
     def _polar_box_dist2(
         mq: float, tq: float, m_lo: float, m_hi: float, t_lo: float, t_hi: float
@@ -420,6 +522,33 @@ class FeatureSpace(ABC):
             m_star = m_lo
         d2 = mq * mq + m_star * m_star - 2.0 * m_star * mq * cos_d
         return max(d2, 0.0)
+
+    @staticmethod
+    def _polar_box_dist2_many(
+        mq: np.ndarray,
+        tq: np.ndarray,
+        m_lo: np.ndarray,
+        m_hi: np.ndarray,
+        t_lo: np.ndarray,
+        t_hi: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`_polar_box_dist2` over ``(m, k)`` boxes.
+
+        ``mq``/``tq`` are the query's ``(k,)`` magnitudes and angles; the
+        box bounds are ``(m, k)`` arrays (one row per rectangle).
+        """
+        width = t_hi - t_lo
+        rel = (tq - t_lo) % TWO_PI
+        gap = rel - width
+        dtheta = np.where(
+            (width >= TWO_PI) | (rel <= width),
+            0.0,
+            np.minimum(gap, TWO_PI - rel),
+        )
+        cos_d = np.cos(dtheta)
+        m_star = np.where(cos_d > 0, np.clip(mq * cos_d, m_lo, m_hi), m_lo)
+        d2 = mq * mq + m_star * m_star - 2.0 * m_star * mq * cos_d
+        return np.maximum(d2, 0.0)
 
     # ------------------------------------------------------------------
     # ground truth
@@ -452,6 +581,27 @@ class FeatureSpace(ABC):
         tx = spec_x if t is None else t.apply_spectrum(spec_x)
         return euclidean_early_abandon(tx, spec_q, eps, block=4)
 
+    def ground_distances_within_many(
+        self,
+        spectra: np.ndarray,
+        spec_q: np.ndarray,
+        eps: float,
+        t: Optional[Transformation] = None,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Batched :meth:`ground_distance_within` over ``(m, n)`` spectra.
+
+        The transformation is applied to the whole candidate matrix at once
+        and rows are verified block-by-block with matrix-level early
+        abandoning (see :func:`repro.core.similarity.batch_euclidean_within`).
+
+        Returns:
+            ``(surviving row indices, their exact distances, abandoned count)``.
+        """
+        from repro.core.similarity import batch_euclidean_within
+
+        tx = spectra if t is None else t.apply_spectrum(spectra)
+        return batch_euclidean_within(tx, spec_q, eps, block=4)
+
 
 class PlainDFTSpace(FeatureSpace):
     """The [AFS93] k-index layout: coefficients ``0..k-1`` of the raw series.
@@ -470,8 +620,17 @@ class PlainDFTSpace(FeatureSpace):
     def series_spectrum(self, series: ArrayLike) -> np.ndarray:
         return dft(np.asarray(series, dtype=np.float64))
 
+    def series_spectrum_many(self, matrix: ArrayLike) -> np.ndarray:
+        rows = np.asarray(matrix, dtype=np.float64)
+        if rows.shape[0] == 0:
+            return np.empty((0, self.n), dtype=np.complex128)
+        return dft_many(rows)
+
     def aux_values(self, series: ArrayLike) -> np.ndarray:
         return np.empty(0)
+
+    def aux_values_many(self, matrix: ArrayLike) -> np.ndarray:
+        return np.empty((np.asarray(matrix).shape[0], 0))
 
 
 class NormalFormSpace(FeatureSpace):
@@ -497,8 +656,17 @@ class NormalFormSpace(FeatureSpace):
     def series_spectrum(self, series: ArrayLike) -> np.ndarray:
         return dft(normal_form(np.asarray(series, dtype=np.float64)))
 
+    def series_spectrum_many(self, matrix: ArrayLike) -> np.ndarray:
+        rows = np.asarray(matrix, dtype=np.float64)
+        if rows.shape[0] == 0:
+            return np.empty((0, self.n), dtype=np.complex128)
+        return dft_many(normal_form_many(rows))
+
     def aux_values(self, series: ArrayLike) -> np.ndarray:
         return np.asarray(mean_std(series), dtype=np.float64)
+
+    def aux_values_many(self, matrix: ArrayLike) -> np.ndarray:
+        return mean_std_many(matrix)
 
     def _aux_affine(
         self, t: Transformation, scale: np.ndarray, offset: np.ndarray

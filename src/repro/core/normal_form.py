@@ -36,6 +36,36 @@ def normal_form(series: ArrayLike) -> np.ndarray:
     return (x - float(np.mean(x))) / sd
 
 
+def normal_form_many(matrix: ArrayLike) -> np.ndarray:
+    """Row-wise :func:`normal_form` of an ``(m, n)`` matrix, batched.
+
+    Constant rows (std below the floor) normalise to all-zero rows, exactly
+    like the scalar path.  An empty ``(0, n)`` matrix yields ``(0, n)``.
+    """
+    rows = np.asarray(matrix, dtype=np.float64)
+    if rows.ndim != 2 or rows.shape[1] == 0:
+        raise ValueError(
+            f"matrix must be 2-D with non-empty rows, got shape {rows.shape}"
+        )
+    means = np.mean(rows, axis=1, keepdims=True)
+    stds = np.std(rows, axis=1, keepdims=True)
+    constant = stds < _STD_FLOOR
+    safe_stds = np.where(constant, 1.0, stds)
+    out = (rows - means) / safe_stds
+    out[constant[:, 0]] = 0.0
+    return out
+
+
+def mean_std_many(matrix: ArrayLike) -> np.ndarray:
+    """Row-wise :func:`mean_std` as an ``(m, 2)`` matrix, batched."""
+    rows = np.asarray(matrix, dtype=np.float64)
+    if rows.ndim != 2 or rows.shape[1] == 0:
+        raise ValueError(
+            f"matrix must be 2-D with non-empty rows, got shape {rows.shape}"
+        )
+    return np.column_stack([np.mean(rows, axis=1), np.std(rows, axis=1)])
+
+
 def denormalize(normal: ArrayLike, mean: float, std: float) -> np.ndarray:
     """Invert :func:`normal_form` given the original mean and std."""
     if std < 0:

@@ -19,12 +19,13 @@ Table 1 (labelled ``a`` to ``d`` there) plus a tree-matching join.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Optional, Sequence, Union
+import itertools
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.features import FeatureSpace
-from repro.core.similarity import euclidean_early_abandon
+from repro.core.similarity import batch_euclidean_within, euclidean_early_abandon
 from repro.core.transforms import Transformation
 from repro.rtree.join import index_nested_loop_join, tree_matching_join
 from repro.rtree.search import incremental_nearest
@@ -60,6 +61,8 @@ def range_query(
     transformation: Optional[Transformation] = None,
     aux_bounds: Optional[Sequence[tuple[float, float]]] = None,
     stats: Optional[IOStats] = None,
+    batched: bool = True,
+    view: Optional[TransformedIndexView] = None,
 ) -> list[Match]:
     """Algorithm 2: all records with ``D(T(record), query) <= eps``.
 
@@ -75,23 +78,44 @@ def range_query(
             ``None`` (or the identity) reproduces a plain [AFS93] query.
         aux_bounds: optional intervals constraining auxiliary dimensions.
         stats: counter bundle for candidate/distance accounting.
+        batched: verify all candidates as one blocked matrix computation
+            (matrix-level early abandoning); the scalar per-candidate loop
+            is kept as the reference path.
+        view: prebuilt transformed view (batch APIs share one across
+            queries); built from ``transformation`` when ``None``.
 
     Returns:
         ``(record id, exact distance)`` pairs, sorted by distance.
     """
-    view = _make_view(tree, space, transformation)
+    if view is None:
+        view = _make_view(tree, space, transformation)
     qrect = space.search_rect(query_point, eps, aux_bounds=aux_bounds)
     candidates = view.search(qrect)
     out: list[Match] = []
-    for entry in candidates:
-        d = space.ground_distance_within(
-            ground_spectra[entry.child], query_spectrum, eps, transformation
+    if batched and candidates:
+        cand_ids = np.fromiter(
+            (e.child for e in candidates), dtype=np.intp, count=len(candidates)
         )
-        if d is not None:
-            out.append((entry.child, d))
+        kept, dists, abandoned = space.ground_distances_within_many(
+            ground_spectra[cand_ids], query_spectrum, eps, transformation
+        )
+        out = [(int(cand_ids[i]), float(d)) for i, d in zip(kept, dists)]
+        completed = len(kept)
+    else:
+        completed = 0
+        for entry in candidates:
+            d = space.ground_distance_within(
+                ground_spectra[entry.child], query_spectrum, eps, transformation
+            )
+            if d is not None:
+                out.append((entry.child, d))
+                completed += 1
+        abandoned = len(candidates) - completed
     if stats is not None:
         stats.candidate_count += len(candidates)
         stats.distance_computations += len(candidates)
+        stats.verifications_completed += completed
+        stats.verifications_abandoned += abandoned
     out.sort(key=lambda m: (m[1], m[0]))
     return out
 
@@ -105,6 +129,8 @@ def knn_query(
     k: int,
     transformation: Optional[Transformation] = None,
     stats: Optional[IOStats] = None,
+    batched: bool = True,
+    view: Optional[TransformedIndexView] = None,
 ) -> list[Match]:
     """Exact k-nearest-neighbours under a safe transformation.
 
@@ -114,15 +140,33 @@ def knn_query(
     full record; the stream stops when the next lower bound already
     exceeds the ``k``-th best exact distance — at that point no unseen
     record can improve the answer, so the result is exact.
+
+    With ``batched`` (the default) the traversal scores each node's child
+    MBRs with one vectorised lower-bound call
+    (:meth:`FeatureSpace.rect_mindist_many` / ``point_dist_many``) instead
+    of one Python call per entry.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    view = _make_view(tree, space, transformation)
+    if view is None:
+        view = _make_view(tree, space, transformation)
     q = np.asarray(query_point, dtype=np.float64)
     best: list[tuple[float, int]] = []  # max-heap by negated distance
     examined = 0
+    many_kwargs = (
+        {
+            "rect_dist_many": space.rect_mindist_many,
+            "point_dist_many": space.point_dist_many,
+        }
+        if batched
+        else {}
+    )
     for bound, entry in incremental_nearest(
-        view, q, rect_dist=space.rect_mindist, point_dist=space.point_dist
+        view,
+        q,
+        rect_dist=space.rect_mindist,
+        point_dist=space.point_dist,
+        **many_kwargs,
     ):
         if len(best) == k and bound > -best[0][0]:
             break
@@ -137,18 +181,56 @@ def knn_query(
     if stats is not None:
         stats.candidate_count += examined
         stats.distance_computations += examined
+        stats.verifications_completed += examined
     return sorted(((rid, -nd) for nd, rid in best), key=lambda m: (m[1], m[0]))
 
 
 # ----------------------------------------------------------------------
 # All-pairs (Table 1)
 # ----------------------------------------------------------------------
+def _transformed_spectra(
+    ground_spectra: np.ndarray, transformation: Optional[Transformation]
+) -> np.ndarray:
+    """The whole relation's transformed spectra, computed once (O(m))."""
+    if transformation is None:
+        return ground_spectra
+    return transformation.apply_spectrum(ground_spectra)
+
+
+def _verify_pairs(
+    tspec: np.ndarray,
+    pair_iter: Iterator[tuple[int, int]],
+    eps: float,
+    block: int = 1024,
+) -> tuple[list[tuple[int, int, float]], int]:
+    """Exact-distance check of streamed candidate pairs, a block at a time.
+
+    Consumes ``pair_iter`` in fixed-size chunks so a dense join never
+    materialises its whole O(m²) candidate set.  Returns the surviving
+    ``(i, j, distance)`` triples and the number of candidates seen.
+    """
+    out: list[tuple[int, int, float]] = []
+    candidates = 0
+    while True:
+        chunk = list(itertools.islice(pair_iter, block))
+        if not chunk:
+            break
+        candidates += len(chunk)
+        ii = np.fromiter((p[0] for p in chunk), dtype=np.intp, count=len(chunk))
+        jj = np.fromiter((p[1] for p in chunk), dtype=np.intp, count=len(chunk))
+        diff = tspec[ii] - tspec[jj]
+        d = np.sqrt(np.sum(diff.real**2 + diff.imag**2, axis=1))
+        for t in np.nonzero(d <= eps)[0]:
+            out.append((int(ii[t]), int(jj[t]), float(d[t])))
+    return out, candidates
+
 def all_pairs_scan(
     ground_spectra: np.ndarray,
     eps: float,
     transformation: Optional[Transformation] = None,
     early_abandon: bool = False,
     stats: Optional[IOStats] = None,
+    batched: bool = True,
 ) -> list[tuple[int, int, float]]:
     """Table 1 methods *a* (``early_abandon=False``) and *b* (``True``).
 
@@ -159,27 +241,34 @@ def all_pairs_scan(
     one optimisation alone to be worth a factor of 10.  Both methods share
     the same blocked distance loop so that the a-vs-b comparison isolates
     the early-abandon optimisation, exactly as in the paper.
+
+    The transformation is applied to the whole relation once up front
+    (O(m) applications, not the O(m²) of re-transforming the inner side on
+    every comparison).  With ``batched`` each outer row is compared against
+    all later rows in one blocked matrix computation — method *b* drops
+    rows from the active set as their partial sums exceed ``eps²``, method
+    *a* runs the same blocks to completion.
     """
     m = ground_spectra.shape[0]
+    tspec = _transformed_spectra(ground_spectra, transformation)
     out: list[tuple[int, int, float]] = []
     computations = 0
     abandon_at = eps if early_abandon else float("inf")
     for i in range(m):
-        ti = (
-            ground_spectra[i]
-            if transformation is None
-            else transformation.apply_spectrum(ground_spectra[i])
-        )
-        for j in range(i + 1, m):
-            tj = (
-                ground_spectra[j]
-                if transformation is None
-                else transformation.apply_spectrum(ground_spectra[j])
-            )
-            computations += 1
-            d = euclidean_early_abandon(ti, tj, abandon_at)
-            if d is not None and d <= eps:
-                out.append((i, j, d))
+        ti = tspec[i]
+        if batched:
+            rest = tspec[i + 1 :]
+            computations += rest.shape[0]
+            kept, dists, _ = batch_euclidean_within(rest, ti, abandon_at)
+            for j_off, d in zip(kept, dists):
+                if d <= eps:
+                    out.append((i, i + 1 + int(j_off), float(d)))
+        else:
+            for j in range(i + 1, m):
+                computations += 1
+                d = euclidean_early_abandon(ti, tspec[j], abandon_at)
+                if d is not None and d <= eps:
+                    out.append((i, j, d))
     if stats is not None:
         stats.distance_computations += computations
     return out
@@ -193,6 +282,7 @@ def all_pairs_index(
     eps: float,
     transformation: Optional[Transformation] = None,
     stats: Optional[IOStats] = None,
+    batched: bool = True,
 ) -> list[tuple[int, int, float]]:
     """Table 1 methods *c* (no transformation) and *d* (with it).
 
@@ -202,41 +292,41 @@ def all_pairs_index(
     full records.  Each unordered pair is reported once — the paper's
     method *d* reports both orientations, which is why its Table-1 answer
     counts are doubled; see EXPERIMENTS.md.
+
+    The relation's spectra are transformed once up front; candidate pairs
+    are verified in matrix blocks when ``batched``.
     """
     view = _make_view(tree, space, transformation)
     mapping = view.mapping
+    tpoints = points * mapping.scale + mapping.offset
+    tspec = _transformed_spectra(ground_spectra, transformation)
 
     def outer() -> Iterable[tuple[int, object]]:
         from repro.rtree.geometry import Rect
 
-        for i in range(points.shape[0]):
-            yield i, Rect.from_point(mapping.apply_point(points[i]))
+        for i in range(tpoints.shape[0]):
+            yield i, Rect.from_point(tpoints[i])
 
-    candidates = 0
-    out: list[tuple[int, int, float]] = []
-    for i, j in index_nested_loop_join(
+    pair_iter = index_nested_loop_join(
         outer(),
         view,
         make_search_rect=lambda pr: space.search_rect(pr.lows, eps),
         self_join=True,
-    ):
-        candidates += 1
-        ti = (
-            ground_spectra[i]
-            if transformation is None
-            else transformation.apply_spectrum(ground_spectra[i])
-        )
-        tj = (
-            ground_spectra[j]
-            if transformation is None
-            else transformation.apply_spectrum(ground_spectra[j])
-        )
-        d = float(np.linalg.norm(ti - tj))
-        if d <= eps:
-            out.append((i, j, d))
+    )
+    if batched:
+        out, candidates = _verify_pairs(tspec, pair_iter, eps)
+    else:
+        candidates = 0
+        out = []
+        for i, j in pair_iter:
+            candidates += 1
+            d = float(np.linalg.norm(tspec[i] - tspec[j]))
+            if d <= eps:
+                out.append((i, j, d))
     if stats is not None:
         stats.candidate_count += candidates
         stats.distance_computations += candidates
+        stats.verifications_completed += candidates
     return out
 
 
@@ -247,33 +337,31 @@ def all_pairs_tree_join(
     eps: float,
     transformation: Optional[Transformation] = None,
     stats: Optional[IOStats] = None,
+    batched: bool = True,
 ) -> list[tuple[int, int, float]]:
     """Self-join by synchronized tree descent (not in the paper; ablation).
 
     Uses :func:`repro.rtree.join.tree_matching_join` with the space's
-    ``eps`` rectangle expansion, then verifies candidates exactly.
+    ``eps`` rectangle expansion, then verifies candidates exactly — in
+    matrix blocks over the once-transformed spectra when ``batched``.
     """
     view = _make_view(tree, space, transformation)
-    candidates = 0
-    out: list[tuple[int, int, float]] = []
-    for i, j in tree_matching_join(
+    tspec = _transformed_spectra(ground_spectra, transformation)
+    pair_iter = tree_matching_join(
         view, view, expand=lambda r: space.expand_rect(r, eps), self_join=True
-    ):
-        candidates += 1
-        ti = (
-            ground_spectra[i]
-            if transformation is None
-            else transformation.apply_spectrum(ground_spectra[i])
-        )
-        tj = (
-            ground_spectra[j]
-            if transformation is None
-            else transformation.apply_spectrum(ground_spectra[j])
-        )
-        d = float(np.linalg.norm(ti - tj))
-        if d <= eps:
-            out.append((i, j, d))
+    )
+    if batched:
+        out, candidates = _verify_pairs(tspec, pair_iter, eps)
+    else:
+        candidates = 0
+        out = []
+        for i, j in pair_iter:
+            candidates += 1
+            d = float(np.linalg.norm(tspec[i] - tspec[j]))
+            if d <= eps:
+                out.append((i, j, d))
     if stats is not None:
         stats.candidate_count += candidates
         stats.distance_computations += candidates
+        stats.verifications_completed += candidates
     return out

@@ -76,6 +76,44 @@ def euclidean_early_abandon(
     return float(np.sqrt(acc))
 
 
+def batch_euclidean_within(
+    matrix: ArrayLike, q: ArrayLike, eps: float, block: int = 8
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Batched :func:`euclidean_early_abandon` of many rows against ``q``.
+
+    Matrix-level early abandoning: squared differences are accumulated
+    block-by-block across columns for *all still-active rows at once*, and a
+    row is dropped from the active set as soon as its partial sum exceeds
+    ``eps**2`` — the same abandonment rule as the scalar path, evaluated as
+    a handful of numpy calls instead of one Python loop per row.
+
+    Returns:
+        ``(indices, distances, abandoned)`` where ``indices`` are the rows
+        whose full distance is ``<= eps`` (ascending), ``distances`` their
+        exact distances, and ``abandoned`` how many rows were dropped early.
+    """
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    a = np.asarray(matrix, dtype=np.complex128)
+    b = np.asarray(q, dtype=np.complex128)
+    if a.ndim != 2 or b.ndim != 1 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} rows vs query {b.shape}")
+    m, n = a.shape
+    limit = eps * eps
+    active = np.arange(m)
+    acc = np.zeros(m)
+    for start in range(0, n, block):
+        if active.size == 0:
+            break
+        seg = a[active, start : start + block] - b[start : start + block]
+        acc[active] += np.sum(seg.real**2 + seg.imag**2, axis=1)
+        keep = acc[active] <= limit
+        if not np.all(keep):
+            active = active[keep]
+    abandoned = m - active.size
+    return active, np.sqrt(acc[active]), abandoned
+
+
 class TransformationClosureDistance:
     """Cost-bounded dissimilarity under a set of transformations (Eq. 10).
 

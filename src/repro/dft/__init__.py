@@ -12,6 +12,7 @@ used by the test-suite to validate the FFT-based implementation.
 from repro.dft.dft import (
     circular_convolve,
     dft,
+    dft_many,
     distance,
     energy,
     energy_concentration,
@@ -22,6 +23,7 @@ from repro.dft.dft import (
 __all__ = [
     "circular_convolve",
     "dft",
+    "dft_many",
     "distance",
     "energy",
     "energy_concentration",

@@ -172,6 +172,37 @@ class Rect:
         clamped = np.clip(p, self.lows, self.highs)
         return float(np.linalg.norm(p - clamped))
 
+    @staticmethod
+    def mindist_many(
+        lows: np.ndarray, highs: np.ndarray, point: Sequence[float]
+    ) -> np.ndarray:
+        """MINDIST from ``point`` to many rectangles at once.
+
+        ``lows``/``highs`` are stacked ``(m, d)`` bounds (one row per
+        rectangle, e.g. :meth:`repro.rtree.node.Node.stacked_rects`);
+        returns the ``(m,)`` distances — one numpy call per node instead
+        of one :meth:`mindist` call per entry.
+        """
+        p = np.asarray(point, dtype=np.float64)
+        clamped = np.clip(p, lows, highs)
+        return np.linalg.norm(p - clamped, axis=1)
+
+    @staticmethod
+    def intersects_many(
+        lows: np.ndarray,
+        highs: np.ndarray,
+        qlo: Sequence[float],
+        qhi: Sequence[float],
+    ) -> np.ndarray:
+        """Closed-rectangle intersection of many rectangles with one query.
+
+        The plain (non-circular) counterpart of
+        :func:`intersects_circular_many`; returns a boolean ``(m,)`` mask.
+        """
+        qlo = np.asarray(qlo, dtype=np.float64)
+        qhi = np.asarray(qhi, dtype=np.float64)
+        return np.all(lows <= qhi, axis=1) & np.all(qlo <= highs, axis=1)
+
     def minmaxdist(self, point: Sequence[float]) -> float:
         """MINMAXDIST of Roussopoulos et al. (1995).
 

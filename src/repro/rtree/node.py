@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
+import numpy as np
+
 from repro.rtree.geometry import Rect, union_all
 from repro.storage.buffer import BufferPool
 from repro.storage.pager import PageFile
@@ -47,6 +49,12 @@ class Node:
     node_id: int
     level: int
     entries: list[Entry] = field(default_factory=list)
+    #: lazily-built (lows, highs) stacks of the entry rectangles; traversal
+    #: reads them, stores drop them whenever the node is written back after
+    #: a mutation (trees always write after mutating).
+    _stacked: Optional[tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_leaf(self) -> bool:
@@ -55,6 +63,32 @@ class Node:
     def mbr(self) -> Rect:
         """Minimum bounding rectangle of all entries (node must be non-empty)."""
         return union_all(e.rect for e in self.entries)
+
+    def stacked_rects(self) -> tuple[np.ndarray, np.ndarray]:
+        """The entry MBRs as stacked ``(fanout, dim)`` lows/highs arrays.
+
+        Built once per materialised node and cached — batch traversal does
+        one numpy call per node instead of one Python call per entry.  The
+        cache is cleared by the node stores on every write-back.
+        """
+        if self._stacked is None or self._stacked[0].shape[0] != len(self.entries):
+            m = len(self.entries)
+            if m == 0:
+                empty = np.empty((0, 0))
+                self._stacked = (empty, empty)
+            else:
+                dim = self.entries[0].rect.dim
+                lows = np.empty((m, dim))
+                highs = np.empty((m, dim))
+                for i, e in enumerate(self.entries):
+                    lows[i] = e.rect.lows
+                    highs[i] = e.rect.highs
+                self._stacked = (lows, highs)
+        return self._stacked
+
+    def invalidate_cache(self) -> None:
+        """Drop the stacked-MBR cache (after entry mutation)."""
+        self._stacked = None
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -110,6 +144,7 @@ class MemoryNodeStore:
 
     def write(self, node: Node) -> None:
         self.stats.node_writes += 1
+        node.invalidate_cache()
         self._nodes[node.node_id] = node
 
     def free(self, node_id: int) -> None:
@@ -161,6 +196,7 @@ class PagedNodeStore:
 
     def write(self, node: Node) -> None:
         self.stats.node_writes += 1
+        node.invalidate_cache()
         self.pool.write(node.node_id, self._ser.encode_node(node, self.dim, self.page_size))
 
     def free(self, node_id: int) -> None:

@@ -31,6 +31,10 @@ from repro.rtree.transformed import TransformedIndexView
 RectDistFn = Callable[[Rect, np.ndarray], float]
 #: distance from a query point to an indexed point
 PointDistFn = Callable[[np.ndarray, np.ndarray], float]
+#: batched rect distance: (m, d) lows, (m, d) highs, query -> (m,) bounds
+RectDistManyFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+#: batched point distance: (m, d) points, query -> (m,) distances
+PointDistManyFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 def _euclid_rect(rect: Rect, point: np.ndarray) -> float:
@@ -41,13 +45,43 @@ def _euclid_point(p: np.ndarray, q: np.ndarray) -> float:
     return float(np.linalg.norm(p - q))
 
 
+def _euclid_point_many(points: np.ndarray, q: np.ndarray) -> np.ndarray:
+    return np.linalg.norm(points - q, axis=1)
+
+
+def _rowwise_rect(fn: RectDistFn) -> RectDistManyFn:
+    """Adapt a scalar rect-distance to the batched signature (reference)."""
+
+    def many(lows: np.ndarray, highs: np.ndarray, q: np.ndarray) -> np.ndarray:
+        return np.array([fn(Rect(lows[i], highs[i]), q) for i in range(lows.shape[0])])
+
+    return many
+
+
+def _rowwise_point(fn: PointDistFn) -> PointDistManyFn:
+    """Adapt a scalar point-distance to the batched signature (reference)."""
+
+    def many(points: np.ndarray, q: np.ndarray) -> np.ndarray:
+        return np.array([fn(points[i], q) for i in range(points.shape[0])])
+
+    return many
+
+
 def incremental_nearest(
     view: TransformedIndexView,
     query: Sequence[float],
     rect_dist: Optional[RectDistFn] = None,
     point_dist: Optional[PointDistFn] = None,
+    rect_dist_many: Optional[RectDistManyFn] = None,
+    point_dist_many: Optional[PointDistManyFn] = None,
 ) -> Iterator[tuple[float, Entry]]:
     """Yield transformed leaf entries in non-decreasing distance order.
+
+    Each visited node is scored with *one* distance evaluation over its
+    stacked child MBRs (``rect_dist_many`` / ``point_dist_many``); when only
+    scalar metrics are supplied they are applied row by row, so custom
+    scalar metrics keep working and serve as the reference path.  Child
+    nodes are read lazily when popped, never eagerly when pushed.
 
     Args:
         view: transformed index view (identity map for a plain index).
@@ -56,34 +90,51 @@ def incremental_nearest(
             Euclidean MINDIST by default.
         point_dist: distance from query to a transformed leaf point;
             Euclidean by default.
+        rect_dist_many: batched form of ``rect_dist`` over ``(m, d)``
+            lows/highs stacks; vectorised MINDIST by default.
+        point_dist_many: batched form of ``point_dist`` over an ``(m, d)``
+            point matrix; vectorised Euclidean by default.
 
     Yields:
         ``(distance, entry)`` pairs; ``entry.rect`` is the transformed
         point and ``entry.child`` the record id.
     """
     q = np.asarray(query, dtype=np.float64)
-    rdist = rect_dist if rect_dist is not None else _euclid_rect
-    pdist = point_dist if point_dist is not None else _euclid_point
+    if rect_dist_many is None:
+        rect_dist_many = (
+            Rect.mindist_many if rect_dist is None else _rowwise_rect(rect_dist)
+        )
+    if point_dist_many is None:
+        point_dist_many = (
+            _euclid_point_many if point_dist is None else _rowwise_point(point_dist)
+        )
     counter = itertools.count()  # tie-breaker so heapq never compares entries
     heap: list[tuple[float, int, bool, object]] = []
-    root = view.transformed_node(view.root_id)
-    heapq.heappush(heap, (0.0, next(counter), False, root))
+    heapq.heappush(heap, (0.0, next(counter), False, view.root_id))
     while heap:
         dist, _, is_entry, item = heapq.heappop(heap)
         if is_entry:
             yield dist, item  # type: ignore[misc]
             continue
-        node = item
-        if node.is_leaf:  # type: ignore[union-attr]
-            for e in node.entries:  # type: ignore[union-attr]
-                d = pdist(e.rect.lows, q)
-                heapq.heappush(heap, (d, next(counter), True, e))
-        else:
-            for e in node.entries:  # type: ignore[union-attr]
-                d = rdist(e.rect, q)
+        node, t_lows, t_highs = view.transformed_node_arrays(item)  # type: ignore[arg-type]
+        if not node.entries:
+            continue
+        if node.is_leaf:
+            ds = point_dist_many(t_lows, q)
+            for i, e in enumerate(node.entries):
                 heapq.heappush(
-                    heap, (d, next(counter), False, view.transformed_node(e.child))
+                    heap,
+                    (
+                        float(ds[i]),
+                        next(counter),
+                        True,
+                        Entry(Rect(t_lows[i], t_highs[i]), e.child),
+                    ),
                 )
+        else:
+            ds = rect_dist_many(t_lows, t_highs, q)
+            for i, e in enumerate(node.entries):
+                heapq.heappush(heap, (float(ds[i]), next(counter), False, e.child))
 
 
 def nearest_neighbors(
@@ -92,12 +143,16 @@ def nearest_neighbors(
     k: int = 1,
     rect_dist: Optional[RectDistFn] = None,
     point_dist: Optional[PointDistFn] = None,
+    rect_dist_many: Optional[RectDistManyFn] = None,
+    point_dist_many: Optional[PointDistManyFn] = None,
 ) -> list[tuple[float, Entry]]:
     """The ``k`` transformed entries nearest to ``query`` in index space."""
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     out: list[tuple[float, Entry]] = []
-    for dist, entry in incremental_nearest(view, query, rect_dist, point_dist):
+    for dist, entry in incremental_nearest(
+        view, query, rect_dist, point_dist, rect_dist_many, point_dist_many
+    ):
         out.append((dist, entry))
         if len(out) == k:
             break

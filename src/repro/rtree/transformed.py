@@ -126,13 +126,35 @@ class TransformedIndexView:
             return a.intersects(b)
         return intersects_circular(a, b, self.circular_mask)
 
+    def transformed_node_arrays(
+        self, node_id: int
+    ) -> tuple[Node, np.ndarray, np.ndarray]:
+        """Read a node and map its stacked MBRs through ``T`` in one step.
+
+        Returns the *untransformed* node plus the transformed
+        ``(fanout, dim)`` lows/highs stacks — the whole node's image under
+        Algorithm 1 as two numpy operations, which is what the batch
+        traversal paths consume.
+        """
+        node = self.tree.store.read(node_id)
+        if not node.entries:
+            empty = np.empty((0, self.tree.dim))
+            return node, empty, empty
+        lows, highs = node.stacked_rects()
+        a = lows * self.mapping.scale + self.mapping.offset
+        b = highs * self.mapping.scale + self.mapping.offset
+        return node, np.minimum(a, b), np.maximum(a, b)
+
     def transformed_node(self, node_id: int) -> Node:
         """Read a node and return its image under ``T`` (Algorithm 1 step)."""
-        node = self.tree.store.read(node_id)
+        node, t_lows, t_highs = self.transformed_node_arrays(node_id)
         return Node(
             node_id=node.node_id,
             level=node.level,
-            entries=[Entry(self.mapping.apply_rect(e.rect), e.child) for e in node.entries],
+            entries=[
+                Entry(Rect(t_lows[i], t_highs[i]), e.child)
+                for i, e in enumerate(node.entries)
+            ],
         )
 
     # ------------------------------------------------------------------
@@ -150,24 +172,21 @@ class TransformedIndexView:
 
     def _search(self, node_id: int, query: Rect, out: list[Entry]) -> None:
         node = self.tree.store.read(node_id)
-        m = len(node.entries)
-        if m == 0:
+        if len(node.entries) == 0:
             return
-        dim = self.tree.dim
-        lows = np.empty((m, dim))
-        highs = np.empty((m, dim))
-        for i, e in enumerate(node.entries):
-            lows[i] = e.rect.lows
-            highs[i] = e.rect.highs
+        lows, highs = node.stacked_rects()
         a = lows * self.mapping.scale + self.mapping.offset
         b = highs * self.mapping.scale + self.mapping.offset
         t_lows = np.minimum(a, b)
         t_highs = np.maximum(a, b)
         from repro.rtree.geometry import intersects_circular_many
 
-        hits = intersects_circular_many(
-            t_lows, t_highs, query.lows, query.highs, self.circular_mask
-        )
+        if self.circular_mask is None:
+            hits = Rect.intersects_many(t_lows, t_highs, query.lows, query.highs)
+        else:
+            hits = intersects_circular_many(
+                t_lows, t_highs, query.lows, query.highs, self.circular_mask
+            )
         if node.is_leaf:
             for i in np.nonzero(hits)[0]:
                 out.append(

@@ -21,10 +21,18 @@ class IOStats:
         buffer_hits: logical page reads served from the buffer pool.
         node_reads: R-tree nodes materialised from the store (logical).
         node_writes: R-tree nodes written back to the store (logical).
-        distance_computations: full Euclidean distance evaluations performed
-            during post-processing or sequential scans.
+        distance_computations: distance evaluations *attempted* during
+            post-processing or sequential scans (whether or not early
+            abandoning cut one short).
         candidate_count: number of index candidates produced before
             post-processing (used to measure filter selectivity / Lemma 1).
+        verifications_completed: post-processing verifications that ran to a
+            full distance.  Under early abandoning (range queries, method-*b*
+            scans) this means the candidate was within ``eps``; paths that
+            always compute full distances (k-NN, the index/tree joins) count
+            every candidate here.
+        verifications_abandoned: post-processing verifications stopped early
+            because the partial sum already exceeded ``eps**2``.
     """
 
     page_reads: int = 0
@@ -34,6 +42,8 @@ class IOStats:
     node_writes: int = 0
     distance_computations: int = 0
     candidate_count: int = 0
+    verifications_completed: int = 0
+    verifications_abandoned: int = 0
     extra: dict = field(default_factory=dict)
 
     def reset(self) -> None:
@@ -45,6 +55,8 @@ class IOStats:
         self.node_writes = 0
         self.distance_computations = 0
         self.candidate_count = 0
+        self.verifications_completed = 0
+        self.verifications_abandoned = 0
         self.extra.clear()
 
     @property
@@ -71,6 +83,8 @@ class IOStats:
             "node_writes": self.node_writes,
             "distance_computations": self.distance_computations,
             "candidate_count": self.candidate_count,
+            "verifications_completed": self.verifications_completed,
+            "verifications_abandoned": self.verifications_abandoned,
             "disk_accesses": self.disk_accesses,
         }
         out.update(self.extra)

@@ -1,12 +1,14 @@
 """Throughput of the engine-level batch APIs versus the scalar baseline.
 
-Two headline numbers for the batch execution layer:
+Three headline numbers for the batch execution layer:
 
 * **build speedup** — index construction (batched extraction + ground
-  spectra) against the seed's per-row scalar pipeline, and
-* **queries/sec** — ``range_query_batch`` / ``knn_query_batch`` (shared
-  preprocessing + shared transformed view + batched verification) against
-  a loop of scalar-path single queries.
+  spectra) against the seed's per-row scalar pipeline,
+* **queries/sec** — ``range_query_batch`` / ``knn_query_batch`` against a
+  loop of scalar-path single queries, and
+* **fused-probe speedup** — the plan layer's ``BatchIndexProbe``
+  (one multi-query tree descent for the whole batch) against the PR-1
+  per-query loop over a shared transformed view.
 
 Run:  ``PYTHONPATH=src python -m benchmarks.bench_batch_throughput``
 Quick: add ``--count 2000 --queries 50``.
@@ -67,6 +69,7 @@ def main() -> None:
     t = moving_average(LENGTH, 20)
 
     rows = []
+    probe_rows = []
     for label, transformation in (("identity", None), ("mavg20", t)):
         t0 = time.perf_counter()
         for series in queries:
@@ -81,6 +84,25 @@ def main() -> None:
         batch_s = time.perf_counter() - t0
         rows.append((f"range/{label}", len(queries) / scalar_s,
                      len(queries) / batch_s, scalar_s / batch_s))
+
+        # Fused multi-query descent vs the PR-1 shared-view per-query loop
+        # (probe phase only: identical candidate sets, different traversal).
+        _, q_points = engine._query_reps_batch(queries, transformation, False)
+        view = q._make_view(engine.tree, engine.space, transformation)
+        rects = [
+            engine.space.search_rect(q_points[i], RANGE_EPS)
+            for i in range(q_points.shape[0])
+        ]
+        t0 = time.perf_counter()
+        for rect in rects:
+            view.search(rect)
+        loop_s = time.perf_counter() - t0
+        qlows = np.stack([r.lows for r in rects])
+        qhighs = np.stack([r.highs for r in rects])
+        t0 = time.perf_counter()
+        view.search_many(qlows, qhighs)
+        fused_s = time.perf_counter() - t0
+        probe_rows.append((f"probe/{label}", loop_s, fused_s, loop_s / fused_s))
 
         t0 = time.perf_counter()
         for series in queries:
@@ -100,6 +122,11 @@ def main() -> None:
         f"Query throughput ({args.count} series, {args.queries} queries)",
         ["workload", "scalar q/s", "batched q/s", "speedup"],
         rows,
+    )
+    print_series(
+        f"Index probe: per-query loop vs fused descent ({args.queries} queries)",
+        ["workload", "loop s", "fused s", "speedup"],
+        probe_rows,
     )
 
 

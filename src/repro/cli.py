@@ -11,6 +11,11 @@ Usage (``python -m repro.cli <command> ...``):
   bound as sequence ``s<i>``)::
 
       python -m repro.cli query data.csv "RANGE s0 IN r EPS 2.0 USING mavg(20)"
+      python -m repro.cli query data.csv "EXPLAIN RANGE s0 IN r EPS 9 PLAN auto"
+
+  Statements run through the engine's plan API, so ``EXPLAIN`` prints the
+  compiled plan (access path, selectivity estimate, operator tree) as
+  JSON, and ``PLAN auto|index|scan`` hints the access path.
 
 * ``info`` — summarise a CSV relation (count, length, index geometry).
 
@@ -23,6 +28,7 @@ reproduction can be poked at without writing Python.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
@@ -98,7 +104,9 @@ def cmd_query(args: argparse.Namespace) -> int:
     except QueryError as exc:
         print(f"query error: {exc}", file=sys.stderr)
         return 1
-    if isinstance(result, float):
+    if isinstance(result, dict):  # EXPLAIN output
+        print(json.dumps(result, indent=2, sort_keys=True))
+    elif isinstance(result, float):
         print(f"{result:.6g}")
     elif result and len(result[0]) == 3:
         for i, j, d in result[: args.limit]:

@@ -14,15 +14,23 @@ Modules:
   the cost-bounded transformation-closure dissimilarity of Eq. 10.
 * :mod:`repro.core.queries` — Algorithm 2 (range), multi-step k-NN, and the
   four all-pairs strategies of Table 1.
+* :mod:`repro.core.plan` — the unified query-plan API:
+  :class:`~repro.core.plan.QuerySpec` compiles (through the Figure-12
+  access-path selection of :mod:`repro.core.planner`) into an explainable
+  :class:`~repro.core.plan.PhysicalPlan` over the operators of
+  :mod:`repro.core.ops`.
 * :mod:`repro.core.engine` — :class:`~repro.core.engine.SimilarityEngine`,
-  the user-facing façade tying relation, feature space, index and queries
+  the user-facing façade tying relation, feature space, index and plans
   together.
 * :mod:`repro.core.language` — a small declarative query language in the
   spirit of Jagadish-Mendelzon-Milo (1995), whose similarity predicates
-  compile onto the engine.
+  compile onto the engine's plan API (including ``EXPLAIN`` and ``PLAN``
+  hints).
 """
 
 from repro.core.engine import SimilarityEngine
+from repro.core.plan import PhysicalPlan, QuerySpec
+from repro.core.planner import QueryPlanner, SelectivityEstimator
 from repro.core.features import (
     FeatureSpace,
     NormalFormSpace,
@@ -51,7 +59,11 @@ from repro.core.transforms import (
 __all__ = [
     "FeatureSpace",
     "NormalFormSpace",
+    "PhysicalPlan",
     "PlainDFTSpace",
+    "QueryPlanner",
+    "QuerySpec",
+    "SelectivityEstimator",
     "SimilarityEngine",
     "Transformation",
     "TransformationClosureDistance",

@@ -10,10 +10,18 @@ exactly the way the paper's Section 5 describes its experimental system:
 * similarity queries are answered through Algorithm 2 over a transformed
   view of that one index — no transformation ever builds a second index.
 
+Every query flows through the unified plan API: :meth:`SimilarityEngine.plan`
+compiles a :class:`~repro.core.plan.QuerySpec` into a tree of physical
+operators (access-path selection included, per Figure 12), and the classic
+``range_query``/``knn_query``/``all_pairs`` methods are thin builders over
+it, kept with their original signatures and exact behaviour (they pin
+``method="index"`` so existing callers see the same plans as before the
+redesign; pass ``method="auto"`` or build a spec for planner routing).
+
 The engine is deliberately small: all real work lives in
-:mod:`repro.core.queries`, :mod:`repro.core.features` and
-:mod:`repro.rtree`; this class only owns the wiring, the record/spectra
-caches and the statistics counters.
+:mod:`repro.core.plan`, :mod:`repro.core.ops`, :mod:`repro.core.queries`,
+:mod:`repro.core.features` and :mod:`repro.rtree`; this class only owns
+the wiring, the record/spectra caches and the statistics counters.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ import numpy as np
 
 from repro.core import queries as q
 from repro.core.features import FeatureSpace, NormalFormSpace
+from repro.core.plan import PhysicalPlan, QuerySpec, compile_spec
+from repro.core.planner import SelectivityEstimator
 from repro.core.transforms import Transformation
 from repro.data.relation import SequenceRelation
 from repro.rtree.base import RTreeBase
@@ -102,6 +112,43 @@ class SimilarityEngine:
             self.tree = index_cls(self.space.dim, store=store, max_entries=max_entries)
             for rid in range(len(relation)):
                 self.tree.insert_point(self.points[rid], rid)
+        self._estimator: Optional[SelectivityEstimator] = None
+
+    # ------------------------------------------------------------------
+    # the unified plan API
+    # ------------------------------------------------------------------
+    @property
+    def estimator(self) -> SelectivityEstimator:
+        """The engine's default selectivity estimator (built lazily).
+
+        ``getattr`` rather than a plain attribute read because persistence
+        reassembles engines via ``__new__`` without running ``__init__``.
+        """
+        if getattr(self, "_estimator", None) is None:
+            self._estimator = SelectivityEstimator(self.points)
+        return self._estimator
+
+    def plan(
+        self, spec: QuerySpec, estimator: Optional[SelectivityEstimator] = None
+    ) -> PhysicalPlan:
+        """Compile a :class:`~repro.core.plan.QuerySpec` into a physical plan.
+
+        The single seam every entry point shares: preprocessing, access-path
+        selection (for ``method="auto"``) and operator construction happen
+        here; ``.execute()`` runs the plan and ``.explain()`` describes it.
+
+        Args:
+            spec: the declarative query description.
+            estimator: selectivity estimator override (the engine's default
+                sampling estimator otherwise).
+        """
+        return compile_spec(self, spec, estimator=estimator)
+
+    def explain(
+        self, spec: QuerySpec, estimator: Optional[SelectivityEstimator] = None
+    ) -> dict:
+        """``EXPLAIN`` for a spec: compile only, describe the plan."""
+        return self.plan(spec, estimator=estimator).explain()
 
     # ------------------------------------------------------------------
     # object-level helpers
@@ -163,20 +210,26 @@ class SimilarityEngine:
         transformation: Optional[Transformation] = None,
         aux_bounds: Optional[Sequence[tuple[float, float]]] = None,
         transform_query: bool = False,
+        method: str = "index",
     ) -> list[tuple[int, float]]:
-        """All records with ``D(T(record), query) <= eps`` (Algorithm 2)."""
-        q_spec, q_point = self._query_reps(series, transformation, transform_query)
-        return q.range_query(
-            self.tree,
-            self.space,
-            self.ground_spectra,
-            q_spec,
-            q_point,
-            eps,
-            transformation=transformation,
-            aux_bounds=aux_bounds,
-            stats=self.stats,
-        )
+        """All records with ``D(T(record), query) <= eps`` (Algorithm 2).
+
+        Deprecated shim over :meth:`plan`; ``method`` defaults to
+        ``"index"`` (the pre-plan-API behaviour) — pass ``"auto"`` for
+        Figure-12 access-path selection or ``"scan"`` to force the
+        sequential scan (answer sets are identical either way).
+        """
+        return self.plan(
+            QuerySpec(
+                kind="range",
+                series=series,
+                eps=eps,
+                transformation=transformation,
+                transform_query=transform_query,
+                aux_bounds=aux_bounds,
+                method=method,
+            )
+        ).execute()
 
     def knn_query(
         self,
@@ -184,19 +237,22 @@ class SimilarityEngine:
         k: int,
         transformation: Optional[Transformation] = None,
         transform_query: bool = False,
+        method: str = "index",
     ) -> list[tuple[int, float]]:
-        """The ``k`` records nearest to the query under ``T`` (exact)."""
-        q_spec, q_point = self._query_reps(series, transformation, transform_query)
-        return q.knn_query(
-            self.tree,
-            self.space,
-            self.ground_spectra,
-            q_spec,
-            q_point,
-            k,
-            transformation=transformation,
-            stats=self.stats,
-        )
+        """The ``k`` records nearest to the query under ``T`` (exact).
+
+        Deprecated shim over :meth:`plan` (see :meth:`range_query`).
+        """
+        return self.plan(
+            QuerySpec(
+                kind="knn",
+                series=series,
+                k=k,
+                transformation=transformation,
+                transform_query=transform_query,
+                method=method,
+            )
+        ).execute()
 
     def _query_reps_batch(
         self,
@@ -210,8 +266,10 @@ class SimilarityEngine:
             raise ValueError(
                 f"queries must be (m, {self.space.n}), got {rows.shape}"
             )
-        q_specs = self.space.series_spectrum_many(rows)
-        q_points = self.space.extract_many(rows)
+        # One shared FFT pipeline for both representations — the spectra
+        # computation dominates, so splitting it across series_spectrum_many
+        # and extract_many would run it twice.
+        q_points, q_specs = self.space.extract_many_with_spectra(rows)
         if transform_query and transformation is not None:
             q_specs = transformation.apply_spectrum(q_specs)
             amap = self.space.affine_map(transformation)
@@ -225,33 +283,27 @@ class SimilarityEngine:
         transformation: Optional[Transformation] = None,
         aux_bounds: Optional[Sequence[tuple[float, float]]] = None,
         transform_query: bool = False,
+        method: str = "index",
     ) -> list[list[tuple[int, float]]]:
         """Batched :meth:`range_query` over an ``(m, n)`` matrix of queries.
 
-        Query preprocessing (spectra, feature points, the transformed view)
-        is shared across the whole batch; each query then runs Algorithm 2
-        with batched candidate verification.  Returns one result list per
+        Deprecated shim over :meth:`plan`.  Preprocessing is shared across
+        the batch and the whole batch probes the index through one fused
+        tree descent (:class:`~repro.core.ops.BatchIndexProbe`), so node
+        visits are amortised across queries.  Returns one result list per
         query row, in order.
         """
-        q_specs, q_points = self._query_reps_batch(
-            series_matrix, transformation, transform_query
-        )
-        view = q._make_view(self.tree, self.space, transformation)
-        return [
-            q.range_query(
-                self.tree,
-                self.space,
-                self.ground_spectra,
-                q_specs[i],
-                q_points[i],
-                eps,
+        return self.plan(
+            QuerySpec(
+                kind="range",
+                series=series_matrix,
+                eps=eps,
                 transformation=transformation,
+                transform_query=transform_query,
                 aux_bounds=aux_bounds,
-                stats=self.stats,
-                view=view,
+                method=method,
             )
-            for i in range(q_points.shape[0])
-        ]
+        ).execute()
 
     def knn_query_batch(
         self,
@@ -259,31 +311,23 @@ class SimilarityEngine:
         k: int,
         transformation: Optional[Transformation] = None,
         transform_query: bool = False,
+        method: str = "index",
     ) -> list[list[tuple[int, float]]]:
         """Batched :meth:`knn_query` over an ``(m, n)`` matrix of queries.
 
-        Shares preprocessing and the transformed view like
-        :meth:`range_query_batch`; each query's traversal scores whole
-        nodes at a time through the batched lower-bound metrics.
+        Deprecated shim over :meth:`plan`; preprocessing and the
+        transformed view are shared across the batch.
         """
-        q_specs, q_points = self._query_reps_batch(
-            series_matrix, transformation, transform_query
-        )
-        view = q._make_view(self.tree, self.space, transformation)
-        return [
-            q.knn_query(
-                self.tree,
-                self.space,
-                self.ground_spectra,
-                q_specs[i],
-                q_points[i],
-                k,
+        return self.plan(
+            QuerySpec(
+                kind="knn",
+                series=series_matrix,
+                k=k,
                 transformation=transformation,
-                stats=self.stats,
-                view=view,
+                transform_query=transform_query,
+                method=method,
             )
-            for i in range(q_points.shape[0])
-        ]
+        ).execute()
 
     def all_pairs(
         self,
@@ -293,34 +337,16 @@ class SimilarityEngine:
     ) -> list[tuple[int, int, float]]:
         """Self-join: pairs with ``D(T(x), T(y)) <= eps`` (Table 1).
 
-        Methods: ``"scan"`` (Table 1's *a*), ``"scan-abandon"`` (*b*),
-        ``"index"`` (*c* when ``transformation`` is None, *d* otherwise),
-        ``"tree-join"`` (synchronized-descent ablation).
+        Deprecated shim over :meth:`plan`.  Methods: ``"scan"`` (Table 1's
+        *a*), ``"scan-abandon"`` (*b*), ``"index"`` (*c* when
+        ``transformation`` is None, *d* otherwise), ``"tree-join"``
+        (synchronized-descent ablation).
         """
-        if method == "scan":
-            return q.all_pairs_scan(
-                self.ground_spectra, eps, transformation,
-                early_abandon=False, stats=self.stats,
+        return self.plan(
+            QuerySpec(
+                kind="join", eps=eps, transformation=transformation, method=method
             )
-        if method == "scan-abandon":
-            return q.all_pairs_scan(
-                self.ground_spectra, eps, transformation,
-                early_abandon=True, stats=self.stats,
-            )
-        if method == "index":
-            return q.all_pairs_index(
-                self.tree, self.space, self.ground_spectra, self.points,
-                eps, transformation, stats=self.stats,
-            )
-        if method == "tree-join":
-            return q.all_pairs_tree_join(
-                self.tree, self.space, self.ground_spectra,
-                eps, transformation, stats=self.stats,
-            )
-        raise ValueError(
-            f"unknown method {method!r}; expected 'scan', 'scan-abandon', "
-            "'index' or 'tree-join'"
-        )
+        ).execute()
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

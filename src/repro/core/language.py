@@ -14,6 +14,8 @@ surface over :class:`~repro.core.engine.SimilarityEngine`:
     KNN   q IN stocks K 10    USING reverse THEN mavg(20)
     JOIN  stocks EPS 2.5      USING mavg(20) [METHOD index]
     DIST  q, p USING mavg(3)
+    RANGE q IN stocks EPS 2.5 PLAN scan
+    EXPLAIN RANGE q IN stocks EPS 9 USING mavg(20)
 
 * ``RANGE`` returns all records of the relation within ``EPS`` of ``q``
   after the transformation is applied to the data side (Algorithm 2).
@@ -23,6 +25,16 @@ surface over :class:`~repro.core.engine.SimilarityEngine`:
   transforming the *first* one.
 * ``USING t1 THEN t2`` composes transformations left to right (``t2``
   applied after ``t1``).
+* ``PLAN auto|index|scan`` hints the access path of a RANGE/KNN query;
+  the default ``auto`` lets the Figure-12 selectivity planner route the
+  query (answers are identical whichever path runs).
+* ``EXPLAIN <query>`` compiles the query without running it and returns
+  the plan description (chosen access path, estimated candidate
+  fraction, operator tree) as a dict.
+
+Every statement compiles to a :class:`~repro.core.plan.QuerySpec` and
+runs through :meth:`~repro.core.engine.SimilarityEngine.plan` — the same
+planned execution path as the Python API and the CLI.
 
 Identifiers are resolved against a :class:`QuerySession`, which binds
 relation names to engines and sequence/transformation names to values.
@@ -41,6 +53,7 @@ import numpy as np
 from repro.core import transforms
 from repro.core.engine import SimilarityEngine
 from repro.core.features import FeatureSpace
+from repro.core.plan import ACCESS_HINTS, QuerySpec, dist_plan
 from repro.core.transforms import Transformation
 from repro.data.relation import SequenceRelation
 
@@ -64,7 +77,7 @@ _TOKEN_RE = re.compile(
 
 _KEYWORDS = {
     "RANGE", "KNN", "JOIN", "DIST", "IN", "EPS", "K", "USING", "THEN",
-    "METHOD",
+    "METHOD", "EXPLAIN", "PLAN",
 }
 
 
@@ -118,6 +131,7 @@ class RangeQuery:
     relation: str
     eps: float
     using: Optional[TransformExpr]
+    plan: str = "auto"
 
 
 @dataclass
@@ -126,6 +140,7 @@ class KnnQuery:
     relation: str
     k: int
     using: Optional[TransformExpr]
+    plan: str = "auto"
 
 
 @dataclass
@@ -143,7 +158,14 @@ class DistQuery:
     using: Optional[TransformExpr]
 
 
-Query = Union[RangeQuery, KnnQuery, JoinQuery, DistQuery]
+@dataclass
+class ExplainQuery:
+    """``EXPLAIN <query>`` — compile the inner query, describe its plan."""
+
+    query: "Query"
+
+
+Query = Union[RangeQuery, KnnQuery, JoinQuery, DistQuery, ExplainQuery]
 
 
 # ----------------------------------------------------------------------
@@ -179,8 +201,16 @@ class Parser:
         tok = self.next()
         if tok.kind != "kw":
             raise QueryError(f"query must start with a verb, found {tok.text!r}")
+        explain = False
+        if tok.text == "EXPLAIN":
+            explain = True
+            tok = self.next()
+            if tok.kind != "kw":
+                raise QueryError(
+                    f"EXPLAIN must wrap a query, found {tok.text!r}"
+                )
         if tok.text == "RANGE":
-            node = self._range()
+            node: Query = self._range()
         elif tok.text == "KNN":
             node = self._knn()
         elif tok.text == "JOIN":
@@ -190,7 +220,7 @@ class Parser:
         else:
             raise QueryError(f"unknown query verb {tok.text}")
         self.expect("end")
-        return node
+        return ExplainQuery(node) if explain else node
 
     def _range(self) -> RangeQuery:
         seq = self.expect("ident").text
@@ -199,7 +229,8 @@ class Parser:
         self.expect("kw", "EPS")
         eps = self._number()
         using = self._maybe_using()
-        return RangeQuery(seq, relation, eps, using)
+        plan = self._maybe_plan()
+        return RangeQuery(seq, relation, eps, using, plan)
 
     def _knn(self) -> KnnQuery:
         seq = self.expect("ident").text
@@ -210,7 +241,8 @@ class Parser:
         if k != int(k) or k <= 0:
             raise QueryError(f"K must be a positive integer, got {k}")
         using = self._maybe_using()
-        return KnnQuery(seq, relation, int(k), using)
+        plan = self._maybe_plan()
+        return KnnQuery(seq, relation, int(k), using, plan)
 
     def _join(self) -> JoinQuery:
         relation = self.expect("ident").text
@@ -235,6 +267,19 @@ class Parser:
             self.next()
             return self._transform_expr()
         return None
+
+    def _maybe_plan(self) -> str:
+        """Optional ``PLAN auto|index|scan`` access-path hint."""
+        if self.peek().kind == "kw" and self.peek().text == "PLAN":
+            self.next()
+            tok = self.expect("ident")
+            if tok.text not in ACCESS_HINTS:
+                raise QueryError(
+                    f"PLAN expects one of {', '.join(ACCESS_HINTS)}, "
+                    f"got {tok.text!r}"
+                )
+            return tok.text
+        return "auto"
 
     def _transform_expr(self) -> TransformExpr:
         calls = [self._transform_call()]
@@ -344,40 +389,52 @@ class QuerySession:
 
         * ``RANGE`` / ``KNN`` → list of ``(record id, distance)``,
         * ``JOIN`` → list of ``(id, id, distance)``,
-        * ``DIST`` → float.
+        * ``DIST`` → float,
+        * ``EXPLAIN ...`` → dict describing the compiled plan.
         """
         return self.run(parse(text))
 
-    def run(self, query: Query):
-        """Execute a pre-parsed query AST."""
-        # USING in the language means *symmetric* transformation — both the
-        # data and the query are transformed, matching the paper's Section 2
-        # notion ("similar because their moving averages look the same") and
-        # its join semantics.  Algorithm 2's literal data-side-only form is
-        # available through SimilarityEngine directly.
+    def _compile(self, query: Query):
+        """Lower a parsed statement to a :class:`~repro.core.plan.PhysicalPlan`.
+
+        USING in the language means *symmetric* transformation — both the
+        data and the query are transformed, matching the paper's Section 2
+        notion ("similar because their moving averages look the same") and
+        its join semantics.  Algorithm 2's literal data-side-only form is
+        available through SimilarityEngine directly.
+        """
         if isinstance(query, RangeQuery):
             engine = self.engine(query.relation)
             t = self._build_transform(query.using, engine.space.n)
-            return engine.range_query(
-                self._sequence(query.seq),
-                query.eps,
+            spec = QuerySpec(
+                kind="range",
+                series=self._sequence(query.seq),
+                eps=query.eps,
                 transformation=t,
                 transform_query=True,
+                method=query.plan,
             )
+            return engine.plan(spec)
         if isinstance(query, KnnQuery):
             engine = self.engine(query.relation)
             t = self._build_transform(query.using, engine.space.n)
-            return engine.knn_query(
-                self._sequence(query.seq),
-                query.k,
+            spec = QuerySpec(
+                kind="knn",
+                series=self._sequence(query.seq),
+                k=query.k,
                 transformation=t,
                 transform_query=True,
+                method=query.plan,
             )
+            return engine.plan(spec)
         if isinstance(query, JoinQuery):
             engine = self.engine(query.relation)
             t = self._build_transform(query.using, engine.space.n)
+            spec = QuerySpec(
+                kind="join", eps=query.eps, transformation=t, method=query.method
+            )
             try:
-                return engine.all_pairs(query.eps, transformation=t, method=query.method)
+                return engine.plan(spec)
             except ValueError as ex:
                 raise QueryError(str(ex)) from None
         if isinstance(query, DistQuery):
@@ -388,11 +445,14 @@ class QuerySession:
                     f"DIST requires equal lengths, got {a.shape[0]} and {b.shape[0]}"
                 )
             t = self._build_transform(query.using, a.shape[0])
-            if t is not None:
-                a = np.asarray(t.apply_series(a), dtype=np.float64)
-                b = np.asarray(t.apply_series(b), dtype=np.float64)
-            return float(np.linalg.norm(a - b))
+            return dist_plan(a, b, transformation=t, symmetric=True)
         raise QueryError(f"unsupported query node {type(query).__name__}")
+
+    def run(self, query: Query):
+        """Execute a pre-parsed query AST through the plan API."""
+        if isinstance(query, ExplainQuery):
+            return self._compile(query.query).explain()
+        return self._compile(query).execute()
 
     # -- helpers ----------------------------------------------------------
     def _sequence(self, name: str) -> np.ndarray:

@@ -1,0 +1,485 @@
+"""Physical query operators — the executable half of the plan API.
+
+A compiled :class:`~repro.core.plan.PhysicalPlan` is a small tree of the
+operators in this module.  Each operator owns one phase of the paper's
+query pipeline and exposes the same two-method surface:
+
+* ``execute(ctx)`` — run the operator (and its inputs) against an
+  :class:`ExecContext`, returning its results;
+* ``explain()`` — a JSON-friendly description of what the operator would
+  do (access path, parameters, children), plus the :class:`IOStats` delta
+  it incurred if it has already run.
+
+The operators mirror the paper's three-phase shape (Section 4 /
+Algorithm 2):
+
+* :class:`IndexProbe` / :class:`BatchIndexProbe` — phase 2, the search
+  over the transformed R-tree view (Algorithm 1), producing candidate
+  record ids;
+* :class:`Verify` — phase 3, exact-distance post-processing of candidate
+  ids with matrix-level early abandoning (no false positives);
+* :class:`SeqScan` — the competing access path: the tuned
+  frequency-domain sequential scan of Section 5 (Figures 10-12);
+* :class:`KnnSearch` — the multi-step k-NN search, where probing and
+  verification interleave and cannot be split into separate operators;
+* :class:`PairJoin` — the Table-1 all-pairs strategies;
+* :class:`DistCompute` — a leaf evaluating one exact distance.
+
+Every operator captures the per-operator :class:`IOStats` delta of its
+most recent execution (inclusive of its children), so ``EXPLAIN`` after a
+run reports where candidates, distance computations and node reads were
+spent.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import queries as q
+from repro.core.transforms import Transformation
+from repro.scan import scan_knn, scan_range, scan_range_many
+
+Match = tuple[int, float]
+
+
+class ExecContext:
+    """Everything an operator needs at run time.
+
+    Args:
+        engine: the :class:`~repro.core.engine.SimilarityEngine` whose
+            relation/index the plan runs against; ``None`` only for plans
+            that touch no relation (``DIST``).
+    """
+
+    def __init__(self, engine=None) -> None:
+        self.engine = engine
+
+    @property
+    def stats(self):
+        return None if self.engine is None else self.engine.stats
+
+
+class Operator(ABC):
+    """Base class: uniform ``execute``/``explain`` plus IOStats capture."""
+
+    def __init__(self) -> None:
+        self.children: list[Operator] = []
+        #: IOStats delta of the last execution (inclusive of children);
+        #: ``None`` until the operator has run.
+        self.io: Optional[dict] = None
+
+    def execute(self, ctx: ExecContext):
+        """Run the operator, capturing its (inclusive) IOStats delta."""
+        before = None if ctx.stats is None else ctx.stats.snapshot()
+        result = self._execute(ctx)
+        if before is not None:
+            after = ctx.stats.snapshot()
+            self.io = {
+                key: after[key] - before.get(key, 0)
+                for key in after
+                if after[key] - before.get(key, 0)
+            }
+        return result
+
+    @abstractmethod
+    def _execute(self, ctx: ExecContext):
+        """Operator-specific execution (stats capture handled by caller)."""
+
+    def explain(self) -> dict:
+        """JSON-friendly description: op name, parameters, children, IO."""
+        out = {"op": type(self).__name__}
+        out.update(self._describe())
+        if self.io is not None:
+            out["io"] = self.io
+        if self.children:
+            out["children"] = [child.explain() for child in self.children]
+        return out
+
+    def _describe(self) -> dict:
+        return {}
+
+    @staticmethod
+    def _tname(t: Optional[Transformation]) -> Optional[str]:
+        return None if t is None else t.name
+
+
+# ----------------------------------------------------------------------
+# access paths (phase 2)
+# ----------------------------------------------------------------------
+class IndexProbe(Operator):
+    """Range search over the transformed index view (Algorithm 2, step 2).
+
+    Produces the candidate record ids whose (transformed) feature points
+    fall inside the query's search rectangle; Lemma 1 guarantees the set
+    has no false dismissals.
+    """
+
+    def __init__(
+        self,
+        q_point: np.ndarray,
+        eps: float,
+        transformation: Optional[Transformation] = None,
+        aux_bounds: Optional[Sequence[tuple[float, float]]] = None,
+    ) -> None:
+        super().__init__()
+        self.q_point = q_point
+        self.eps = eps
+        self.transformation = transformation
+        self.aux_bounds = aux_bounds
+
+    def _execute(self, ctx: ExecContext) -> np.ndarray:
+        engine = ctx.engine
+        view = q._make_view(engine.tree, engine.space, self.transformation)
+        qrect = engine.space.search_rect(
+            self.q_point, self.eps, aux_bounds=self.aux_bounds
+        )
+        candidates = view.search(qrect)
+        ids = np.fromiter(
+            (e.child for e in candidates), dtype=np.intp, count=len(candidates)
+        )
+        if ctx.stats is not None:
+            ctx.stats.candidate_count += ids.shape[0]
+        return ids
+
+    def _describe(self) -> dict:
+        return {
+            "eps": self.eps,
+            "transformation": self._tname(self.transformation),
+            "aux_bounds": (
+                None
+                if self.aux_bounds is None
+                else [[float(lo), float(hi)] for lo, hi in self.aux_bounds]
+            ),
+        }
+
+
+class BatchIndexProbe(Operator):
+    """Multi-query index probe sharing one tree descent across the batch.
+
+    All query search rectangles traverse the tree together
+    (:meth:`~repro.rtree.transformed.TransformedIndexView.search_many`):
+    each node is read and transformed at most once per batch, and a
+    subtree is visited with only the queries whose rectangles reach it.
+    Candidate sets per query are identical to separate :class:`IndexProbe`
+    runs.
+    """
+
+    def __init__(
+        self,
+        q_points: np.ndarray,
+        eps: float,
+        transformation: Optional[Transformation] = None,
+        aux_bounds: Optional[Sequence[tuple[float, float]]] = None,
+    ) -> None:
+        super().__init__()
+        self.q_points = q_points
+        self.eps = eps
+        self.transformation = transformation
+        self.aux_bounds = aux_bounds
+
+    def _execute(self, ctx: ExecContext) -> list[np.ndarray]:
+        engine = ctx.engine
+        space = engine.space
+        view = q._make_view(engine.tree, space, self.transformation)
+        m = self.q_points.shape[0]
+        qlows = np.empty((m, space.dim))
+        qhighs = np.empty((m, space.dim))
+        for i in range(m):
+            rect = space.search_rect(
+                self.q_points[i], self.eps, aux_bounds=self.aux_bounds
+            )
+            qlows[i], qhighs[i] = rect.lows, rect.highs
+        id_lists = view.search_many(qlows, qhighs)
+        out = [
+            np.asarray(ids, dtype=np.intp) if ids else np.empty(0, dtype=np.intp)
+            for ids in id_lists
+        ]
+        if ctx.stats is not None:
+            ctx.stats.candidate_count += sum(a.shape[0] for a in out)
+        return out
+
+    def _describe(self) -> dict:
+        return {
+            "queries": int(self.q_points.shape[0]),
+            "eps": self.eps,
+            "transformation": self._tname(self.transformation),
+            "shared_descent": True,
+        }
+
+
+class SeqScan(Operator):
+    """The tuned frequency-domain sequential scan (Section 5's competitor).
+
+    A complete access path on its own: scanning the relation of spectra
+    with early-abandoning distances both filters and verifies, so no
+    separate :class:`Verify` stage follows it.  Handles range and k-NN,
+    single queries and batches (the batch path hoists the transformation
+    over the relation once).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        query_spectra: np.ndarray,
+        eps: Optional[float] = None,
+        k: Optional[int] = None,
+        transformation: Optional[Transformation] = None,
+        batch: bool = False,
+    ) -> None:
+        super().__init__()
+        self.kind = kind
+        self.query_spectra = query_spectra
+        self.eps = eps
+        self.k = k
+        self.transformation = transformation
+        self.batch = batch
+
+    def _execute(self, ctx: ExecContext):
+        engine = ctx.engine
+        spectra = engine.ground_spectra
+        if self.kind == "range":
+            if self.batch:
+                return scan_range_many(
+                    spectra, self.query_spectra, self.eps,
+                    transformation=self.transformation, stats=ctx.stats,
+                )
+            return scan_range(
+                spectra, self.query_spectra, self.eps,
+                transformation=self.transformation, stats=ctx.stats,
+            )
+        if self.batch:
+            return [
+                scan_knn(
+                    spectra, q_spec, self.k,
+                    transformation=self.transformation, stats=ctx.stats,
+                )
+                for q_spec in self.query_spectra
+            ]
+        return scan_knn(
+            spectra, self.query_spectra, self.k,
+            transformation=self.transformation, stats=ctx.stats,
+        )
+
+    def _describe(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "transformation": self._tname(self.transformation),
+            "early_abandon": True,
+        }
+        if self.eps is not None:
+            out["eps"] = self.eps
+        if self.k is not None:
+            out["k"] = self.k
+        if self.batch:
+            out["queries"] = int(self.query_spectra.shape[0])
+        return out
+
+
+# ----------------------------------------------------------------------
+# post-processing (phase 3)
+# ----------------------------------------------------------------------
+class Verify(Operator):
+    """Exact-distance verification of index candidates (Algorithm 2, step 3).
+
+    Fetches each candidate's full ground spectrum and checks the exact
+    Euclidean distance with matrix-level early abandoning, guaranteeing no
+    false positives.  Consumes a single candidate array (under
+    :class:`IndexProbe`) or one array per query (under
+    :class:`BatchIndexProbe`).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        query_spectra: np.ndarray,
+        eps: float,
+        transformation: Optional[Transformation] = None,
+    ) -> None:
+        super().__init__()
+        self.children = [child]
+        self.query_spectra = query_spectra
+        self.eps = eps
+        self.transformation = transformation
+
+    def _verify_one(
+        self, ctx: ExecContext, ids: np.ndarray, q_spec: np.ndarray
+    ) -> list[Match]:
+        engine = ctx.engine
+        kept, dists, abandoned = engine.space.ground_distances_within_many(
+            engine.ground_spectra[ids], q_spec, self.eps, self.transformation
+        )
+        if ctx.stats is not None:
+            ctx.stats.distance_computations += ids.shape[0]
+            ctx.stats.verifications_completed += len(kept)
+            ctx.stats.verifications_abandoned += abandoned
+        out = [(int(ids[i]), float(d)) for i, d in zip(kept, dists)]
+        out.sort(key=lambda m: (m[1], m[0]))
+        return out
+
+    def _execute(self, ctx: ExecContext):
+        candidates = self.children[0].execute(ctx)
+        if isinstance(candidates, list):  # batch: one id array per query
+            return [
+                self._verify_one(ctx, ids, self.query_spectra[i])
+                for i, ids in enumerate(candidates)
+            ]
+        return self._verify_one(ctx, candidates, self.query_spectra)
+
+    def _describe(self) -> dict:
+        return {
+            "eps": self.eps,
+            "transformation": self._tname(self.transformation),
+            "early_abandon": "matrix-blocked",
+        }
+
+
+# ----------------------------------------------------------------------
+# composite searches
+# ----------------------------------------------------------------------
+class KnnSearch(Operator):
+    """Multi-step exact k-NN over the transformed index.
+
+    Probing and verification interleave (the stream of index entries in
+    lower-bound order stops once the next bound exceeds the k-th best
+    exact distance), so this is a single operator rather than a
+    probe/verify pair.  Handles a single query or a batch sharing one
+    transformed view.
+    """
+
+    def __init__(
+        self,
+        query_spectra: np.ndarray,
+        q_points: np.ndarray,
+        k: int,
+        transformation: Optional[Transformation] = None,
+        batch: bool = False,
+    ) -> None:
+        super().__init__()
+        self.query_spectra = query_spectra
+        self.q_points = q_points
+        self.k = k
+        self.transformation = transformation
+        self.batch = batch
+
+    def _execute(self, ctx: ExecContext):
+        engine = ctx.engine
+        if not self.batch:
+            return q.knn_query(
+                engine.tree, engine.space, engine.ground_spectra,
+                self.query_spectra, self.q_points, self.k,
+                transformation=self.transformation, stats=ctx.stats,
+            )
+        view = q._make_view(engine.tree, engine.space, self.transformation)
+        return [
+            q.knn_query(
+                engine.tree, engine.space, engine.ground_spectra,
+                self.query_spectra[i], self.q_points[i], self.k,
+                transformation=self.transformation, stats=ctx.stats, view=view,
+            )
+            for i in range(self.q_points.shape[0])
+        ]
+
+    def _describe(self) -> dict:
+        out = {
+            "k": self.k,
+            "transformation": self._tname(self.transformation),
+            "strategy": "multi-step best-first (probe/verify interleaved)",
+        }
+        if self.batch:
+            out["queries"] = int(self.q_points.shape[0])
+            out["shared_view"] = True
+        return out
+
+
+class PairJoin(Operator):
+    """All-pairs similarity self-join — the four strategies of Table 1.
+
+    Methods: ``"scan"`` (Table 1's *a*), ``"scan-abandon"`` (*b*),
+    ``"index"`` (*c*/*d*), ``"tree-join"`` (synchronized-descent
+    ablation).
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        transformation: Optional[Transformation] = None,
+        method: str = "index",
+    ) -> None:
+        super().__init__()
+        self.eps = eps
+        self.transformation = transformation
+        self.method = method
+
+    def _execute(self, ctx: ExecContext) -> list[tuple[int, int, float]]:
+        engine = ctx.engine
+        spectra = engine.ground_spectra
+        if self.method == "scan":
+            return q.all_pairs_scan(
+                spectra, self.eps, self.transformation,
+                early_abandon=False, stats=ctx.stats,
+            )
+        if self.method == "scan-abandon":
+            return q.all_pairs_scan(
+                spectra, self.eps, self.transformation,
+                early_abandon=True, stats=ctx.stats,
+            )
+        if self.method == "index":
+            return q.all_pairs_index(
+                engine.tree, engine.space, spectra, engine.points,
+                self.eps, self.transformation, stats=ctx.stats,
+            )
+        if self.method == "tree-join":
+            return q.all_pairs_tree_join(
+                engine.tree, engine.space, spectra,
+                self.eps, self.transformation, stats=ctx.stats,
+            )
+        raise ValueError(f"unknown join method {self.method!r}")
+
+    def _describe(self) -> dict:
+        return {
+            "eps": self.eps,
+            "method": self.method,
+            "transformation": self._tname(self.transformation),
+        }
+
+
+class DistCompute(Operator):
+    """Exact distance between two bound series (the language's ``DIST``).
+
+    With ``symmetric`` the transformation applies to both sides (the
+    Section-2 "their moving averages look the same" semantics the query
+    language uses); otherwise only the first series is transformed.
+    """
+
+    def __init__(
+        self,
+        series_a: np.ndarray,
+        series_b: np.ndarray,
+        transformation: Optional[Transformation] = None,
+        symmetric: bool = True,
+    ) -> None:
+        super().__init__()
+        self.series_a = np.asarray(series_a, dtype=np.float64)
+        self.series_b = np.asarray(series_b, dtype=np.float64)
+        self.transformation = transformation
+        self.symmetric = symmetric
+
+    def _execute(self, ctx: ExecContext) -> float:
+        a, b = self.series_a, self.series_b
+        if self.transformation is not None:
+            a = np.asarray(self.transformation.apply_series(a), dtype=np.float64)
+            if self.symmetric:
+                b = np.asarray(
+                    self.transformation.apply_series(b), dtype=np.float64
+                )
+        return float(np.linalg.norm(a - b))
+
+    def _describe(self) -> dict:
+        return {
+            "transformation": self._tname(self.transformation),
+            "symmetric": self.symmetric,
+            "length": int(self.series_a.shape[0]),
+        }

@@ -1,0 +1,351 @@
+"""The unified query-plan API: ``QuerySpec`` → logical plan → operators.
+
+Every similarity query in the system — range, k-NN, all-pairs join, exact
+distance; single or batched; from Python, the query language, or the CLI
+— is described by one :class:`QuerySpec` and answered through one
+compiled :class:`PhysicalPlan`:
+
+.. code-block:: python
+
+    spec = QuerySpec(kind="range", series=q, eps=2.5,
+                     transformation=moving_average(128, 20),
+                     transform_query=True)
+    plan = engine.plan(spec)
+    print(plan.explain()["access_path"])   # "index" or "scan"
+    matches = plan.execute()
+
+Compilation follows the paper end to end:
+
+1. **Preprocess** the query into the frequency domain (spectrum + feature
+   point, transformed when ``transform_query`` asks for the symmetric
+   semantics) — Algorithm 2's step 1.
+2. **Choose the access path.**  With ``method="auto"`` the Figure-12
+   selection applies: a sampling
+   :class:`~repro.core.planner.SelectivityEstimator` predicts the
+   candidate fraction the index filter would pass, and the query routes
+   to the tuned sequential scan once that fraction exceeds the measured
+   crossover (~0.15).  ``method="index"``/``"scan"`` force a path; join
+   specs accept the Table-1 method names.
+3. **Build the operator tree** —
+   :class:`~repro.core.ops.IndexProbe`/:class:`~repro.core.ops.BatchIndexProbe`
+   under a :class:`~repro.core.ops.Verify`, a standalone
+   :class:`~repro.core.ops.SeqScan`, a
+   :class:`~repro.core.ops.KnnSearch`, or a
+   :class:`~repro.core.ops.PairJoin`.
+
+Both access paths return the exact answer set (the estimator can only
+affect latency, never correctness), which the parity tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core import ops
+from repro.core.transforms import Transformation
+from repro.rtree.transformed import AffineMap
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+#: Valid spec kinds.
+KINDS = ("range", "knn", "join", "dist")
+#: Access-path hints for range/knn specs.
+ACCESS_HINTS = ("auto", "index", "scan")
+#: Join methods (Table 1 labels plus the tree-matching ablation).
+JOIN_METHODS = ("scan", "scan-abandon", "index", "tree-join")
+
+
+@dataclass
+class QuerySpec:
+    """A declarative description of one similarity query.
+
+    Args:
+        kind: ``"range"``, ``"knn"``, ``"join"`` or ``"dist"``.
+        series: query payload — one series for a scalar range/k-NN query,
+            an ``(m, n)`` matrix for a batched one, the first operand of a
+            ``dist`` spec; unused for joins.
+        other: second operand of a ``dist`` spec.
+        eps: similarity threshold (range and join).
+        k: neighbour count (k-NN).
+        transformation: safe transformation applied to the data side.
+        transform_query: apply the transformation to the query side too —
+            the symmetric ``D(T(x), T(q))`` semantics of the paper's
+            Section 2 examples (what the query language always uses).
+        aux_bounds: optional intervals constraining auxiliary index
+            dimensions ([GK95]-style shift/scale restrictions).
+        method: access-path hint — ``"auto"`` (planner decides),
+            ``"index"``, ``"scan"``; joins take a Table-1 method name
+            (``"auto"`` resolves to ``"index"``).
+    """
+
+    kind: str
+    series: Optional[ArrayLike] = None
+    other: Optional[ArrayLike] = None
+    eps: Optional[float] = None
+    k: Optional[int] = None
+    transformation: Optional[Transformation] = None
+    transform_query: bool = False
+    aux_bounds: Optional[Sequence[tuple[float, float]]] = None
+    method: str = "auto"
+
+
+@dataclass
+class LogicalPlan:
+    """The compile-time routing decision EXPLAIN reports."""
+
+    kind: str
+    access_path: str
+    method_hint: str
+    batch: bool = False
+    estimated_fraction: Optional[float] = None
+    crossover_fraction: Optional[float] = None
+    reason: str = ""
+
+
+class PhysicalPlan:
+    """A compiled, executable, explainable query plan.
+
+    Obtained from :meth:`SimilarityEngine.plan`; ``execute()`` runs the
+    operator tree against the engine and ``explain()`` reports the chosen
+    access path, the selectivity estimate behind it, and (after a run)
+    per-operator IOStats.
+    """
+
+    def __init__(
+        self,
+        root: ops.Operator,
+        ctx: ops.ExecContext,
+        logical: LogicalPlan,
+        spec: QuerySpec,
+    ) -> None:
+        self.root = root
+        self.ctx = ctx
+        self.logical = logical
+        self.spec = spec
+
+    def execute(self):
+        """Run the plan; the result type matches the spec kind."""
+        return self.root.execute(self.ctx)
+
+    def explain(self) -> dict:
+        """The plan as a JSON-friendly dict (``EXPLAIN`` output)."""
+        spec, logical = self.spec, self.logical
+        return {
+            "kind": spec.kind,
+            "access_path": logical.access_path,
+            "method_hint": logical.method_hint,
+            "batch": logical.batch,
+            "estimated_candidate_fraction": logical.estimated_fraction,
+            "crossover_fraction": logical.crossover_fraction,
+            "reason": logical.reason,
+            "eps": spec.eps,
+            "k": spec.k,
+            "transformation": (
+                None if spec.transformation is None else spec.transformation.name
+            ),
+            "transform_query": spec.transform_query,
+            "plan": self.root.explain(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PhysicalPlan(kind={self.spec.kind!r}, "
+            f"access_path={self.logical.access_path!r}, "
+            f"root={type(self.root).__name__})"
+        )
+
+
+# ----------------------------------------------------------------------
+# compilation
+# ----------------------------------------------------------------------
+def _mapping_for(engine, t: Optional[Transformation]) -> AffineMap:
+    if t is None:
+        return AffineMap.identity(engine.space.dim)
+    return engine.space.affine_map(t)
+
+
+def _route_range(
+    engine, spec: QuerySpec, q_points: np.ndarray, batch: bool, estimator
+) -> LogicalPlan:
+    """Access-path selection for a range spec (Figure 12's crossover)."""
+    logical = LogicalPlan(
+        kind="range", access_path="index", method_hint=spec.method, batch=batch
+    )
+    if spec.aux_bounds is not None:
+        # Only the index path can apply [GK95]-style aux-dimension bounds;
+        # a scan would silently return records outside them.
+        if spec.method == "scan":
+            raise ValueError(
+                "the scan access path cannot apply aux_bounds; "
+                "use method='index' or 'auto'"
+            )
+        logical.reason = (
+            "aux_bounds constrain index dimensions; only the index path "
+            "applies them"
+        )
+        return logical
+    if spec.method in ("index", "scan"):
+        logical.access_path = spec.method
+        logical.reason = "access path forced by method hint"
+        return logical
+    if len(engine.relation) == 0:
+        logical.reason = "empty relation"
+        return logical
+    pts = q_points if batch else q_points[None, :]
+    if pts.shape[0] == 0:
+        logical.reason = "empty query batch"
+        return logical
+    if estimator is None:
+        estimator = engine.estimator
+    mapping = _mapping_for(engine, spec.transformation)
+    fractions = [
+        estimator.fraction(engine.space, pts[i], spec.eps, mapping)
+        for i in range(pts.shape[0])
+    ]
+    fraction = float(np.mean(fractions))
+    logical.estimated_fraction = fraction
+    logical.crossover_fraction = estimator.crossover_fraction
+    if fraction > estimator.crossover_fraction:
+        logical.access_path = "scan"
+        logical.reason = (
+            f"estimated candidate fraction {fraction:.3f} exceeds the "
+            f"Figure-12 crossover {estimator.crossover_fraction:.3f}"
+        )
+    else:
+        logical.reason = (
+            f"estimated candidate fraction {fraction:.3f} within the "
+            f"index's winning regime"
+        )
+    return logical
+
+
+def compile_spec(engine, spec: QuerySpec, estimator=None) -> PhysicalPlan:
+    """Compile a :class:`QuerySpec` against an engine.
+
+    Raises:
+        ValueError: on an unknown kind/method, a missing required field,
+            or a malformed payload — at compile time, before any I/O.
+    """
+    if spec.kind not in KINDS:
+        raise ValueError(f"unknown query kind {spec.kind!r}; expected one of {KINDS}")
+    ctx = ops.ExecContext(engine)
+    if spec.kind == "dist":
+        return _compile_dist(spec, ctx)
+    if spec.kind == "join":
+        return _compile_join(spec, ctx)
+    if spec.series is None:
+        raise ValueError(f"a {spec.kind!r} spec requires a query series")
+    rows = np.asarray(spec.series, dtype=np.float64)
+    batch = rows.ndim == 2
+    if batch:
+        q_specs, q_points = engine._query_reps_batch(
+            rows, spec.transformation, spec.transform_query
+        )
+    else:
+        q_specs, q_points = engine._query_reps(
+            rows, spec.transformation, spec.transform_query
+        )
+    if spec.kind == "range":
+        if spec.eps is None:
+            raise ValueError("a 'range' spec requires eps")
+        if spec.method not in ACCESS_HINTS:
+            raise ValueError(
+                f"unknown method {spec.method!r}; expected one of {ACCESS_HINTS}"
+            )
+        logical = _route_range(engine, spec, q_points, batch, estimator)
+        if logical.access_path == "scan":
+            root: ops.Operator = ops.SeqScan(
+                "range", q_specs, eps=spec.eps,
+                transformation=spec.transformation, batch=batch,
+            )
+        else:
+            probe_cls = ops.BatchIndexProbe if batch else ops.IndexProbe
+            probe = probe_cls(
+                q_points, spec.eps,
+                transformation=spec.transformation, aux_bounds=spec.aux_bounds,
+            )
+            root = ops.Verify(
+                probe, q_specs, spec.eps, transformation=spec.transformation
+            )
+        return PhysicalPlan(root, ctx, logical, spec)
+
+    # kind == "knn"
+    if spec.k is None or spec.k <= 0:
+        raise ValueError(f"a 'knn' spec requires positive k, got {spec.k}")
+    if spec.method not in ACCESS_HINTS:
+        raise ValueError(
+            f"unknown method {spec.method!r}; expected one of {ACCESS_HINTS}"
+        )
+    logical = LogicalPlan(
+        kind="knn", access_path="index", method_hint=spec.method, batch=batch
+    )
+    if spec.method == "scan":
+        logical.access_path = "scan"
+        logical.reason = "access path forced by method hint"
+        root = ops.SeqScan(
+            "knn", q_specs, k=spec.k,
+            transformation=spec.transformation, batch=batch,
+        )
+    else:
+        logical.reason = (
+            "k-NN has no eps to estimate selectivity from; "
+            "multi-step index search is the default"
+        )
+        root = ops.KnnSearch(
+            q_specs, q_points, spec.k,
+            transformation=spec.transformation, batch=batch,
+        )
+    return PhysicalPlan(root, ctx, logical, spec)
+
+
+def _compile_join(spec: QuerySpec, ctx: ops.ExecContext) -> PhysicalPlan:
+    if spec.eps is None:
+        raise ValueError("a 'join' spec requires eps")
+    method = "index" if spec.method == "auto" else spec.method
+    if method not in JOIN_METHODS:
+        raise ValueError(
+            f"unknown method {spec.method!r}; expected 'scan', 'scan-abandon', "
+            "'index' or 'tree-join'"
+        )
+    logical = LogicalPlan(
+        kind="join",
+        access_path=method,
+        method_hint=spec.method,
+        reason="Table-1 join strategy",
+    )
+    root = ops.PairJoin(spec.eps, transformation=spec.transformation, method=method)
+    return PhysicalPlan(root, ctx, logical, spec)
+
+
+def _compile_dist(spec: QuerySpec, ctx: ops.ExecContext) -> PhysicalPlan:
+    if spec.series is None or spec.other is None:
+        raise ValueError("a 'dist' spec requires both series and other")
+    a = np.asarray(spec.series, dtype=np.float64)
+    b = np.asarray(spec.other, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"dist requires equal lengths, got {a.shape} and {b.shape}")
+    logical = LogicalPlan(
+        kind="dist", access_path="compute", method_hint=spec.method,
+        reason="exact distance evaluation",
+    )
+    root = ops.DistCompute(
+        a, b, transformation=spec.transformation, symmetric=spec.transform_query
+    )
+    return PhysicalPlan(root, ctx, logical, spec)
+
+
+def dist_plan(
+    series_a: ArrayLike,
+    series_b: ArrayLike,
+    transformation: Optional[Transformation] = None,
+    symmetric: bool = True,
+) -> PhysicalPlan:
+    """A standalone distance plan needing no engine (the language's DIST)."""
+    spec = QuerySpec(
+        kind="dist", series=series_a, other=series_b,
+        transformation=transformation, transform_query=symmetric,
+    )
+    return _compile_dist(spec, ops.ExecContext(None))

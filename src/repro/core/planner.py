@@ -1,4 +1,4 @@
-"""Choosing between the index and the sequential scan per query.
+"""Access-path selection between the index and the sequential scan.
 
 Figure 12 of the paper shows the two access paths cross: the transformed
 index wins while the answer set is selective, and the tuned sequential
@@ -6,7 +6,11 @@ scan wins once roughly a fifth to a third of the relation qualifies.  A
 system that always uses the index therefore leaves performance on the
 table for broad queries — the classic access-path-selection problem.
 
-:class:`QueryPlanner` makes that choice with a sampling estimator:
+:class:`SelectivityEstimator` makes that call with a sampling estimator,
+and is a *compile-time* component: :func:`repro.core.plan.compile_spec`
+consults it whenever a :class:`~repro.core.plan.QuerySpec` carries the
+``method="auto"`` hint, so every planner-routed entry point (Python,
+query language, CLI, batch) shares one estimate.
 
 1. keep a fixed random sample of the relation's feature points;
 2. for a query, build the same search rectangle Algorithm 2 would use,
@@ -18,28 +22,34 @@ table for broad queries — the classic access-path-selection problem.
 
 The estimator never affects correctness — both access paths return the
 exact answer set (verified in the tests); only latency is at stake.
+
+:class:`QueryPlanner` is the pre-plan-API user-facing wrapper, kept as a
+deprecated shim: it now builds a spec and routes through
+``engine.plan(...)`` like everything else.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.engine import SimilarityEngine
 from repro.core.transforms import Transformation
-from repro.rtree.geometry import Rect, intersects_circular_many
+from repro.rtree.geometry import intersects_circular_many
 from repro.rtree.transformed import AffineMap
-from repro.scan import scan_range
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine → plan → here)
+    from repro.core.engine import SimilarityEngine
+    from repro.core.features import FeatureSpace
 
 ArrayLike = Union[Sequence[float], np.ndarray]
 
 
-class QueryPlanner:
-    """Access-path selection between Algorithm 2 and the tuned scan.
+class SelectivityEstimator:
+    """Sampling estimate of the candidate fraction an index probe passes.
 
     Args:
-        engine: the engine whose relation/index both paths share.
+        points: the relation's ``(m, dim)`` feature points to sample from.
         sample_size: number of feature points sampled for estimation.
         crossover_fraction: candidate fraction above which the scan is
             predicted to win (Figure 12's crossover; tune per deployment).
@@ -48,7 +58,7 @@ class QueryPlanner:
 
     def __init__(
         self,
-        engine: SimilarityEngine,
+        points: np.ndarray,
         sample_size: int = 128,
         crossover_fraction: float = 0.15,
         seed: int = 0,
@@ -59,37 +69,44 @@ class QueryPlanner:
             raise ValueError(
                 f"crossover_fraction must be in (0, 1], got {crossover_fraction}"
             )
-        self.engine = engine
+        self.sample_size = sample_size
         self.crossover_fraction = crossover_fraction
-        n = len(engine.relation)
+        pts = np.asarray(points, dtype=np.float64)
+        n = pts.shape[0]
         rng = np.random.default_rng(seed)
         take = min(sample_size, n)
         self._sample_ids = (
             rng.choice(n, size=take, replace=False) if take else np.empty(0, int)
         )
         self._sample_points = (
-            engine.points[self._sample_ids] if take else np.empty((0, engine.space.dim))
+            pts[self._sample_ids]
+            if take
+            else np.empty((0, pts.shape[1] if pts.ndim == 2 else 0))
         )
 
-    # ------------------------------------------------------------------
-    def estimate_candidate_fraction(
+    def fraction(
         self,
-        series: ArrayLike,
+        space: "FeatureSpace",
+        q_point: ArrayLike,
         eps: float,
-        transformation: Optional[Transformation] = None,
-        transform_query: bool = False,
+        mapping: Optional[AffineMap] = None,
     ) -> float:
-        """Estimated fraction of the relation the index filter would pass."""
+        """Estimated fraction of the relation the index filter would pass.
+
+        Args:
+            space: the feature space the sampled points live in.
+            q_point: the query's feature point (already transformed when
+                the symmetric semantics apply).
+            eps: similarity threshold.
+            mapping: affine map of the data-side transformation (identity
+                when ``None``) — the sample is pushed through it exactly
+                as Algorithm 1 pushes node MBRs.
+        """
         if self._sample_points.shape[0] == 0:
             return 0.0
-        space = self.engine.space
-        mapping = (
-            AffineMap.identity(space.dim)
-            if transformation is None
-            else space.affine_map(transformation)
-        )
-        _, q_point = self.engine._query_reps(series, transformation, transform_query)
-        qrect = space.search_rect(q_point, eps)
+        if mapping is None:
+            mapping = AffineMap.identity(space.dim)
+        qrect = space.search_rect(np.asarray(q_point, dtype=np.float64), eps)
         mapped = self._sample_points * mapping.scale + mapping.offset
         # Points are degenerate rectangles: lows == highs == mapped.
         hits = intersects_circular_many(
@@ -99,16 +116,81 @@ class QueryPlanner:
 
     def choose(
         self,
+        space: "FeatureSpace",
+        q_point: ArrayLike,
+        eps: float,
+        mapping: Optional[AffineMap] = None,
+    ) -> str:
+        """``"index"`` or ``"scan"`` for this query point."""
+        fraction = self.fraction(space, q_point, eps, mapping)
+        return "scan" if fraction > self.crossover_fraction else "index"
+
+
+class QueryPlanner:
+    """Deprecated user-facing wrapper around planner-routed execution.
+
+    Kept for API compatibility; new code should build a
+    :class:`~repro.core.plan.QuerySpec` with ``method="auto"`` and call
+    :meth:`SimilarityEngine.plan` directly.
+
+    Args:
+        engine: the engine whose relation/index both paths share.
+        sample_size: number of feature points sampled for estimation.
+        crossover_fraction: see :class:`SelectivityEstimator`.
+        seed: sampling seed (fixed for reproducible plans).
+    """
+
+    def __init__(
+        self,
+        engine: "SimilarityEngine",
+        sample_size: int = 128,
+        crossover_fraction: float = 0.15,
+        seed: int = 0,
+    ) -> None:
+        self.engine = engine
+        self._estimator = SelectivityEstimator(
+            engine.points,
+            sample_size=sample_size,
+            crossover_fraction=crossover_fraction,
+            seed=seed,
+        )
+
+    @property
+    def crossover_fraction(self) -> float:
+        return self._estimator.crossover_fraction
+
+    # ------------------------------------------------------------------
+    def _mapping(self, transformation: Optional[Transformation]) -> AffineMap:
+        space = self.engine.space
+        if transformation is None:
+            return AffineMap.identity(space.dim)
+        return space.affine_map(transformation)
+
+    def estimate_candidate_fraction(
+        self,
+        series: ArrayLike,
+        eps: float,
+        transformation: Optional[Transformation] = None,
+        transform_query: bool = False,
+    ) -> float:
+        """Estimated fraction of the relation the index filter would pass."""
+        _, q_point = self.engine._query_reps(series, transformation, transform_query)
+        return self._estimator.fraction(
+            self.engine.space, q_point, eps, self._mapping(transformation)
+        )
+
+    def choose(
+        self,
         series: ArrayLike,
         eps: float,
         transformation: Optional[Transformation] = None,
         transform_query: bool = False,
     ) -> str:
         """``"index"`` or ``"scan"`` for this query."""
-        fraction = self.estimate_candidate_fraction(
-            series, eps, transformation, transform_query
+        _, q_point = self.engine._query_reps(series, transformation, transform_query)
+        return self._estimator.choose(
+            self.engine.space, q_point, eps, self._mapping(transformation)
         )
-        return "scan" if fraction > self.crossover_fraction else "index"
 
     def execute(
         self,
@@ -123,17 +205,17 @@ class QueryPlanner:
             ``(plan, matches)`` — the plan label and the exact answer set
             (identical whichever path ran).
         """
-        plan = self.choose(series, eps, transformation, transform_query)
-        if plan == "index":
-            return plan, self.engine.range_query(
-                series, eps, transformation=transformation,
+        from repro.core.plan import QuerySpec
+
+        plan = self.engine.plan(
+            QuerySpec(
+                kind="range",
+                series=series,
+                eps=eps,
+                transformation=transformation,
                 transform_query=transform_query,
-            )
-        q_spec, _ = self.engine._query_reps(series, transformation, transform_query)
-        return plan, scan_range(
-            self.engine.ground_spectra,
-            q_spec,
-            eps,
-            transformation=transformation,
-            stats=self.engine.stats,
+                method="auto",
+            ),
+            estimator=self._estimator,
         )
+        return plan.logical.access_path, plan.execute()

@@ -25,6 +25,7 @@ __all__ = [
     "union_all",
     "intersects_circular",
     "intersects_circular_many",
+    "intersects_circular_pairwise",
     "TWO_PI",
 ]
 
@@ -350,6 +351,64 @@ def intersects_circular_many(
         wb = qhi[d] - qlo[d]
         a0 = fold(lows[:, d])
         b0 = fold(qlo[d])
+        hit = (
+            (wa >= period)
+            | (wb >= period)
+            | ((b0 - a0) % period <= wa)
+            | ((a0 - b0) % period <= wb)
+        )
+        out &= hit
+    return out
+
+
+def intersects_circular_pairwise(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    qlows: np.ndarray,
+    qhighs: np.ndarray,
+    circular_mask: Optional[np.ndarray] = None,
+    period: float = TWO_PI,
+) -> np.ndarray:
+    """All-pairs rectangle intersection: many rectangles × many queries.
+
+    The two-sided generalisation of :func:`intersects_circular_many`, used
+    by the multi-query R-tree descent to test one node's entries against a
+    whole batch of search rectangles in a single broadcast.
+
+    Args:
+        lows, highs: ``(f, d)`` per-rectangle bounds.
+        qlows, qhighs: ``(m, d)`` per-query bounds.
+        circular_mask: boolean ``(d,)`` mask of wrap-around dimensions.
+        period: circumference of circular dimensions.
+
+    Returns:
+        boolean ``(f, m)`` matrix; entry ``[i, j]`` is ``True`` when
+        rectangle ``i`` meets query ``j`` (closed, wrap-aware on circular
+        dimensions).  Column ``j`` equals
+        ``intersects_circular_many(lows, highs, qlows[j], qhighs[j], mask)``.
+    """
+    f, m = lows.shape[0], qlows.shape[0]
+    out = np.ones((f, m), dtype=bool)
+    if circular_mask is None:
+        circular_mask = np.zeros(lows.shape[1], dtype=bool)
+    linear = ~circular_mask
+    if np.any(linear):
+        lo, hi = lows[:, linear], highs[:, linear]
+        qlo, qhi = qlows[:, linear], qhighs[:, linear]
+        out &= np.all(lo[:, None, :] <= qhi[None, :, :], axis=2)
+        out &= np.all(qlo[None, :, :] <= hi[:, None, :], axis=2)
+
+    def fold(x):
+        # Same endpoint folding as intersects_circular_many: a tiny negative
+        # endpoint can round to exactly `period`, which aliases to 0.
+        r = x % period
+        return np.where(r >= period, 0.0, r)
+
+    for d in np.nonzero(circular_mask)[0]:
+        wa = (highs[:, d] - lows[:, d])[:, None]
+        wb = (qhighs[:, d] - qlows[:, d])[None, :]
+        a0 = fold(lows[:, d])[:, None]
+        b0 = fold(qlows[:, d])[None, :]
         hit = (
             (wa >= period)
             | (wb >= period)

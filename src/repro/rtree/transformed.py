@@ -196,6 +196,51 @@ class TransformedIndexView:
         for i in np.nonzero(hits)[0]:
             self._search(node.entries[i].child, query, out)
 
+    def search_many(
+        self, qlows: np.ndarray, qhighs: np.ndarray
+    ) -> list[list[int]]:
+        """Multi-query range search sharing a single tree descent.
+
+        Where :meth:`search` walks the tree once per query, this walks it
+        once per *batch*: every node is read (and its MBRs transformed) at
+        most once, its entries are tested against all still-active query
+        rectangles in one pairwise broadcast, and a subtree is descended
+        with exactly the subset of queries whose rectangles reach it.  For
+        a batch of similar queries this amortises node visits — the
+        per-query candidate sets are identical to ``m`` separate
+        :meth:`search` calls.
+
+        Args:
+            qlows, qhighs: stacked ``(m, dim)`` query-rectangle bounds.
+
+        Returns:
+            one list of matching record ids per query, in query order.
+        """
+        from repro.rtree.geometry import intersects_circular_pairwise
+
+        m = qlows.shape[0]
+        out: list[list[int]] = [[] for _ in range(m)]
+        if m == 0:
+            return out
+        stack: list[tuple[int, np.ndarray]] = [(self.tree.root_id, np.arange(m))]
+        while stack:
+            node_id, active = stack.pop()
+            node, t_lows, t_highs = self.transformed_node_arrays(node_id)
+            if not node.entries:
+                continue
+            hits = intersects_circular_pairwise(
+                t_lows, t_highs, qlows[active], qhighs[active], self.circular_mask
+            )
+            if node.is_leaf:
+                for fi, qi in zip(*np.nonzero(hits)):
+                    out[int(active[qi])].append(node.entries[fi].child)
+            else:
+                for fi in range(len(node.entries)):
+                    sub = active[np.nonzero(hits[fi])[0]]
+                    if sub.size:
+                        stack.append((node.entries[fi].child, sub))
+        return out
+
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[Entry]:
         """All transformed leaf entries."""

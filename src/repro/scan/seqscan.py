@@ -68,6 +68,42 @@ def scan_range(
     return out
 
 
+def scan_range_many(
+    ground_spectra: np.ndarray,
+    query_spectra: np.ndarray,
+    eps: float,
+    transformation: Optional[Transformation] = None,
+    block: int = 4,
+    stats: Optional[IOStats] = None,
+) -> list[list[tuple[int, float]]]:
+    """Batched :func:`scan_range` over an ``(m, n)`` matrix of query spectra.
+
+    The transformation is hoisted over the whole relation once (O(records)
+    applications instead of O(records × queries)), and each query is then
+    verified against all records with matrix-level early abandoning — the
+    same block-accumulation rule as the scalar scan, evaluated as a few
+    numpy calls per query.  Answer sets are identical to per-query
+    :func:`scan_range` calls.
+    """
+    from repro.core.similarity import batch_euclidean_within
+
+    tspec = (
+        ground_spectra
+        if transformation is None
+        else transformation.apply_spectrum(ground_spectra)
+    )
+    records = ground_spectra.shape[0]
+    out: list[list[tuple[int, float]]] = []
+    for q_spec in np.asarray(query_spectra, dtype=np.complex128):
+        kept, dists, _ = batch_euclidean_within(tspec, q_spec, eps, block=block)
+        matches = [(int(i), float(d)) for i, d in zip(kept, dists)]
+        matches.sort(key=lambda t: (t[1], t[0]))
+        out.append(matches)
+    if stats is not None:
+        stats.distance_computations += records * len(out)
+    return out
+
+
 def scan_knn(
     ground_spectra: np.ndarray,
     query_spectrum: np.ndarray,

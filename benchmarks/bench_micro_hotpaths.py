@@ -55,7 +55,7 @@ def bench_build(matrix: np.ndarray, space: NormalFormSpace) -> dict:
         np.stack([space.series_spectrum(row) for row in matrix])
 
     batched_s = _timed(lambda: space.extract_many_with_spectra(matrix), repeats=3)
-    scalar_s = _timed(scalar)
+    scalar_s = _timed(scalar, repeats=2)
     return {"scalar_s": scalar_s, "batched_s": batched_s,
             "speedup": scalar_s / batched_s}
 
@@ -86,7 +86,7 @@ def bench_range_verification(
             space.ground_distances_within_many(spectra[cands], spec, eps)
 
     batched_s = _timed(batched, repeats=3)
-    scalar_s = _timed(scalar)
+    scalar_s = _timed(scalar, repeats=2)
     return {
         "candidates": candidates,
         "scalar_s": scalar_s,
@@ -117,8 +117,10 @@ def bench_query_latency(engine: SimilarityEngine, queries: np.ndarray) -> dict:
 
     out = {}
     for name, fn in (("range", run_range), ("knn", run_knn)):
+        # Best-of-N on both sides: the speedup ratios feed the CI
+        # regression gate, so single-shot timing noise matters.
         batched_s = _timed(lambda: fn(True), repeats=2)
-        scalar_s = _timed(lambda: fn(False))
+        scalar_s = _timed(lambda: fn(False), repeats=2)
         out[name] = {
             "queries": len(queries),
             "scalar_ms_per_query": 1000 * scalar_s / len(queries),
@@ -128,8 +130,45 @@ def bench_query_latency(engine: SimilarityEngine, queries: np.ndarray) -> dict:
     return out
 
 
+def bench_knn_batch(engine: SimilarityEngine, queries: np.ndarray, k: int) -> dict:
+    """Fused kernel k-NN frontier vs the per-query loop it replaces.
+
+    The baseline is exactly what ``knn_query_batch`` did before the
+    columnar kernel: one :func:`repro.core.queries.knn_query` traversal per
+    query over a shared (kernel-less) view — per-node vectorised bounds,
+    one heap item and one ground distance per examined entry.
+    """
+    space, spectra = engine.space, engine.ground_spectra
+    q_specs, q_points = engine._query_reps_batch(queries, None, False)
+
+    loop_view = q._make_view(engine.tree, space, None)
+    loop_view.kernel = None
+
+    def per_query_loop() -> None:
+        for i in range(queries.shape[0]):
+            q.knn_query(
+                engine.tree, space, spectra, q_specs[i], q_points[i], k,
+                view=loop_view,
+            )
+
+    def fused() -> None:
+        q.knn_query_fused(
+            engine.tree, space, spectra, q_specs, q_points, k
+        )
+
+    fused_s = _timed(fused, repeats=3)
+    loop_s = _timed(per_query_loop, repeats=2)
+    return {
+        "queries": int(queries.shape[0]),
+        "k": k,
+        "per_query_loop_s": loop_s,
+        "fused_kernel_s": fused_s,
+        "speedup": loop_s / fused_s,
+    }
+
+
 def bench_all_pairs(matrix: np.ndarray, eps: float) -> dict:
-    """All-pairs wall time (scan with early abandoning, and the index join)."""
+    """All-pairs wall time: scan-abandon, and recursive-vs-kernel index join."""
     rel = SequenceRelation.from_matrix(matrix)
     engine = SimilarityEngine(rel)
     spectra = engine.ground_spectra
@@ -138,18 +177,46 @@ def bench_all_pairs(matrix: np.ndarray, eps: float) -> dict:
         lambda: q.all_pairs_scan(spectra, eps, early_abandon=True, batched=True)
     )
     scalar_s = _timed(
-        lambda: q.all_pairs_scan(spectra, eps, early_abandon=True, batched=False)
+        lambda: q.all_pairs_scan(spectra, eps, early_abandon=True, batched=False),
+        repeats=2,
     )
     out["scan_abandon"] = {
         "scalar_s": scalar_s,
         "batched_s": batched_s,
         "speedup": scalar_s / batched_s,
     }
-    out["index_join_s"] = _timed(
+
+    # Index nested-loop join: the pre-kernel path posed one recursive range
+    # query per outer record; the kernel path runs one frontier-pair
+    # traversal for the whole outer relation.
+    from repro.rtree.geometry import Rect
+    from repro.rtree.join import index_nested_loop_join
+
+    def recursive_join() -> None:
+        view = q._make_view(engine.tree, engine.space, None)
+        view.kernel = None
+        pair_iter = index_nested_loop_join(
+            ((i, Rect.from_point(engine.points[i]))
+             for i in range(engine.points.shape[0])),
+            view,
+            make_search_rect=lambda pr: engine.space.search_rect(pr.lows, eps),
+            self_join=True,
+        )
+        q._verify_pairs(spectra, pair_iter, eps)
+
+    kernel_s = _timed(
         lambda: q.all_pairs_index(
             engine.tree, engine.space, spectra, engine.points, eps
-        )
+        ),
+        repeats=2,
     )
+    recursive_s = _timed(recursive_join, repeats=2)
+    out["index_join"] = {
+        "recursive_s": recursive_s,
+        "kernel_s": kernel_s,
+        "speedup": recursive_s / kernel_s,
+    }
+    out["index_join_s"] = kernel_s
     return out
 
 
@@ -218,6 +285,17 @@ def main() -> None:
         ],
     )
 
+    report["knn_batch"] = bench_knn_batch(engine, queries, KNN_K)
+    kb = report["knn_batch"]
+    print_series(
+        f"Batched k-NN ({kb['queries']} queries, k={KNN_K})",
+        ["path", "seconds", "speedup"],
+        [
+            ("per-query loop", kb["per_query_loop_s"], 1.0),
+            ("fused kernel frontier", kb["fused_kernel_s"], kb["speedup"]),
+        ],
+    )
+
     report["all_pairs"] = bench_all_pairs(matrix[: args.pairs], JOIN_EPS)
     ap = report["all_pairs"]
     print_series(
@@ -227,8 +305,10 @@ def main() -> None:
             ("scan-abandon scalar", ap["scan_abandon"]["scalar_s"], 1.0),
             ("scan-abandon batched", ap["scan_abandon"]["batched_s"],
              ap["scan_abandon"]["speedup"]),
-            ("index join (batched)", ap["index_join_s"],
-             ap["scan_abandon"]["scalar_s"] / ap["index_join_s"]),
+            ("index join recursive", ap["index_join"]["recursive_s"],
+             ap["scan_abandon"]["scalar_s"] / ap["index_join"]["recursive_s"]),
+            ("index join kernel", ap["index_join"]["kernel_s"],
+             ap["scan_abandon"]["scalar_s"] / ap["index_join"]["kernel_s"]),
         ],
     )
 

@@ -1,0 +1,82 @@
+"""CI gate: fail when a committed hot-path speedup regresses by > 1.25x.
+
+Compares two ``bench_micro_hotpaths`` reports — the committed baseline
+(``BENCH_hotpaths.json``) and a freshly generated run — on their
+*dimensionless* numbers (every ``speedup`` ratio, anywhere in the JSON
+tree).  Ratios are used rather than raw seconds so the check is portable
+across machines; the tolerance factor absorbs normal CI noise on top.
+
+A hot-path number "regresses" when::
+
+    current_speedup < baseline_speedup / tolerance
+
+Run:  ``python -m benchmarks.check_hotpath_regression \\
+          --baseline BENCH_hotpaths.json --current /tmp/bench.json``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def collect_speedups(node, path: str = "") -> dict[str, float]:
+    """Every ``speedup`` value in the report, keyed by its JSON path."""
+    out: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            sub = f"{path}.{key}" if path else key
+            if key == "speedup" and isinstance(value, (int, float)):
+                out[sub] = float(value)
+            else:
+                out.update(collect_speedups(value, sub))
+    return out
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Human-readable regression lines (empty when the gate passes)."""
+    base = collect_speedups(baseline)
+    cur = collect_speedups(current)
+    failures = []
+    for key, want in sorted(base.items()):
+        got = cur.get(key)
+        if got is None:
+            failures.append(f"{key}: missing from current report (baseline {want:.2f}x)")
+        elif got < want / tolerance:
+            failures.append(
+                f"{key}: {got:.2f}x < committed {want:.2f}x / {tolerance} "
+                f"(floor {want / tolerance:.2f}x)"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_hotpaths.json",
+                        help="committed baseline report")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated report to check")
+    parser.add_argument("--tolerance", type=float, default=1.25,
+                        help="allowed regression factor (default 1.25)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failures = compare(baseline, current, args.tolerance)
+    checked = len(collect_speedups(baseline))
+    if failures:
+        print(f"hot-path regression gate FAILED ({len(failures)}/{checked}):")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print(f"hot-path regression gate passed: {checked} speedups within "
+          f"{args.tolerance}x of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

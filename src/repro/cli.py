@@ -12,10 +12,14 @@ Usage (``python -m repro.cli <command> ...``):
 
       python -m repro.cli query data.csv "RANGE s0 IN r EPS 2.0 USING mavg(20)"
       python -m repro.cli query data.csv "EXPLAIN RANGE s0 IN r EPS 9 PLAN auto"
+      python -m repro.cli query data.csv "EXPLAIN ANALYZE KNN s0 IN r K 5"
 
   Statements run through the engine's plan API, so ``EXPLAIN`` prints the
   compiled plan (access path, selectivity estimate, operator tree) as
-  JSON, and ``PLAN auto|index|scan`` hints the access path.
+  JSON, ``EXPLAIN ANALYZE`` additionally executes it and reports the
+  per-operator IO deltas plus the columnar kernel's frontier stats
+  (``nodes_expanded``, ``entries_scanned``, ``frontier_peak``), and
+  ``PLAN auto|index|scan`` hints the access path.
 
 * ``info`` — summarise a CSV relation (count, length, index geometry).
 

@@ -38,6 +38,7 @@ from repro.core.transforms import Transformation
 from repro.data.relation import SequenceRelation
 from repro.rtree.base import RTreeBase
 from repro.rtree.bulk import str_pack
+from repro.rtree.kernel import FrozenRTree, frozen_kernel
 from repro.rtree.node import MemoryNodeStore, PagedNodeStore
 from repro.rtree.rstar import RStarTree
 from repro.rtree.transformed import TransformedIndexView
@@ -112,6 +113,10 @@ class SimilarityEngine:
             self.tree = index_cls(self.space.dim, store=store, max_entries=max_entries)
             for rid in range(len(relation)):
                 self.tree.insert_point(self.points[rid], rid)
+        # Freeze the columnar kernel eagerly: queries route through it, and
+        # freezing at build time keeps its one-off node reads out of
+        # query-time statistics.  It refreezes lazily after any mutation.
+        frozen_kernel(self.tree)
         self._estimator: Optional[SelectivityEstimator] = None
 
     # ------------------------------------------------------------------
@@ -127,6 +132,16 @@ class SimilarityEngine:
         if getattr(self, "_estimator", None) is None:
             self._estimator = SelectivityEstimator(self.points)
         return self._estimator
+
+    @property
+    def kernel(self) -> FrozenRTree:
+        """The index's frozen columnar kernel (refrozen after mutations).
+
+        This is the struct-of-arrays image the frontier engine traverses;
+        ``EXPLAIN`` reports its per-operator ``nodes_expanded`` /
+        ``entries_scanned`` / ``frontier_peak`` counters after a run.
+        """
+        return frozen_kernel(self.tree)
 
     def plan(
         self, spec: QuerySpec, estimator: Optional[SelectivityEstimator] = None

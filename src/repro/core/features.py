@@ -313,6 +313,64 @@ class FeatureSpace(ABC):
                     highs[base + 1] = math.pi
         return Rect(lows, highs)
 
+    def search_rect_many(
+        self,
+        points: np.ndarray,
+        eps: float,
+        aux_bounds: Optional[Sequence[tuple[float, float]]] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`search_rect` over ``(m, dim)`` query points.
+
+        One numpy pipeline builds every query's minimum bounding search
+        rectangle (Fig. 7's ``asin(eps/m)`` construction in the polar
+        case) — the preprocessing step of the fused batch probes and the
+        kernel index join.  Rows agree exactly with per-point
+        :meth:`search_rect` calls.
+
+        Returns:
+            stacked ``(m, dim)`` lows/highs arrays.
+        """
+        if eps < 0:
+            raise ValueError(f"eps must be non-negative, got {eps}")
+        p = np.asarray(points, dtype=np.float64)
+        if p.ndim != 2 or p.shape[1] != self.dim:
+            raise ValueError(f"points must be (m, {self.dim}), got {p.shape}")
+        m = p.shape[0]
+        lows = np.empty((m, self.dim))
+        highs = np.empty((m, self.dim))
+        if aux_bounds is None:
+            lows[:, : self.aux_dims] = -AUX_RANGE
+            highs[:, : self.aux_dims] = AUX_RANGE
+        else:
+            if len(aux_bounds) != self.aux_dims:
+                raise ValueError(
+                    f"need {self.aux_dims} aux bounds, got {len(aux_bounds)}"
+                )
+            for i, (lo, hi) in enumerate(aux_bounds):
+                lows[:, i], highs[:, i] = lo, hi
+        for i in range(self.k):
+            e = eps / math.sqrt(self.weights[i])
+            base = self.aux_dims + 2 * i
+            if self.coord == "rect":
+                lows[:, base] = p[:, base] - e
+                highs[:, base] = p[:, base] + e
+                lows[:, base + 1] = p[:, base + 1] - e
+                highs[:, base + 1] = p[:, base + 1] + e
+            else:
+                mag = p[:, base]
+                alpha = p[:, base + 1]
+                lows[:, base] = np.maximum(0.0, mag - e)
+                highs[:, base] = mag + e
+                # Fig. 7: the angular half-width is asin(eps/m) when the
+                # magnitude box stays away from the origin; otherwise the
+                # whole circle is admissible.
+                safe = mag > e
+                ratio = np.minimum(np.divide(e, np.where(safe, mag, 1.0)), 1.0)
+                half = np.where(safe, np.arcsin(ratio), 0.0)
+                lows[:, base + 1] = np.where(safe, alpha - half, -math.pi)
+                highs[:, base + 1] = np.where(safe, alpha + half, math.pi)
+        return lows, highs
+
     def expand_rect(self, rect: Rect, eps: float) -> Rect:
         """Superset expansion of a rectangle by the join radius ``eps``.
 
@@ -496,6 +554,50 @@ class FeatureSpace(ABC):
                 hi[:, 0::2],
                 lo[:, 1::2],
                 hi[:, 1::2],
+            )
+        return np.sqrt(d2 @ self.weights)
+
+    def point_dist_rows(self, points: np.ndarray, qs: np.ndarray) -> np.ndarray:
+        """Row-aligned :meth:`point_dist`: point ``i`` against query ``i``.
+
+        Unlike :meth:`point_dist_many` (one query for every row), each row
+        carries its own query point — the shape the fused batched k-NN
+        frontier scores, where gathered leaf entries are already expanded
+        against the query that reached them.
+        """
+        pts = np.asarray(points, dtype=np.float64)[:, self.aux_dims :]
+        qb = np.asarray(qs, dtype=np.float64)[:, self.aux_dims :]
+        if self.coord == "rect":
+            d2 = (pts[:, 0::2] - qb[:, 0::2]) ** 2 + (pts[:, 1::2] - qb[:, 1::2]) ** 2
+        else:
+            d2 = (
+                pts[:, 0::2] ** 2
+                + qb[:, 0::2] ** 2
+                - 2.0 * pts[:, 0::2] * qb[:, 0::2] * np.cos(pts[:, 1::2] - qb[:, 1::2])
+            )
+            d2 = np.maximum(d2, 0.0)
+        return np.sqrt(d2 @ self.weights)
+
+    def rect_mindist_rows(
+        self, lows: np.ndarray, highs: np.ndarray, qs: np.ndarray
+    ) -> np.ndarray:
+        """Row-aligned :meth:`rect_mindist`: rectangle ``i`` vs query ``i``.
+
+        The internal-node counterpart of :meth:`point_dist_rows`; the
+        polar helper broadcasts unchanged because the box bounds and the
+        per-row query magnitudes/angles share the ``(m, k)`` shape.
+        """
+        q = np.asarray(qs, dtype=np.float64)[:, self.aux_dims :]
+        lo = np.asarray(lows, dtype=np.float64)[:, self.aux_dims :]
+        hi = np.asarray(highs, dtype=np.float64)[:, self.aux_dims :]
+        if self.coord == "rect":
+            gap = np.maximum(lo - q, 0.0) + np.maximum(q - hi, 0.0)
+            d2 = gap[:, 0::2] ** 2 + gap[:, 1::2] ** 2
+        else:
+            d2 = self._polar_box_dist2_many(
+                q[:, 0::2], q[:, 1::2],
+                lo[:, 0::2], hi[:, 0::2],
+                lo[:, 1::2], hi[:, 1::2],
             )
         return np.sqrt(d2 @ self.weights)
 

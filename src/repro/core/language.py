@@ -30,7 +30,10 @@ surface over :class:`~repro.core.engine.SimilarityEngine`:
   query (answers are identical whichever path runs).
 * ``EXPLAIN <query>`` compiles the query without running it and returns
   the plan description (chosen access path, estimated candidate
-  fraction, operator tree) as a dict.
+  fraction, operator tree) as a dict; ``EXPLAIN ANALYZE <query>`` runs
+  it first, so the dict also carries per-operator IOStats deltas and the
+  columnar kernel's frontier counters (``nodes_expanded``,
+  ``entries_scanned``, ``frontier_peak``).
 
 Every statement compiles to a :class:`~repro.core.plan.QuerySpec` and
 runs through :meth:`~repro.core.engine.SimilarityEngine.plan` — the same
@@ -77,7 +80,7 @@ _TOKEN_RE = re.compile(
 
 _KEYWORDS = {
     "RANGE", "KNN", "JOIN", "DIST", "IN", "EPS", "K", "USING", "THEN",
-    "METHOD", "EXPLAIN", "PLAN",
+    "METHOD", "EXPLAIN", "ANALYZE", "PLAN",
 }
 
 
@@ -160,9 +163,16 @@ class DistQuery:
 
 @dataclass
 class ExplainQuery:
-    """``EXPLAIN <query>`` — compile the inner query, describe its plan."""
+    """``EXPLAIN [ANALYZE] <query>`` — describe the inner query's plan.
+
+    With ``ANALYZE`` the plan is executed first, so the description also
+    carries the run-time counters: per-operator IOStats deltas and the
+    kernel frontier stats (``nodes_expanded``, ``entries_scanned``,
+    ``frontier_peak``).
+    """
 
     query: "Query"
+    analyze: bool = False
 
 
 Query = Union[RangeQuery, KnnQuery, JoinQuery, DistQuery, ExplainQuery]
@@ -202,9 +212,13 @@ class Parser:
         if tok.kind != "kw":
             raise QueryError(f"query must start with a verb, found {tok.text!r}")
         explain = False
+        analyze = False
         if tok.text == "EXPLAIN":
             explain = True
             tok = self.next()
+            if tok.kind == "kw" and tok.text == "ANALYZE":
+                analyze = True
+                tok = self.next()
             if tok.kind != "kw":
                 raise QueryError(
                     f"EXPLAIN must wrap a query, found {tok.text!r}"
@@ -220,7 +234,7 @@ class Parser:
         else:
             raise QueryError(f"unknown query verb {tok.text}")
         self.expect("end")
-        return ExplainQuery(node) if explain else node
+        return ExplainQuery(node, analyze=analyze) if explain else node
 
     def _range(self) -> RangeQuery:
         seq = self.expect("ident").text
@@ -238,8 +252,10 @@ class Parser:
         relation = self.expect("ident").text
         self.expect("kw", "K")
         k = self._number()
-        if k != int(k) or k <= 0:
-            raise QueryError(f"K must be a positive integer, got {k}")
+        if k != int(k) or k < 0:
+            # K 0 is a valid (empty) query — the kernel's uniform edge-case
+            # contract; only negative or fractional K is malformed.
+            raise QueryError(f"K must be a non-negative integer, got {k}")
         using = self._maybe_using()
         plan = self._maybe_plan()
         return KnnQuery(seq, relation, int(k), using, plan)
@@ -451,7 +467,10 @@ class QuerySession:
     def run(self, query: Query):
         """Execute a pre-parsed query AST through the plan API."""
         if isinstance(query, ExplainQuery):
-            return self._compile(query.query).explain()
+            plan = self._compile(query.query)
+            if query.analyze:
+                plan.execute()
+            return plan.explain()
         return self._compile(query).execute()
 
     # -- helpers ----------------------------------------------------------

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core import queries as q
 from repro.core.transforms import Transformation
+from repro.rtree.kernel import FrontierStats
 from repro.scan import scan_knn, scan_range, scan_range_many
 
 Match = tuple[int, float]
@@ -70,6 +71,10 @@ class Operator(ABC):
         #: IOStats delta of the last execution (inclusive of children);
         #: ``None`` until the operator has run.
         self.io: Optional[dict] = None
+        #: frontier counters of the last kernel-backed traversal
+        #: (``nodes_expanded`` / ``entries_scanned`` / ``frontier_peak``);
+        #: ``None`` until a kernel-backed operator has run.
+        self.frontier: Optional[FrontierStats] = None
 
     def execute(self, ctx: ExecContext):
         """Run the operator, capturing its (inclusive) IOStats delta."""
@@ -94,6 +99,8 @@ class Operator(ABC):
         out.update(self._describe())
         if self.io is not None:
             out["io"] = self.io
+        if self.frontier is not None:
+            out["frontier"] = self.frontier.as_dict()
         if self.children:
             out["children"] = [child.explain() for child in self.children]
         return out
@@ -136,10 +143,8 @@ class IndexProbe(Operator):
         qrect = engine.space.search_rect(
             self.q_point, self.eps, aux_bounds=self.aux_bounds
         )
-        candidates = view.search(qrect)
-        ids = np.fromiter(
-            (e.child for e in candidates), dtype=np.intp, count=len(candidates)
-        )
+        self.frontier = FrontierStats()
+        ids = view.search_ids(qrect, fstats=self.frontier)
         if ctx.stats is not None:
             ctx.stats.candidate_count += ids.shape[0]
         return ids
@@ -184,19 +189,12 @@ class BatchIndexProbe(Operator):
         engine = ctx.engine
         space = engine.space
         view = q._make_view(engine.tree, space, self.transformation)
-        m = self.q_points.shape[0]
-        qlows = np.empty((m, space.dim))
-        qhighs = np.empty((m, space.dim))
-        for i in range(m):
-            rect = space.search_rect(
-                self.q_points[i], self.eps, aux_bounds=self.aux_bounds
-            )
-            qlows[i], qhighs[i] = rect.lows, rect.highs
-        id_lists = view.search_many(qlows, qhighs)
-        out = [
-            np.asarray(ids, dtype=np.intp) if ids else np.empty(0, dtype=np.intp)
-            for ids in id_lists
-        ]
+        qlows, qhighs = space.search_rect_many(
+            self.q_points, self.eps, aux_bounds=self.aux_bounds
+        )
+        self.frontier = FrontierStats()
+        id_lists = view.search_many(qlows, qhighs, fstats=self.frontier)
+        out = [np.asarray(ids, dtype=np.intp) for ids in id_lists]
         if ctx.stats is not None:
             ctx.stats.candidate_count += sum(a.shape[0] for a in out)
         return out
@@ -366,21 +364,27 @@ class KnnSearch(Operator):
 
     def _execute(self, ctx: ExecContext):
         engine = ctx.engine
+        if self.k == 0:
+            # Defined once in the kernel: k == 0 is an empty answer, not an
+            # error (matching k > |relation| returning all records).
+            if not self.batch:
+                return []
+            return [[] for _ in range(self.q_points.shape[0])]
         if not self.batch:
+            self.frontier = FrontierStats()
             return q.knn_query(
                 engine.tree, engine.space, engine.ground_spectra,
                 self.query_spectra, self.q_points, self.k,
                 transformation=self.transformation, stats=ctx.stats,
+                frontier_stats=self.frontier,
             )
-        view = q._make_view(engine.tree, engine.space, self.transformation)
-        return [
-            q.knn_query(
-                engine.tree, engine.space, engine.ground_spectra,
-                self.query_spectra[i], self.q_points[i], self.k,
-                transformation=self.transformation, stats=ctx.stats, view=view,
-            )
-            for i in range(self.q_points.shape[0])
-        ]
+        self.frontier = FrontierStats()
+        return q.knn_query_fused(
+            engine.tree, engine.space, engine.ground_spectra,
+            self.query_spectra, self.q_points, self.k,
+            transformation=self.transformation, stats=ctx.stats,
+            frontier_stats=self.frontier,
+        )
 
     def _describe(self) -> dict:
         out = {
@@ -390,7 +394,7 @@ class KnnSearch(Operator):
         }
         if self.batch:
             out["queries"] = int(self.q_points.shape[0])
-            out["shared_view"] = True
+            out["fused_frontier"] = True
         return out
 
 
@@ -427,9 +431,11 @@ class PairJoin(Operator):
                 early_abandon=True, stats=ctx.stats,
             )
         if self.method == "index":
+            self.frontier = FrontierStats()
             return q.all_pairs_index(
                 engine.tree, engine.space, spectra, engine.points,
                 self.eps, self.transformation, stats=ctx.stats,
+                frontier_stats=self.frontier,
             )
         if self.method == "tree-join":
             return q.all_pairs_tree_join(

@@ -273,8 +273,10 @@ def compile_spec(engine, spec: QuerySpec, estimator=None) -> PhysicalPlan:
         return PhysicalPlan(root, ctx, logical, spec)
 
     # kind == "knn"
-    if spec.k is None or spec.k <= 0:
-        raise ValueError(f"a 'knn' spec requires positive k, got {spec.k}")
+    if spec.k is None or spec.k < 0:
+        # k == 0 is a valid (empty) query; the kernel defines the edge
+        # cases k == 0, k > |relation| and an empty relation uniformly.
+        raise ValueError(f"a 'knn' spec requires non-negative k, got {spec.k}")
     if spec.method not in ACCESS_HINTS:
         raise ValueError(
             f"unknown method {spec.method!r}; expected one of {ACCESS_HINTS}"

@@ -27,7 +27,12 @@ import numpy as np
 from repro.core.features import FeatureSpace
 from repro.core.similarity import batch_euclidean_within, euclidean_early_abandon
 from repro.core.transforms import Transformation
-from repro.rtree.join import index_nested_loop_join, tree_matching_join
+from repro.rtree.join import (
+    index_nested_loop_join,
+    index_nested_loop_join_pairs,
+    tree_matching_join,
+)
+from repro.rtree.kernel import FrontierStats, cached_kernel
 from repro.rtree.search import incremental_nearest
 from repro.rtree.transformed import AffineMap, TransformedIndexView
 from repro.storage.stats import IOStats
@@ -43,12 +48,26 @@ def _make_view(
     space: FeatureSpace,
     transformation: Optional[Transformation],
 ) -> TransformedIndexView:
+    """Transformed view with the tree's frozen columnar kernel attached.
+
+    The kernel comes from the tree's cache (engines prewarm it at build;
+    any insert/delete invalidates it).  Resolution goes through
+    :func:`~repro.rtree.kernel.cached_kernel`, which defers the O(tree)
+    refreeze of a stale cache — views over a freshly mutated tree simply
+    run the recursive reference paths until a query-heavy phase makes
+    refreezing worthwhile.
+    """
     mapping = (
         AffineMap.identity(space.dim)
         if transformation is None
         else space.affine_map(transformation)
     )
-    return TransformedIndexView(tree, mapping, circular_mask=space.circular_mask)
+    return TransformedIndexView(
+        tree,
+        mapping,
+        circular_mask=space.circular_mask,
+        kernel=cached_kernel(tree),
+    )
 
 
 def range_query(
@@ -90,18 +109,23 @@ def range_query(
     if view is None:
         view = _make_view(tree, space, transformation)
     qrect = space.search_rect(query_point, eps, aux_bounds=aux_bounds)
-    candidates = view.search(qrect)
     out: list[Match] = []
-    if batched and candidates:
-        cand_ids = np.fromiter(
-            (e.child for e in candidates), dtype=np.intp, count=len(candidates)
-        )
-        kept, dists, abandoned = space.ground_distances_within_many(
-            ground_spectra[cand_ids], query_spectrum, eps, transformation
-        )
-        out = [(int(cand_ids[i]), float(d)) for i, d in zip(kept, dists)]
-        completed = len(kept)
+    if batched:
+        # Kernel-backed id probe (level-at-a-time frontier) plus blocked
+        # matrix verification; the scalar branch below is the reference.
+        cand_ids = view.search_ids(qrect)
+        n_candidates = int(cand_ids.shape[0])
+        abandoned = 0
+        completed = 0
+        if n_candidates:
+            kept, dists, abandoned = space.ground_distances_within_many(
+                ground_spectra[cand_ids], query_spectrum, eps, transformation
+            )
+            out = [(int(cand_ids[i]), float(d)) for i, d in zip(kept, dists)]
+            completed = len(kept)
     else:
+        candidates = view.search(qrect)
+        n_candidates = len(candidates)
         completed = 0
         for entry in candidates:
             d = space.ground_distance_within(
@@ -110,10 +134,10 @@ def range_query(
             if d is not None:
                 out.append((entry.child, d))
                 completed += 1
-        abandoned = len(candidates) - completed
+        abandoned = n_candidates - completed
     if stats is not None:
-        stats.candidate_count += len(candidates)
-        stats.distance_computations += len(candidates)
+        stats.candidate_count += n_candidates
+        stats.distance_computations += n_candidates
         stats.verifications_completed += completed
         stats.verifications_abandoned += abandoned
     out.sort(key=lambda m: (m[1], m[0]))
@@ -131,6 +155,7 @@ def knn_query(
     stats: Optional[IOStats] = None,
     batched: bool = True,
     view: Optional[TransformedIndexView] = None,
+    frontier_stats: Optional[FrontierStats] = None,
 ) -> list[Match]:
     """Exact k-nearest-neighbours under a safe transformation.
 
@@ -144,12 +169,29 @@ def knn_query(
     With ``batched`` (the default) the traversal scores each node's child
     MBRs with one vectorised lower-bound call
     (:meth:`FeatureSpace.rect_mindist_many` / ``point_dist_many``) instead
-    of one Python call per entry.
+    of one Python call per entry; with a frozen kernel on the view it runs
+    through the fused frontier (:func:`knn_query_fused`) — entry blocks
+    verified in one matrix step per pop instead of one heap item and one
+    ground distance per entry.
+
+    Edge cases (defined once, in the kernel): ``k == 0`` and an empty
+    relation return ``[]``; ``k`` exceeding the relation returns every
+    record.  Negative ``k`` raises.
     """
-    if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k == 0:
+        return []
     if view is None:
         view = _make_view(tree, space, transformation)
+    if batched and view.kernel is not None:
+        return knn_query_fused(
+            tree, space, ground_spectra,
+            np.asarray(query_spectrum)[None, :],
+            np.asarray(query_point, dtype=np.float64)[None, :],
+            k, transformation=transformation, stats=stats, view=view,
+            frontier_stats=frontier_stats,
+        )[0]
     q = np.asarray(query_point, dtype=np.float64)
     best: list[tuple[float, int]] = []  # max-heap by negated distance
     examined = 0
@@ -185,6 +227,77 @@ def knn_query(
     return sorted(((rid, -nd) for nd, rid in best), key=lambda m: (m[1], m[0]))
 
 
+def knn_query_fused(
+    tree,
+    space: FeatureSpace,
+    ground_spectra: np.ndarray,
+    query_spectra: np.ndarray,
+    query_points: np.ndarray,
+    k: int,
+    transformation: Optional[Transformation] = None,
+    stats: Optional[IOStats] = None,
+    view: Optional[TransformedIndexView] = None,
+    frontier_stats: Optional["FrontierStats"] = None,
+) -> list[list[Match]]:
+    """Fused multi-step exact k-NN for a whole batch of queries.
+
+    All queries traverse the index together through the columnar kernel's
+    round-synchronous best-first frontier
+    (:meth:`repro.rtree.kernel.FrozenRTree.knn_batch`), each with its own
+    pruning radius; exact verifications are performed for all queries in
+    one matrix operation per round.  Answers match per-query
+    :func:`knn_query` calls: identical ids, distances equal to floating-
+    point tolerance (the matrix verification accumulates in a different
+    order than the scalar reference's BLAS norm, like every batched
+    verification path in this codebase, so the last ulp may differ — on
+    degenerate data where two exact distances straddle the k-th boundary
+    within one ulp, either valid neighbour set may be returned).
+
+    Args:
+        query_spectra: ``(m, n)`` full query spectra (verification side).
+        query_points: ``(m, dim)`` query feature points (index side).
+        (remaining arguments as in :func:`knn_query`)
+
+    Returns:
+        one ``(record id, exact distance)`` list per query, in order.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if view is None:
+        view = _make_view(tree, space, transformation)
+    q_points = np.asarray(query_points, dtype=np.float64)
+    m = q_points.shape[0]
+    if k == 0 or m == 0:
+        return [[] for _ in range(m)]
+    if view.kernel is None:
+        return [
+            knn_query(
+                tree, space, ground_spectra, query_spectra[i], q_points[i], k,
+                transformation=transformation, stats=stats, view=view,
+            )
+            for i in range(m)
+        ]
+    q_specs = np.asarray(query_spectra)
+
+    def verify_many(qidx: np.ndarray, rids: np.ndarray) -> np.ndarray:
+        spec = ground_spectra[rids]
+        tx = spec if transformation is None else transformation.apply_spectrum(spec)
+        diff = tx - q_specs[qidx]
+        if stats is not None:
+            stats.candidate_count += int(rids.shape[0])
+            stats.distance_computations += int(rids.shape[0])
+            stats.verifications_completed += int(rids.shape[0])
+        return np.sqrt(np.sum(diff.real**2 + diff.imag**2, axis=1))
+
+    return view.kernel.knn_batch(
+        q_points, k, verify_many,
+        view.mapping.scale, view.mapping.offset,
+        rect_dist_rows=space.rect_mindist_rows,
+        point_dist_rows=space.point_dist_rows,
+        fstats=frontier_stats, io=view.tree.store.stats,
+    )
+
+
 # ----------------------------------------------------------------------
 # All-pairs (Table 1)
 # ----------------------------------------------------------------------
@@ -218,11 +331,38 @@ def _verify_pairs(
         candidates += len(chunk)
         ii = np.fromiter((p[0] for p in chunk), dtype=np.intp, count=len(chunk))
         jj = np.fromiter((p[1] for p in chunk), dtype=np.intp, count=len(chunk))
-        diff = tspec[ii] - tspec[jj]
-        d = np.sqrt(np.sum(diff.real**2 + diff.imag**2, axis=1))
-        for t in np.nonzero(d <= eps)[0]:
-            out.append((int(ii[t]), int(jj[t]), float(d[t])))
+        out.extend(_verify_pair_block(tspec, ii, jj, eps))
     return out, candidates
+
+
+def _verify_pair_block(
+    tspec: np.ndarray, ii: np.ndarray, jj: np.ndarray, eps: float
+) -> list[tuple[int, int, float]]:
+    """Exact distances of one block of candidate pairs, filtered to eps."""
+    diff = tspec[ii] - tspec[jj]
+    d = np.sqrt(np.sum(diff.real**2 + diff.imag**2, axis=1))
+    return [
+        (int(ii[t]), int(jj[t]), float(d[t])) for t in np.nonzero(d <= eps)[0]
+    ]
+
+
+def _verify_pairs_arrays(
+    tspec: np.ndarray,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    eps: float,
+    block: int = 8192,
+) -> tuple[list[tuple[int, int, float]], int]:
+    """Array form of :func:`_verify_pairs` for kernel-produced pair sets.
+
+    The kernel's frontier-pair join materialises its candidate pairs as two
+    id arrays; verification still proceeds block-by-block so a dense join
+    never allocates an O(pairs × n) spectra matrix at once.
+    """
+    out: list[tuple[int, int, float]] = []
+    for s in range(0, int(ii.shape[0]), block):
+        out.extend(_verify_pair_block(tspec, ii[s : s + block], jj[s : s + block], eps))
+    return out, int(ii.shape[0])
 
 def all_pairs_scan(
     ground_spectra: np.ndarray,
@@ -283,6 +423,7 @@ def all_pairs_index(
     transformation: Optional[Transformation] = None,
     stats: Optional[IOStats] = None,
     batched: bool = True,
+    frontier_stats: Optional[FrontierStats] = None,
 ) -> list[tuple[int, int, float]]:
     """Table 1 methods *c* (no transformation) and *d* (with it).
 
@@ -294,39 +435,67 @@ def all_pairs_index(
     counts are doubled; see EXPERIMENTS.md.
 
     The relation's spectra are transformed once up front; candidate pairs
-    are verified in matrix blocks when ``batched``.
+    are verified in matrix blocks when ``batched``.  With ``batched`` and
+    a frozen kernel the whole outer relation descends the inner index as
+    one frontier-pair traversal
+    (:func:`repro.rtree.join.index_nested_loop_join_pairs`) instead of one
+    recursive range query per outer record; candidate pair sets are
+    identical either way, and results are returned sorted by
+    ``(outer, inner)``.
     """
     view = _make_view(tree, space, transformation)
     mapping = view.mapping
     tpoints = points * mapping.scale + mapping.offset
     tspec = _transformed_spectra(ground_spectra, transformation)
 
-    def outer() -> Iterable[tuple[int, object]]:
-        from repro.rtree.geometry import Rect
-
-        for i in range(tpoints.shape[0]):
-            yield i, Rect.from_point(tpoints[i])
-
-    pair_iter = index_nested_loop_join(
-        outer(),
-        view,
-        make_search_rect=lambda pr: space.search_rect(pr.lows, eps),
-        self_join=True,
-    )
-    if batched:
-        out, candidates = _verify_pairs(tspec, pair_iter, eps)
-    else:
-        candidates = 0
+    if batched and view.kernel is not None:
+        m = tpoints.shape[0]
+        qlows, qhighs = space.search_rect_many(tpoints, eps)
         out = []
-        for i, j in pair_iter:
-            candidates += 1
-            d = float(np.linalg.norm(tspec[i] - tspec[j]))
-            if d <= eps:
-                out.append((i, j, d))
+        candidates = 0
+        # The outer relation descends in chunks so a dense join (large eps)
+        # never materialises its whole O(m²) candidate-pair set — the
+        # frontier-pair arrays and the verification stay O(chunk × hits).
+        chunk = 1024
+        for s in range(0, m, chunk):
+            e = min(s + chunk, m)
+            outer_ids, inner_ids = index_nested_loop_join_pairs(
+                view, qlows[s:e], qhighs[s:e],
+                np.arange(s, e, dtype=np.int64),
+                self_join=True, fstats=frontier_stats,
+            )
+            chunk_out, n = _verify_pairs_arrays(tspec, outer_ids, inner_ids, eps)
+            out.extend(chunk_out)
+            candidates += n
+    else:
+
+        def outer() -> Iterable[tuple[int, object]]:
+            from repro.rtree.geometry import Rect
+
+            for i in range(tpoints.shape[0]):
+                yield i, Rect.from_point(tpoints[i])
+
+        pair_iter = index_nested_loop_join(
+            outer(),
+            view,
+            make_search_rect=lambda pr: space.search_rect(pr.lows, eps),
+            self_join=True,
+        )
+        if batched:
+            out, candidates = _verify_pairs(tspec, pair_iter, eps)
+        else:
+            candidates = 0
+            out = []
+            for i, j in pair_iter:
+                candidates += 1
+                d = float(np.linalg.norm(tspec[i] - tspec[j]))
+                if d <= eps:
+                    out.append((i, j, d))
     if stats is not None:
         stats.candidate_count += candidates
         stats.distance_computations += candidates
         stats.verifications_completed += candidates
+    out.sort(key=lambda t: (t[0], t[1]))
     return out
 
 

@@ -1,18 +1,23 @@
 """Persisting an engine: relation, feature-space config and index pages.
 
-``save_engine`` writes three artifacts into a directory:
+``save_engine`` writes four artifacts into a directory:
 
 * ``relation.npy`` + ``relation.json`` — the sequence matrix with names
   and attributes,
 * ``meta.json`` — feature-space and tree configuration,
 * ``index.pages`` — every R-tree node serialised into a disk-resident
   page file (node ids are remapped to page ids in breadth-first order,
-  so the saved index is compact regardless of the source store).
+  so the saved index is compact regardless of the source store),
+* ``index_columnar.npz`` — the frozen columnar kernel
+  (:class:`~repro.rtree.kernel.FrozenRTree`) saved as plain arrays, so a
+  reloaded engine starts with its frontier engine ready instead of
+  refreezing (and paging in) the whole node tree on the first query.
 
 ``load_engine`` reopens the directory into a fully functional
 :class:`~repro.core.engine.SimilarityEngine` whose tree reads nodes
 through a buffer pool over the saved page file — i.e. the loaded index
-does *real paged I/O* against the file, it is not rebuilt in memory.
+does *real paged I/O* against the file, it is not rebuilt in memory —
+while batch traversals run through the deserialised kernel arrays.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from repro.core.features import FeatureSpace, NormalFormSpace, PlainDFTSpace
 from repro.data.relation import SequenceRelation
 from repro.rtree.base import RTreeBase
 from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.kernel import FrozenRTree, attach_kernel, frozen_kernel
 from repro.rtree.node import Entry, Node, PagedNodeStore
 from repro.rtree.rstar import RStarTree
 from repro.storage.pager import PageFile
@@ -100,6 +106,14 @@ def save_engine(engine: SimilarityEngine, directory: str) -> None:
         store.flush()
         meta["tree"]["root_id"] = id_map[tree.root_id]
 
+    # The frozen columnar kernel is saved as-is: its arrays are the query-
+    # time representation, so the loaded engine never has to refreeze.
+    np.savez(
+        os.path.join(directory, "index_columnar.npz"),
+        **frozen_kernel(tree).to_arrays(),
+    )
+    meta["kernel"] = {"format": 1}
+
     with open(os.path.join(directory, "meta.json"), "w") as f:
         json.dump(meta, f)
 
@@ -138,6 +152,10 @@ def load_engine(
         else np.empty((0, relation.length), dtype=np.complex128)
     )
     engine.tree = tree
+    kernel_path = os.path.join(directory, "index_columnar.npz")
+    if os.path.exists(kernel_path):
+        with np.load(kernel_path) as arrays:
+            attach_kernel(tree, FrozenRTree.from_arrays(arrays))
     return engine
 
 

@@ -14,7 +14,11 @@ paper builds on:
   neighbour (Roussopoulos et al. 1995 MINDIST/MINMAXDIST) and spatial join,
 * :class:`~repro.rtree.transformed.TransformedIndexView` — the paper's
   **Algorithm 1**: a lazy view of the index under a safe transformation,
-  built on the fly during search with no extra disk.
+  built on the fly during search with no extra disk,
+* :mod:`~repro.rtree.kernel` — the columnar kernel: a built tree frozen
+  into struct-of-arrays storage plus the iterative frontier engine that
+  runs range, fused multi-query range, block-yield incremental nearest,
+  fused batched k-NN and the frontier-pair join over it.
 
 Trees store point entries (feature vectors) at the leaves and can be backed
 either by an in-memory node store or by the paged storage engine of
@@ -23,6 +27,7 @@ either by an in-memory node store or by the paged storage engine of
 
 from repro.rtree.geometry import Rect
 from repro.rtree.guttman import GuttmanRTree
+from repro.rtree.kernel import FrontierStats, FrozenRTree, frozen_kernel
 from repro.rtree.node import Entry, MemoryNodeStore, Node, PagedNodeStore
 from repro.rtree.rstar import RStarTree
 from repro.rtree.transformed import AffineMap, TransformedIndexView
@@ -30,6 +35,8 @@ from repro.rtree.transformed import AffineMap, TransformedIndexView
 __all__ = [
     "AffineMap",
     "Entry",
+    "FrontierStats",
+    "FrozenRTree",
     "GuttmanRTree",
     "MemoryNodeStore",
     "Node",
@@ -37,4 +44,5 @@ __all__ = [
     "RStarTree",
     "Rect",
     "TransformedIndexView",
+    "frozen_kernel",
 ]

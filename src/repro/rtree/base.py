@@ -63,6 +63,10 @@ class RTreeBase:
         self.max_entries = cap
         self.min_entries = max(2, int(np.ceil(min_fill * cap)))
         self.size = 0
+        #: bumped by every insert/delete; the columnar kernel
+        #: (:func:`repro.rtree.kernel.frozen_kernel`) caches against it so a
+        #: frozen image is refrozen after any structural mutation.
+        self._mutations = 0
         root = Node(node_id=self.store.allocate(), level=0, entries=[])
         self.store.write(root)
         self.root_id = root.node_id
@@ -85,6 +89,7 @@ class RTreeBase:
         if rect.dim != self.dim:
             raise RTreeError(f"rect dim {rect.dim} does not match tree dim {self.dim}")
         self._reinserted_levels: set[int] = set()
+        self._mutations += 1
         self._insert_entry(Entry(rect, record_id), level=0)
         self.size += 1
 
@@ -100,6 +105,7 @@ class RTreeBase:
         path = self._find_leaf(self.root_id, rect, record_id, [])
         if path is None:
             return False
+        self._mutations += 1
         leaf = path[-1]
         leaf.entries = [
             e

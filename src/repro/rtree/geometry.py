@@ -26,6 +26,7 @@ __all__ = [
     "intersects_circular",
     "intersects_circular_many",
     "intersects_circular_pairwise",
+    "intersects_circular_rows",
     "TWO_PI",
 ]
 
@@ -274,34 +275,22 @@ def _interval_intersects_circular(
 ) -> bool:
     """Wrap-aware 1-D interval intersection on a circle of ``period``.
 
-    Intervals are given by endpoints in any range; an interval whose length
-    is >= period covers the whole circle.  Endpoints are reduced modulo the
-    period and an interval with ``lo > hi`` after reduction is treated as
-    wrapping through the seam.
+    Intervals are given by a start point and an implicit width
+    (``hi - lo``); one whose width is >= period covers the whole circle.
+    Two intervals ``[a0, a0+wa]`` and ``[b0, b0+wb]`` on the circle
+    intersect iff ``(b0 - a0) mod period <= wa`` or
+    ``(a0 - b0) mod period <= wb``.  The reduction is applied to the
+    *differences*, never endpoint by endpoint — folding an endpoint that
+    sits a denormal below zero rounds it onto 0 and silently moves the
+    interval — so this scalar reference and the vectorised closed forms
+    (:func:`intersects_circular_many` and friends) evaluate literally the
+    same IEEE operations and agree bit-for-bit.
     """
-    if hi_a - lo_a >= period or hi_b - lo_b >= period:
+    wa = hi_a - lo_a
+    wb = hi_b - lo_b
+    if wa >= period or wb >= period:
         return True
-
-    def norm(x: float) -> float:
-        # Python's % yields [0, period) mathematically, but floating-point
-        # rounding of a tiny negative input can return exactly `period`,
-        # which must alias to 0 on the circle.
-        r = x % period
-        return 0.0 if r >= period else r
-
-    a0, a1 = norm(lo_a), norm(hi_a)
-    b0, b1 = norm(lo_b), norm(hi_b)
-
-    def segments(lo: float, hi: float) -> list[tuple[float, float]]:
-        if lo <= hi:
-            return [(lo, hi)]
-        return [(lo, period), (0.0, hi)]
-
-    for sa0, sa1 in segments(a0, a1):
-        for sb0, sb1 in segments(b0, b1):
-            if sa0 <= sb1 and sb0 <= sa1:
-                return True
-    return False
+    return (lo_b - lo_a) % period <= wa or (lo_a - lo_b) % period <= wb
 
 
 def intersects_circular_many(
@@ -337,28 +326,31 @@ def intersects_circular_many(
     if np.any(linear):
         out &= np.all(lows[:, linear] <= qhi[linear], axis=1)
         out &= np.all(qlo[linear] <= highs[:, linear], axis=1)
-    def fold(x):
-        # `% period` is [0, period) mathematically, but floating-point
-        # rounding of a tiny negative *endpoint* returns exactly `period`,
-        # which aliases to 0 on the circle (same fix as the scalar path).
-        # Gap values, by contrast, must NOT be folded: a gap that rounds
-        # to `period` means "almost a full circle away", not "touching".
-        r = x % period
-        return np.where(r >= period, 0.0, r)
-
     for d in np.nonzero(circular_mask)[0]:
         wa = highs[:, d] - lows[:, d]
         wb = qhi[d] - qlo[d]
-        a0 = fold(lows[:, d])
-        b0 = fold(qlo[d])
-        hit = (
-            (wa >= period)
-            | (wb >= period)
-            | ((b0 - a0) % period <= wa)
-            | ((a0 - b0) % period <= wb)
-        )
+        hit = _circular_offsets_hit(lows[:, d], qlo[d], wa, wb, period)
         out &= hit
     return out
+
+
+def _circular_offsets_hit(a0, b0, wa, wb, period):
+    """Closed-form circular interval intersection from raw start points.
+
+    The offsets are reduced *as differences* — ``(b0 - a0) % period`` —
+    never endpoint by endpoint: folding an endpoint that sits a denormal
+    below zero rounds it onto 0 and silently widens the interval, which
+    is the one place the closed form used to disagree with the scalar
+    split-segment reference.  A difference that itself rounds to exactly
+    ``period`` means "almost a full circle away", not "touching", and the
+    opposite-direction disjunct covers the true near-touch case.
+    """
+    return (
+        (wa >= period)
+        | (wb >= period)
+        | ((b0 - a0) % period <= wa)
+        | ((a0 - b0) % period <= wb)
+    )
 
 
 def intersects_circular_pairwise(
@@ -397,25 +389,55 @@ def intersects_circular_pairwise(
         qlo, qhi = qlows[:, linear], qhighs[:, linear]
         out &= np.all(lo[:, None, :] <= qhi[None, :, :], axis=2)
         out &= np.all(qlo[None, :, :] <= hi[:, None, :], axis=2)
-
-    def fold(x):
-        # Same endpoint folding as intersects_circular_many: a tiny negative
-        # endpoint can round to exactly `period`, which aliases to 0.
-        r = x % period
-        return np.where(r >= period, 0.0, r)
-
     for d in np.nonzero(circular_mask)[0]:
         wa = (highs[:, d] - lows[:, d])[:, None]
         wb = (qhighs[:, d] - qlows[:, d])[None, :]
-        a0 = fold(lows[:, d])[:, None]
-        b0 = fold(qlows[:, d])[None, :]
-        hit = (
-            (wa >= period)
-            | (wb >= period)
-            | ((b0 - a0) % period <= wa)
-            | ((a0 - b0) % period <= wb)
-        )
-        out &= hit
+        a0 = lows[:, d][:, None]
+        b0 = qlows[:, d][None, :]
+        out &= _circular_offsets_hit(a0, b0, wa, wb, period)
+    return out
+
+
+def intersects_circular_rows(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    qlows: np.ndarray,
+    qhighs: np.ndarray,
+    circular_mask: Optional[np.ndarray] = None,
+    period: float = TWO_PI,
+) -> np.ndarray:
+    """Row-aligned rectangle intersection: rectangle ``i`` vs query ``i``.
+
+    The aligned counterpart of :func:`intersects_circular_many` (one query
+    for all rows) and :func:`intersects_circular_pairwise` (all rows × all
+    queries): here every row carries its *own* query rectangle.  This is
+    the test the columnar frontier engine runs over a ``(node, query)``
+    pair frontier, where gathered entries are already expanded against the
+    query each pair descends with.
+
+    Args:
+        lows, highs: ``(m, d)`` per-rectangle bounds.
+        qlows, qhighs: ``(m, d)`` per-row query bounds.
+        circular_mask: boolean ``(d,)`` mask of wrap-around dimensions.
+        period: circumference of circular dimensions.
+
+    Returns:
+        boolean array of length ``m``; row ``i`` equals
+        ``intersects_circular(Rect(lows[i], highs[i]),
+        Rect(qlows[i], qhighs[i]), mask)``.
+    """
+    m = lows.shape[0]
+    out = np.ones(m, dtype=bool)
+    if circular_mask is None:
+        circular_mask = np.zeros(lows.shape[1], dtype=bool)
+    linear = ~circular_mask
+    if np.any(linear):
+        out &= np.all(lows[:, linear] <= qhighs[:, linear], axis=1)
+        out &= np.all(qlows[:, linear] <= highs[:, linear], axis=1)
+    for d in np.nonzero(circular_mask)[0]:
+        wa = highs[:, d] - lows[:, d]
+        wb = qhighs[:, d] - qlows[:, d]
+        out &= _circular_offsets_hit(lows[:, d], qlows[:, d], wa, wb, period)
     return out
 
 

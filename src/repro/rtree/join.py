@@ -19,11 +19,57 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Optional
 
+import numpy as np
+
 from repro.rtree.geometry import Rect
+from repro.rtree.kernel import FrontierStats
 from repro.rtree.transformed import TransformedIndexView
 
 #: builds a search rectangle around a (transformed) point
 SearchRectFn = Callable[[Rect], Rect]
+
+
+def index_nested_loop_join_pairs(
+    view: TransformedIndexView,
+    qlows: np.ndarray,
+    qhighs: np.ndarray,
+    outer_ids: np.ndarray,
+    self_join: bool = True,
+    fstats: Optional[FrontierStats] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Kernel-backed index nested-loop join (the fused form of methods c/d).
+
+    Instead of posing one recursive range query per outer record
+    (:func:`index_nested_loop_join`), all outer search rectangles descend
+    the inner index together as one ``(node, query)`` frontier-pair
+    traversal (:meth:`repro.rtree.kernel.FrozenRTree.join_pairs`), with
+    the self-join filter applied vectorized at the leaves.  Requires the
+    view to carry a frozen kernel.
+
+    Args:
+        view: transformed view of the indexed (inner) relation.
+        qlows, qhighs: stacked ``(m, dim)`` outer search rectangles.
+        outer_ids: the outer record id behind each query row.
+        self_join: emit each unordered pair once (``inner > outer``).
+        fstats: optional frontier counters.
+
+    Returns:
+        ``(outer ids, inner ids)`` candidate-pair arrays, sorted by
+        ``(outer, inner)`` — the same pair set as the generator form.
+    """
+    if view.kernel is None:
+        raise ValueError("index_nested_loop_join_pairs requires a frozen kernel")
+    return view.kernel.join_pairs(
+        np.asarray(qlows, dtype=np.float64),
+        np.asarray(qhighs, dtype=np.float64),
+        np.asarray(outer_ids, dtype=np.int64),
+        view.mapping.scale,
+        view.mapping.offset,
+        circular_mask=view.circular_mask,
+        self_join=self_join,
+        fstats=fstats,
+        io=view.tree.store.stats,
+    )
 
 
 def index_nested_loop_join(

@@ -1,0 +1,732 @@
+"""Columnar R-tree kernel: frozen struct-of-arrays storage + frontier engine.
+
+After an R-tree is built (Guttman insertion, R* insertion, or STR bulk
+load — the *build-time* representation stays the recursive node-object
+tree), it can be **frozen** into contiguous struct-of-arrays storage:
+
+::
+
+    nodes  (BFS order, root = 0)          entries (grouped by owning node)
+    ┌────────────┬─────────────┬───────┐  ┌───────────┬────────────┬─────────────┐
+    │ node_level │ entry_start │ entry │  │ entry_lows│ entry_highs│ entry_child │
+    │   (N,)     │    (N,)     │ count │  │  (E, d)   │   (E, d)   │    (E,)     │
+    └────────────┴─────────────┴───────┘  └───────────┴────────────┴─────────────┘
+
+``entry_child`` holds a child *node id* for internal entries and a
+*record id* for leaf entries (leaf rectangles are degenerate points, so
+``entry_lows`` doubles as the point matrix).  Because every leaf sits at
+level 0, a traversal frontier is always level-homogeneous, which is what
+makes level-at-a-time expansion a handful of numpy calls.
+
+On top of the frozen arrays one **iterative frontier engine** replaces the
+per-algorithm recursive descents:
+
+* :meth:`FrozenRTree.range_ids` — vectorized level-at-a-time expansion for
+  a single range query;
+* :meth:`FrozenRTree.range_ids_many` / :meth:`FrozenRTree.join_pairs` —
+  the fused multi-query frontier: a flat ``(node, query)`` pair frontier
+  expanded level-at-a-time, with the index nested-loop join expressed as
+  the same traversal plus a vectorized pair filter at the leaves;
+* :meth:`FrozenRTree.nearest_stream` — best-first incremental nearest
+  that pops nodes and pushes *distance-sorted entry blocks* (one heap item
+  per block, advanced by position) instead of one heap item per entry;
+* :meth:`FrozenRTree.knn_batch` — the fused batched k-NN: all queries
+  share one round-synchronous best-first loop with a *per-query pruning
+  radius*; node expansion bounds and exact-distance verifications are
+  evaluated once per round across the whole batch.
+
+Safe transformations (Algorithm 1) are applied to the gathered MBR
+matrices as two fused numpy ops per expansion — the kernel takes the
+per-dimension affine ``scale``/``offset`` vectors directly so that it
+never has to import the view layer.
+
+Every traversal can record a :class:`FrontierStats` (``nodes_expanded``,
+``entries_scanned``, ``frontier_peak``) which the physical operators
+surface through ``EXPLAIN``, and bumps the store's logical ``node_reads``
+counter so the paper's "node accesses with vs without transformation"
+measurements stay meaningful on the kernel path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.rtree.geometry import (
+    Rect,
+    intersects_circular_many,
+    intersects_circular_rows,
+)
+from repro.storage.stats import IOStats
+
+#: batched rect lower bound: (m, d) lows, (m, d) highs, (d,) query -> (m,)
+RectDistManyFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+#: batched point distance: (m, d) points, (d,) query -> (m,)
+PointDistManyFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+#: row-aligned rect lower bound: (m, d) lows/highs, (m, d) queries -> (m,)
+RectDistRowsFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+#: row-aligned point distance: (m, d) points, (m, d) queries -> (m,)
+PointDistRowsFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+#: exact verification: (query indices, record ids) -> exact distances
+VerifyManyFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+# Heap item kinds for the best-first traversals.
+_NODE = 0  # payload: node id
+_NODE_BLOCK = 1  # payload: (sorted bounds, child node ids); advanced by pos
+_ENTRY_BLOCK = 2  # payload: (sorted bounds, record ids[, points]); by pos
+
+
+@dataclass
+class FrontierStats:
+    """Per-traversal counters the frontier engine fills in.
+
+    Attributes:
+        nodes_expanded: frontier rows expanded (for fused multi-query
+            traversals a node expanded for ``q`` distinct queries counts
+            ``q`` times — it is the unit of traversal work).
+        entries_scanned: entry slots gathered and tested/scored.
+        frontier_peak: largest frontier (pair rows, or total heap items
+            across active queries) observed at any expansion step.
+    """
+
+    nodes_expanded: int = 0
+    entries_scanned: int = 0
+    frontier_peak: int = 0
+
+    def observe(self, frontier_size: int) -> None:
+        if frontier_size > self.frontier_peak:
+            self.frontier_peak = frontier_size
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes_expanded": self.nodes_expanded,
+            "entries_scanned": self.entries_scanned,
+            "frontier_peak": self.frontier_peak,
+        }
+
+
+class FrozenRTree:
+    """A read-only columnar image of a built R-tree (see module docstring).
+
+    Instances are produced by :meth:`freeze` (or :meth:`from_arrays` when
+    reloading persisted arrays) and never mutated; the source tree remains
+    the authority for inserts/deletes, and :func:`frozen_kernel` refreezes
+    lazily when the tree has mutated.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        size: int,
+        node_level: np.ndarray,
+        entry_start: np.ndarray,
+        entry_count: np.ndarray,
+        entry_lows: np.ndarray,
+        entry_highs: np.ndarray,
+        entry_child: np.ndarray,
+    ) -> None:
+        self.dim = int(dim)
+        self.size = int(size)
+        self.node_level = node_level
+        self.entry_start = entry_start
+        self.entry_count = entry_count
+        self.entry_lows = entry_lows
+        self.entry_highs = entry_highs
+        self.entry_child = entry_child
+        self.root = 0
+
+    # ------------------------------------------------------------------
+    # construction / persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def freeze(cls, tree) -> "FrozenRTree":
+        """Snapshot a node-object tree into columnar arrays (BFS order)."""
+        store = tree.store
+        id_map: dict[int, int] = {}
+        nodes = []
+        queue = [tree.root_id]
+        head = 0
+        while head < len(queue):
+            node_id = queue[head]
+            head += 1
+            if node_id in id_map:
+                continue
+            node = store.read(node_id)
+            id_map[node_id] = len(nodes)
+            nodes.append(node)
+            if not node.is_leaf:
+                queue.extend(e.child for e in node.entries)
+
+        n = len(nodes)
+        dim = tree.dim
+        node_level = np.empty(n, dtype=np.int32)
+        entry_count = np.empty(n, dtype=np.int64)
+        for i, node in enumerate(nodes):
+            node_level[i] = node.level
+            entry_count[i] = len(node.entries)
+        entry_start = np.concatenate(([0], np.cumsum(entry_count)[:-1]))
+        total = int(entry_count.sum())
+        entry_lows = np.empty((total, dim))
+        entry_highs = np.empty((total, dim))
+        entry_child = np.empty(total, dtype=np.int64)
+        pos = 0
+        for node in nodes:
+            for e in node.entries:
+                entry_lows[pos] = e.rect.lows
+                entry_highs[pos] = e.rect.highs
+                entry_child[pos] = id_map[e.child] if not node.is_leaf else e.child
+                pos += 1
+        return cls(
+            dim, tree.size, node_level, entry_start, entry_count,
+            entry_lows, entry_highs, entry_child,
+        )
+
+    def to_arrays(self) -> dict:
+        """The frozen image as plain arrays (``np.savez``-ready)."""
+        return {
+            "meta": np.array([self.dim, self.size], dtype=np.int64),
+            "node_level": self.node_level,
+            "entry_start": self.entry_start,
+            "entry_count": self.entry_count,
+            "entry_lows": self.entry_lows,
+            "entry_highs": self.entry_highs,
+            "entry_child": self.entry_child,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays) -> "FrozenRTree":
+        """Rebuild a frozen tree from :meth:`to_arrays` output (or an npz)."""
+        meta = np.asarray(arrays["meta"], dtype=np.int64)
+        return cls(
+            int(meta[0]),
+            int(meta[1]),
+            np.asarray(arrays["node_level"], dtype=np.int32),
+            np.asarray(arrays["entry_start"], dtype=np.int64),
+            np.asarray(arrays["entry_count"], dtype=np.int64),
+            np.asarray(arrays["entry_lows"], dtype=np.float64),
+            np.asarray(arrays["entry_highs"], dtype=np.float64),
+            np.asarray(arrays["entry_child"], dtype=np.int64),
+        )
+
+    @property
+    def height(self) -> int:
+        return int(self.node_level[self.root]) + 1 if self.node_level.size else 1
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------
+    # shared machinery
+    # ------------------------------------------------------------------
+    def _gather(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Entry indices of ``nodes`` as one flat index array.
+
+        Returns ``(idx, counts)``: ``idx`` concatenates each node's entry
+        range in node order (the vectorized equivalent of reading each
+        node's entry list), ``counts`` the per-node fanouts.
+        """
+        counts = self.entry_count[nodes]
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), counts
+        starts = self.entry_start[nodes]
+        offsets = np.cumsum(counts) - counts
+        idx = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, counts)
+        return idx, counts
+
+    def _transformed(
+        self, idx: np.ndarray, scale: Optional[np.ndarray], offset: Optional[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gathered entry MBRs mapped through the affine transformation."""
+        lows = self.entry_lows[idx]
+        highs = self.entry_highs[idx]
+        if scale is None:
+            return lows, highs
+        a = lows * scale + offset
+        b = highs * scale + offset
+        return np.minimum(a, b), np.maximum(a, b)
+
+    @staticmethod
+    def _affine(scale, offset) -> tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Normalise the affine vectors; ``None`` scale marks the identity."""
+        if scale is None:
+            return None, None
+        scale = np.asarray(scale, dtype=np.float64)
+        offset = np.asarray(offset, dtype=np.float64)
+        if np.all(scale == 1.0) and np.all(offset == 0.0):
+            return None, None
+        return scale, offset
+
+    # ------------------------------------------------------------------
+    # range search (single query)
+    # ------------------------------------------------------------------
+    def range_ids(
+        self,
+        qlo: np.ndarray,
+        qhi: np.ndarray,
+        scale: Optional[np.ndarray] = None,
+        offset: Optional[np.ndarray] = None,
+        circular_mask: Optional[np.ndarray] = None,
+        fstats: Optional[FrontierStats] = None,
+        io: Optional[IOStats] = None,
+    ) -> np.ndarray:
+        """Record ids whose transformed point intersects ``[qlo, qhi]``.
+
+        Level-at-a-time: the whole frontier of surviving nodes is expanded
+        per iteration — gather, transform, intersect as three fused numpy
+        steps — instead of one recursive call per node.
+        """
+        qlo = np.asarray(qlo, dtype=np.float64)
+        qhi = np.asarray(qhi, dtype=np.float64)
+        if self.entry_count[self.root] == 0:
+            return np.empty(0, dtype=np.int64)
+        scale, offset = self._affine(scale, offset)
+        frontier = np.array([self.root], dtype=np.int64)
+        level = int(self.node_level[self.root])
+        while frontier.size:
+            if fstats is not None:
+                fstats.nodes_expanded += int(frontier.size)
+                fstats.observe(int(frontier.size))
+            if io is not None:
+                io.node_reads += int(frontier.size)
+            idx, _ = self._gather(frontier)
+            t_lo, t_hi = self._transformed(idx, scale, offset)
+            if circular_mask is None:
+                hits = Rect.intersects_many(t_lo, t_hi, qlo, qhi)
+            else:
+                hits = intersects_circular_many(t_lo, t_hi, qlo, qhi, circular_mask)
+            if fstats is not None:
+                fstats.entries_scanned += int(idx.size)
+            sel = idx[hits]
+            if level == 0:
+                return self.entry_child[sel]
+            frontier = self.entry_child[sel]
+            level -= 1
+        return np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # fused multi-query range + frontier-pair join
+    # ------------------------------------------------------------------
+    def _pair_frontier(
+        self,
+        qlows: np.ndarray,
+        qhighs: np.ndarray,
+        scale: Optional[np.ndarray],
+        offset: Optional[np.ndarray],
+        circular_mask: Optional[np.ndarray],
+        fstats: Optional[FrontierStats],
+        io: Optional[IOStats],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Drive a ``(node, query)`` pair frontier down to the leaves.
+
+        Returns the surviving ``(record ids, query indices)`` arrays — the
+        flat candidate relation every fused traversal post-processes.
+        """
+        m = qlows.shape[0]
+        if m == 0 or self.entry_count[self.root] == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        scale, offset = self._affine(scale, offset)
+        fnodes = np.full(m, self.root, dtype=np.int64)
+        fquery = np.arange(m, dtype=np.int64)
+        level = int(self.node_level[self.root])
+        while fnodes.size:
+            if fstats is not None:
+                fstats.nodes_expanded += int(fnodes.size)
+                fstats.observe(int(fnodes.size))
+            if io is not None:
+                io.node_reads += int(fnodes.size)
+            idx, counts = self._gather(fnodes)
+            equery = np.repeat(fquery, counts)
+            t_lo, t_hi = self._transformed(idx, scale, offset)
+            if circular_mask is None:
+                hits = (
+                    np.all(t_lo <= qhighs[equery], axis=1)
+                    & np.all(qlows[equery] <= t_hi, axis=1)
+                )
+            else:
+                hits = intersects_circular_rows(
+                    t_lo, t_hi, qlows[equery], qhighs[equery], circular_mask
+                )
+            if fstats is not None:
+                fstats.entries_scanned += int(idx.size)
+            sel = np.nonzero(hits)[0]
+            if level == 0:
+                return self.entry_child[idx[sel]], equery[sel]
+            fnodes = self.entry_child[idx[sel]]
+            fquery = equery[sel]
+            level -= 1
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    def range_ids_many(
+        self,
+        qlows: np.ndarray,
+        qhighs: np.ndarray,
+        scale: Optional[np.ndarray] = None,
+        offset: Optional[np.ndarray] = None,
+        circular_mask: Optional[np.ndarray] = None,
+        fstats: Optional[FrontierStats] = None,
+        io: Optional[IOStats] = None,
+    ) -> list[np.ndarray]:
+        """Fused multi-query range search: one id array per query row.
+
+        All queries descend together as a pair frontier; per-query results
+        are regrouped at the end with one stable sort.  Candidate sets are
+        identical to ``m`` separate :meth:`range_ids` calls.
+        """
+        m = qlows.shape[0]
+        recs, qidx = self._pair_frontier(
+            qlows, qhighs, scale, offset, circular_mask, fstats, io
+        )
+        order = np.argsort(qidx, kind="stable")
+        recs = recs[order]
+        bounds = np.searchsorted(qidx[order], np.arange(m + 1, dtype=np.int64))
+        return [recs[bounds[i]:bounds[i + 1]] for i in range(m)]
+
+    def join_pairs(
+        self,
+        qlows: np.ndarray,
+        qhighs: np.ndarray,
+        outer_ids: np.ndarray,
+        scale: Optional[np.ndarray] = None,
+        offset: Optional[np.ndarray] = None,
+        circular_mask: Optional[np.ndarray] = None,
+        self_join: bool = True,
+        fstats: Optional[FrontierStats] = None,
+        io: Optional[IOStats] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Index nested-loop join as one frontier-pair traversal.
+
+        Query row ``i`` is the search rectangle of outer record
+        ``outer_ids[i]``; the traversal is :meth:`range_ids_many`'s pair
+        frontier with the self-join pair filter (each unordered pair once,
+        no ``(a, a)``) applied vectorized at the leaf level.
+
+        Returns:
+            ``(outer record ids, inner record ids)`` of candidate pairs,
+            sorted by outer then inner id.
+        """
+        recs, qidx = self._pair_frontier(
+            qlows, qhighs, scale, offset, circular_mask, fstats, io
+        )
+        outer = np.asarray(outer_ids, dtype=np.int64)[qidx]
+        if self_join:
+            keep = recs > outer
+            outer, recs = outer[keep], recs[keep]
+        order = np.lexsort((recs, outer))
+        return outer[order], recs[order]
+
+    # ------------------------------------------------------------------
+    # best-first: incremental nearest (block-yield) and fused batched k-NN
+    # ------------------------------------------------------------------
+    def nearest_stream(
+        self,
+        query: np.ndarray,
+        scale: Optional[np.ndarray] = None,
+        offset: Optional[np.ndarray] = None,
+        rect_dist_many: Optional[RectDistManyFn] = None,
+        point_dist_many: Optional[PointDistManyFn] = None,
+        fstats: Optional[FrontierStats] = None,
+        io: Optional[IOStats] = None,
+    ) -> Iterator[tuple[float, int, np.ndarray]]:
+        """Yield ``(distance, record id, transformed point)`` in order.
+
+        Best-first over the columnar arrays: popping a node scores all its
+        children in one vectorized call and pushes a single *sorted block*
+        (advanced by position on each yield) instead of one heap item per
+        entry, so the heap holds one item per visited node/block rather
+        than one per entry.
+        """
+        q = np.asarray(query, dtype=np.float64)
+        if self.entry_count[self.root] == 0:
+            return
+        scale, offset = self._affine(scale, offset)
+        if rect_dist_many is None:
+            rect_dist_many = Rect.mindist_many
+        if point_dist_many is None:
+            point_dist_many = lambda pts, qq: np.linalg.norm(pts - qq, axis=1)
+        counter = itertools.count()
+        heap: list = [(0.0, next(counter), _NODE, self.root, 0)]
+        while heap:
+            if fstats is not None:
+                fstats.observe(len(heap))
+            bound, _, kind, payload, pos = heapq.heappop(heap)
+            if kind == _ENTRY_BLOCK:
+                bounds, rids, pts = payload
+                yield float(bounds[pos]), int(rids[pos]), pts[pos]
+                if pos + 1 < bounds.shape[0]:
+                    heapq.heappush(
+                        heap,
+                        (float(bounds[pos + 1]), next(counter), _ENTRY_BLOCK,
+                         payload, pos + 1),
+                    )
+                continue
+            if kind == _NODE_BLOCK:
+                bounds, children = payload
+                node = int(children[pos])
+                if pos + 1 < bounds.shape[0]:
+                    heapq.heappush(
+                        heap,
+                        (float(bounds[pos + 1]), next(counter), _NODE_BLOCK,
+                         payload, pos + 1),
+                    )
+            else:
+                node = payload
+            start = int(self.entry_start[node])
+            count = int(self.entry_count[node])
+            if count == 0:
+                continue
+            if fstats is not None:
+                fstats.nodes_expanded += 1
+                fstats.entries_scanned += count
+            if io is not None:
+                io.node_reads += 1
+            idx = np.arange(start, start + count, dtype=np.int64)
+            t_lo, t_hi = self._transformed(idx, scale, offset)
+            children = self.entry_child[idx]
+            if self.node_level[node] == 0:
+                ds = point_dist_many(t_lo, q)
+                order = np.argsort(ds, kind="stable")
+                block = (ds[order], children[order], t_lo[order])
+                heapq.heappush(
+                    heap, (float(block[0][0]), next(counter), _ENTRY_BLOCK, block, 0)
+                )
+            else:
+                ds = rect_dist_many(t_lo, t_hi, q)
+                order = np.argsort(ds, kind="stable")
+                block = (ds[order], children[order])
+                heapq.heappush(
+                    heap, (float(block[0][0]), next(counter), _NODE_BLOCK, block, 0)
+                )
+
+    def knn_batch(
+        self,
+        qpoints: np.ndarray,
+        k: int,
+        verify_many: VerifyManyFn,
+        scale: Optional[np.ndarray] = None,
+        offset: Optional[np.ndarray] = None,
+        rect_dist_rows: Optional[RectDistRowsFn] = None,
+        point_dist_rows: Optional[PointDistRowsFn] = None,
+        fstats: Optional[FrontierStats] = None,
+        io: Optional[IOStats] = None,
+    ) -> list[list[tuple[int, float]]]:
+        """Fused multi-step exact k-NN for a whole batch of queries.
+
+        Every query runs best-first with its own pruning radius (the k-th
+        best *exact* distance found so far), but the expensive steps are
+        shared round-synchronously across the batch: each round pops one
+        node per active query, scores all popped nodes' children with one
+        row-aligned distance call, and verifies all due leaf entries with
+        one ``verify_many`` call.  Leaf entries travel as distance-sorted
+        blocks; a block is consumed in one step by cutting it at the
+        current radius (entries beyond it can never enter the answer,
+        because radii only shrink).
+
+        Edge cases are defined here, in one place: ``k == 0``, an empty
+        tree, or an empty batch return empty result lists; ``k`` larger
+        than the relation returns every record, exactly verified.
+
+        Args:
+            qpoints: ``(m, dim)`` query feature points (index space).
+            k: neighbours per query.
+            verify_many: maps ``(query indices, record ids)`` to exact
+                ground distances — the multi-step verification step.
+            scale, offset: affine map of the transformed view.
+            rect_dist_rows, point_dist_rows: row-aligned lower-bound
+                metrics (Euclidean when omitted).
+            fstats, io: counters (see module docstring).
+
+        Returns:
+            per query, ``(record id, exact distance)`` sorted by
+            ``(distance, id)`` — the same contract as ``knn_query``.
+        """
+        qpoints = np.asarray(qpoints, dtype=np.float64)
+        m = qpoints.shape[0]
+        out: list[list[tuple[int, float]]] = [[] for _ in range(m)]
+        if k <= 0 or m == 0 or self.size == 0 or self.entry_count[self.root] == 0:
+            return out
+        scale, offset = self._affine(scale, offset)
+        if rect_dist_rows is None:
+            rect_dist_rows = _euclid_rect_rows
+        if point_dist_rows is None:
+            point_dist_rows = lambda pts, qs: np.linalg.norm(pts - qs, axis=1)
+        counter = itertools.count()
+        heaps: list[list] = [
+            [(0.0, next(counter), _NODE, self.root, 0)] for _ in range(m)
+        ]
+        best: list[list[tuple[float, int]]] = [[] for _ in range(m)]  # (-d, rid)
+        active = list(range(m))
+        while active:
+            if fstats is not None:
+                fstats.observe(sum(len(heaps[qi]) for qi in active))
+            expand_q: list[int] = []
+            expand_n: list[int] = []
+            verify_q: list[int] = []
+            verify_r: list[np.ndarray] = []
+            next_active: list[int] = []
+            for qi in active:
+                h = heaps[qi]
+                b = best[qi]
+                radius = -b[0][0] if len(b) == k else np.inf
+                node = -1
+                while h:
+                    bound = h[0][0]
+                    if len(b) == k and bound > radius:
+                        h.clear()
+                        break
+                    _, _, kind, payload, pos = heapq.heappop(h)
+                    if kind == _NODE:
+                        node = payload
+                        break
+                    if kind == _NODE_BLOCK:
+                        bounds, children = payload
+                        node = int(children[pos])
+                        if pos + 1 < bounds.shape[0]:
+                            heapq.heappush(
+                                h,
+                                (float(bounds[pos + 1]), next(counter),
+                                 _NODE_BLOCK, payload, pos + 1),
+                            )
+                        break
+                    # _ENTRY_BLOCK: verify every entry still inside the
+                    # radius; the sorted tail beyond it is dead (radii only
+                    # shrink, so those entries can never re-qualify).
+                    bounds, rids = payload
+                    hi = int(np.searchsorted(bounds, radius, side="right"))
+                    if hi > pos:
+                        verify_q.append(qi)
+                        verify_r.append(rids[pos:hi])
+                if node >= 0:
+                    expand_q.append(qi)
+                    expand_n.append(node)
+                    next_active.append(qi)
+            if verify_r:
+                rid_arr = np.concatenate(verify_r)
+                qidx_arr = np.repeat(
+                    np.asarray(verify_q, dtype=np.int64),
+                    [seg.shape[0] for seg in verify_r],
+                )
+                dists = verify_many(qidx_arr, rid_arr)
+                for j in range(rid_arr.shape[0]):
+                    qi = int(qidx_arr[j])
+                    d = float(dists[j])
+                    b = best[qi]
+                    if len(b) < k:
+                        heapq.heappush(b, (-d, int(rid_arr[j])))
+                    elif d < -b[0][0]:
+                        heapq.heapreplace(b, (-d, int(rid_arr[j])))
+            if expand_n:
+                nodes = np.asarray(expand_n, dtype=np.int64)
+                qidx = np.asarray(expand_q, dtype=np.int64)
+                idx, counts = self._gather(nodes)
+                equery = np.repeat(qidx, counts)
+                t_lo, t_hi = self._transformed(idx, scale, offset)
+                levels = self.node_level[nodes]
+                leaf_rows = np.repeat(levels == 0, counts)
+                bounds = np.empty(idx.shape[0])
+                if np.any(~leaf_rows):
+                    bounds[~leaf_rows] = rect_dist_rows(
+                        t_lo[~leaf_rows], t_hi[~leaf_rows], qpoints[equery[~leaf_rows]]
+                    )
+                if np.any(leaf_rows):
+                    bounds[leaf_rows] = point_dist_rows(
+                        t_lo[leaf_rows], qpoints[equery[leaf_rows]]
+                    )
+                children = self.entry_child[idx]
+                offsets = np.cumsum(counts) - counts
+                if fstats is not None:
+                    fstats.nodes_expanded += int(nodes.shape[0])
+                    fstats.entries_scanned += int(idx.shape[0])
+                if io is not None:
+                    io.node_reads += int(nodes.shape[0])
+                for i in range(nodes.shape[0]):
+                    s, c = int(offsets[i]), int(counts[i])
+                    if c == 0:
+                        continue
+                    seg = slice(s, s + c)
+                    order = np.argsort(bounds[seg], kind="stable")
+                    blk = (bounds[seg][order], children[seg][order])
+                    kind = _ENTRY_BLOCK if levels[i] == 0 else _NODE_BLOCK
+                    heapq.heappush(
+                        heaps[int(qidx[i])],
+                        (float(blk[0][0]), next(counter), kind, blk, 0),
+                    )
+            active = next_active
+        for qi in range(m):
+            out[qi] = sorted(
+                ((rid, -nd) for nd, rid in best[qi]), key=lambda t: (t[1], t[0])
+            )
+        return out
+
+
+def _euclid_rect_rows(
+    lows: np.ndarray, highs: np.ndarray, qs: np.ndarray
+) -> np.ndarray:
+    """Row-aligned Euclidean MINDIST (default metric for raw trees)."""
+    clamped = np.clip(qs, lows, highs)
+    return np.linalg.norm(qs - clamped, axis=1)
+
+
+# ----------------------------------------------------------------------
+# cache management
+# ----------------------------------------------------------------------
+#: stale-cache accesses tolerated before :func:`cached_kernel` refreezes.
+#: A mutation invalidates the frozen image; refreezing is O(whole tree),
+#: so a workload that interleaves mutations with queries must not pay a
+#: full refreeze per query.  Stale accesses run the recursive reference
+#: path (O(nodes touched), exactly the pre-kernel behaviour) until the
+#: same tree version has been queried this many times — a query-heavy
+#: phase refreezes quickly, a write-heavy phase never does.
+REFREEZE_AFTER_STALE_READS = 4
+
+
+def frozen_kernel(tree) -> FrozenRTree:
+    """The tree's frozen kernel, (re)built *now* if stale, cached on the tree.
+
+    The cache key is the tree's mutation counter (bumped by every insert
+    and delete), so a stale image is never served.  This is the eager
+    form used at engine build and by explicit ``engine.kernel`` access;
+    query paths go through :func:`cached_kernel`, which defers the O(N)
+    refreeze.  :func:`attach_kernel` installs a deserialized image under
+    the same contract.
+    """
+    mutations = getattr(tree, "_mutations", 0)
+    cached = getattr(tree, "_frozen_cache", None)
+    if cached is not None and cached[0] == mutations:
+        return cached[1]
+    kernel = FrozenRTree.freeze(tree)
+    tree._frozen_cache = (mutations, kernel)
+    return kernel
+
+
+def cached_kernel(tree) -> Optional[FrozenRTree]:
+    """The tree's frozen kernel if fresh, else ``None`` while refreeze defers.
+
+    Returns the cached image when it matches the tree's mutation counter.
+    On a stale cache it counts accesses per tree version and only
+    refreezes after :data:`REFREEZE_AFTER_STALE_READS` of them, returning
+    ``None`` (= caller takes the recursive reference path) in between, so
+    interleaved mutate/query workloads never pay O(tree) per query.
+    """
+    mutations = getattr(tree, "_mutations", 0)
+    cached = getattr(tree, "_frozen_cache", None)
+    if cached is not None and cached[0] == mutations:
+        return cached[1]
+    pending = getattr(tree, "_refreeze_pending", None)
+    count = pending[1] + 1 if pending is not None and pending[0] == mutations else 1
+    if count >= REFREEZE_AFTER_STALE_READS:
+        tree._refreeze_pending = None
+        return frozen_kernel(tree)
+    tree._refreeze_pending = (mutations, count)
+    return None
+
+
+def attach_kernel(tree, kernel: FrozenRTree) -> None:
+    """Install a prebuilt (e.g. deserialized) kernel as the tree's cache."""
+    tree._frozen_cache = (getattr(tree, "_mutations", 0), kernel)

@@ -100,6 +100,26 @@ def incremental_nearest(
         point and ``entry.child`` the record id.
     """
     q = np.asarray(query, dtype=np.float64)
+    # With a frozen kernel attached and fully-batched metrics (explicit, or
+    # the Euclidean defaults), the traversal runs through the kernel's
+    # block-yield stream: nodes are popped once and their entries travel as
+    # distance-sorted blocks, so the heap holds one item per block instead
+    # of one per entry.  Scalar-only custom metrics keep the recursive
+    # reference path (they cannot be vectorised on the caller's behalf).
+    if view.kernel is not None and (
+        (rect_dist_many is not None or rect_dist is None)
+        and (point_dist_many is not None or point_dist is None)
+    ):
+        for dist, rid, point in view.kernel.nearest_stream(
+            q,
+            view.mapping.scale,
+            view.mapping.offset,
+            rect_dist_many=rect_dist_many,
+            point_dist_many=point_dist_many,
+            io=view.tree.store.stats,
+        ):
+            yield dist, Entry(Rect(point, point), rid)
+        return
     if rect_dist_many is None:
         rect_dist_many = (
             Rect.mindist_many if rect_dist is None else _rowwise_rect(rect_dist)

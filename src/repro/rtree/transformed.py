@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.rtree.base import RTreeBase
 from repro.rtree.geometry import Rect, intersects_circular
+from repro.rtree.kernel import FrontierStats, FrozenRTree, cached_kernel
 from repro.rtree.node import Entry, Node
 
 
@@ -111,6 +112,7 @@ class TransformedIndexView:
         tree: RTreeBase,
         mapping: Optional[AffineMap] = None,
         circular_mask: Optional[np.ndarray] = None,
+        kernel: Optional[FrozenRTree] = None,
     ) -> None:
         self.tree = tree
         self.mapping = mapping if mapping is not None else AffineMap.identity(tree.dim)
@@ -119,6 +121,44 @@ class TransformedIndexView:
                 f"map dim {self.mapping.dim} does not match tree dim {tree.dim}"
             )
         self.circular_mask = circular_mask
+        self._kernel: Optional[tuple[int, FrozenRTree]] = (
+            None
+            if kernel is None
+            else (getattr(tree, "_mutations", 0), kernel)
+        )
+
+    @property
+    def kernel(self) -> Optional[FrozenRTree]:
+        """The tree's frozen columnar image, or ``None`` on reference views.
+
+        State is view-local and versioned against the tree's mutation
+        counter, so a long-lived view never serves a stale pre-mutation
+        snapshot: while the tree is unmutated the instance given at
+        construction (or assignment) is served; after a mutation the view
+        falls back to the recursive reference paths until
+        :func:`~repro.rtree.kernel.cached_kernel` has refrozen (the O(N)
+        rebuild is deferred, so interleaved mutate/query workloads stay on
+        the O(nodes touched) reference path), then upgrades to the fresh
+        image.  Assigning ``None`` pins this view to the reference paths;
+        assigning an image affects only this view.
+        """
+        if self._kernel is None:
+            return None
+        mutations, instance = self._kernel
+        if mutations == getattr(self.tree, "_mutations", 0):
+            return instance
+        fresh = cached_kernel(self.tree)
+        if fresh is not None:
+            self._kernel = (getattr(self.tree, "_mutations", 0), fresh)
+        return fresh
+
+    @kernel.setter
+    def kernel(self, value: Optional[FrozenRTree]) -> None:
+        self._kernel = (
+            None
+            if value is None
+            else (getattr(self.tree, "_mutations", 0), value)
+        )
 
     # ------------------------------------------------------------------
     def _intersects(self, a: Rect, b: Rect) -> bool:
@@ -196,26 +236,58 @@ class TransformedIndexView:
         for i in np.nonzero(hits)[0]:
             self._search(node.entries[i].child, query, out)
 
+    def search_ids(
+        self, query: Rect, fstats: Optional[FrontierStats] = None
+    ) -> np.ndarray:
+        """Matching record ids for a range query (the hot-path result form).
+
+        Runs through the columnar kernel's level-at-a-time frontier when
+        one is attached (bumping the store's logical ``node_reads`` by the
+        nodes expanded, so Figure 8/9-style access counting still works);
+        otherwise falls back to the recursive reference :meth:`search`.
+        """
+        if self.kernel is not None:
+            return self.kernel.range_ids(
+                query.lows, query.highs,
+                self.mapping.scale, self.mapping.offset,
+                circular_mask=self.circular_mask,
+                fstats=fstats, io=self.tree.store.stats,
+            )
+        hits = self.search(query)
+        return np.fromiter((e.child for e in hits), dtype=np.int64, count=len(hits))
+
     def search_many(
-        self, qlows: np.ndarray, qhighs: np.ndarray
-    ) -> list[list[int]]:
+        self,
+        qlows: np.ndarray,
+        qhighs: np.ndarray,
+        fstats: Optional[FrontierStats] = None,
+    ) -> list[np.ndarray]:
         """Multi-query range search sharing a single tree descent.
 
         Where :meth:`search` walks the tree once per query, this walks it
-        once per *batch*: every node is read (and its MBRs transformed) at
-        most once, its entries are tested against all still-active query
-        rectangles in one pairwise broadcast, and a subtree is descended
-        with exactly the subset of queries whose rectangles reach it.  For
-        a batch of similar queries this amortises node visits — the
-        per-query candidate sets are identical to ``m`` separate
-        :meth:`search` calls.
+        once per *batch*.  With a columnar kernel attached the batch runs
+        through the fused ``(node, query)`` pair frontier
+        (:meth:`repro.rtree.kernel.FrozenRTree.range_ids_many`); without
+        one, the reference implementation reads every node at most once
+        and tests its entries against all still-active query rectangles in
+        one pairwise broadcast.  Either way the per-query candidate sets
+        are identical to ``m`` separate :meth:`search` calls.
 
         Args:
             qlows, qhighs: stacked ``(m, dim)`` query-rectangle bounds.
+            fstats: optional frontier counters (kernel path only).
 
         Returns:
-            one list of matching record ids per query, in query order.
+            one array/list of matching record ids per query, in query order.
         """
+        if self.kernel is not None:
+            return self.kernel.range_ids_many(
+                np.asarray(qlows, dtype=np.float64),
+                np.asarray(qhighs, dtype=np.float64),
+                self.mapping.scale, self.mapping.offset,
+                circular_mask=self.circular_mask,
+                fstats=fstats, io=self.tree.store.stats,
+            )
         from repro.rtree.geometry import intersects_circular_pairwise
 
         m = qlows.shape[0]

@@ -115,9 +115,14 @@ def scan_knn(
 
     The current ``k``-th best distance serves as the early-abandon bound —
     the scan analogue of branch-and-bound pruning.
+
+    Edge cases match the index path's kernel contract: ``k == 0`` and an
+    empty relation return ``[]``; ``k > m`` returns every record.
     """
-    if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k == 0:
+        return []
     best: list[tuple[float, int]] = []  # max-heap by negated distance
     m = ground_spectra.shape[0]
     for i in range(m):

@@ -119,9 +119,12 @@ class TestKnnQueries:
         got = engine.knn_query(relation.get(0), len(relation) + 50)
         assert len(got) == len(relation)
 
+    def test_k_zero_returns_empty(self, relation, engine):
+        assert engine.knn_query(relation.get(0), 0) == []
+
     def test_invalid_k(self, relation, engine):
         with pytest.raises(ValueError):
-            engine.knn_query(relation.get(0), 0)
+            engine.knn_query(relation.get(0), -1)
 
 
 class TestAllPairs:

@@ -1,0 +1,116 @@
+"""k-NN edge cases, defined once in the kernel (regression tests).
+
+The contract — uniform across the scalar and batch paths and both access
+paths: ``k == 0`` returns an empty answer (it used to raise on some paths
+and not others), ``k > len(relation)`` returns every record, an empty
+relation returns empty answers, and negative ``k`` raises everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SimilarityEngine
+from repro.core.plan import QuerySpec
+from repro.data import SequenceRelation
+from repro.data.synthetic import random_walks
+from repro.scan import scan_knn
+
+N = 48
+COUNT = 30
+
+
+@pytest.fixture(scope="module")
+def matrix() -> np.ndarray:
+    return random_walks(COUNT, N, seed=11)
+
+
+@pytest.fixture(scope="module")
+def engine(matrix) -> SimilarityEngine:
+    return SimilarityEngine(SequenceRelation.from_matrix(matrix))
+
+
+@pytest.fixture(scope="module")
+def empty_engine() -> SimilarityEngine:
+    return SimilarityEngine(SequenceRelation(N))
+
+
+class TestKZero:
+    @pytest.mark.parametrize("method", ["index", "scan", "auto"])
+    def test_scalar_returns_empty(self, engine, matrix, method):
+        assert engine.knn_query(matrix[0], 0, method=method) == []
+
+    @pytest.mark.parametrize("method", ["index", "scan", "auto"])
+    def test_batch_returns_empty_per_query(self, engine, matrix, method):
+        got = engine.knn_query_batch(matrix[:4], 0, method=method)
+        assert got == [[], [], [], []]
+
+    def test_scan_knn_returns_empty(self, engine):
+        assert scan_knn(engine.ground_spectra, engine.ground_spectra[0], 0) == []
+
+
+class TestKExceedsRelation:
+    @pytest.mark.parametrize("method", ["index", "scan"])
+    def test_scalar_returns_all(self, engine, matrix, method):
+        got = engine.knn_query(matrix[0], COUNT + 25, method=method)
+        assert sorted(r for r, _ in got) == list(range(COUNT))
+
+    def test_batch_returns_all(self, engine, matrix):
+        got = engine.knn_query_batch(matrix[:3], COUNT + 25)
+        for per_query in got:
+            assert sorted(r for r, _ in per_query) == list(range(COUNT))
+
+    def test_batch_matches_scalar_order(self, engine, matrix):
+        got = engine.knn_query_batch(matrix[:3], COUNT)
+        for i in range(3):
+            want = engine.knn_query(matrix[i], COUNT)
+            assert [(r, round(d, 9)) for r, d in got[i]] == [
+                (r, round(d, 9)) for r, d in want
+            ]
+
+
+class TestEmptyRelation:
+    @pytest.mark.parametrize("k", [0, 1, 5])
+    def test_scalar(self, empty_engine, matrix, k):
+        assert empty_engine.knn_query(matrix[0], k) == []
+
+    def test_batch(self, empty_engine, matrix):
+        assert empty_engine.knn_query_batch(matrix[:2], 3) == [[], []]
+
+    def test_range_still_empty(self, empty_engine, matrix):
+        assert empty_engine.range_query(matrix[0], 10.0) == []
+
+
+class TestNegativeK:
+    def test_scalar_raises(self, engine, matrix):
+        with pytest.raises(ValueError):
+            engine.knn_query(matrix[0], -1)
+
+    def test_batch_raises(self, engine, matrix):
+        with pytest.raises(ValueError):
+            engine.knn_query_batch(matrix[:2], -3)
+
+    def test_compile_raises(self, engine, matrix):
+        with pytest.raises(ValueError):
+            engine.plan(QuerySpec(kind="knn", series=matrix[0], k=-1))
+
+    def test_scan_raises(self, engine):
+        with pytest.raises(ValueError):
+            scan_knn(engine.ground_spectra, engine.ground_spectra[0], -1)
+
+
+class TestKZeroThroughPlanAndLanguage:
+    def test_plan_executes_empty(self, engine, matrix):
+        plan = engine.plan(QuerySpec(kind="knn", series=matrix[0], k=0))
+        assert plan.execute() == []
+        batch = engine.plan(QuerySpec(kind="knn", series=matrix[:3], k=0))
+        assert batch.execute() == [[], [], []]
+
+    def test_language_statement(self, matrix):
+        from repro.core.language import QuerySession
+
+        session = QuerySession()
+        session.bind_relation("r", SequenceRelation.from_matrix(matrix))
+        session.bind_sequence("s0", matrix[0])
+        assert session.execute("KNN s0 IN r K 0") == []

@@ -249,7 +249,11 @@ class TestKnnParity:
 
     def test_invalid_k_rejected_at_compile(self, relation, engine):
         with pytest.raises(ValueError):
-            engine.plan(QuerySpec(kind="knn", series=relation.get(0), k=0))
+            engine.plan(QuerySpec(kind="knn", series=relation.get(0), k=-1))
+
+    def test_k_zero_compiles_to_empty_answer(self, relation, engine):
+        plan = engine.plan(QuerySpec(kind="knn", series=relation.get(0), k=0))
+        assert plan.execute() == []
 
 
 # ----------------------------------------------------------------------

@@ -72,7 +72,10 @@ class TestScanKnn:
 
     def test_invalid_k(self, engine):
         with pytest.raises(ValueError):
-            scan_knn(engine.ground_spectra, engine.ground_spectra[0], 0)
+            scan_knn(engine.ground_spectra, engine.ground_spectra[0], -1)
+
+    def test_k_zero_returns_empty(self, engine):
+        assert scan_knn(engine.ground_spectra, engine.ground_spectra[0], 0) == []
 
     def test_k_larger_than_relation(self, engine):
         got = scan_knn(engine.ground_spectra, engine.query_spectrum(engine.relation.get(0)), 10_000)

@@ -1,16 +1,37 @@
-"""Extension bench: the ST-index versus exhaustive subsequence scanning.
+"""Extension bench: the columnar ST-index pipeline, phase by phase.
 
 Not a paper figure — the paper's experiments stop at whole-sequence
 queries — but [FRM94] is the companion method the paper's machinery
 descends from, so the reproduction carries its performance story too:
-filter-and-refine over sub-trail MBRs versus checking every offset, for
-both grouping policies.
+filter-and-refine over sub-trail MBRs versus checking every offset, and
+(since the subsequence pipeline was routed through the frozen kernel)
+the columnar fast path versus the recursive/scalar reference at every
+phase:
+
+* **build** — STR bulk load + freeze versus one R* insert per sub-trail,
+* **probe** — fused ``range_ids_many`` + array expansion versus the
+  recursive per-piece ``tree.search`` + Python-set expansion,
+* **refine** — one ``batch_euclidean_within`` matrix pass per candidate
+  series versus one scalar early-abandon call per candidate,
+* **range_query** — the two paths end-to-end (the gated headline), plus
+  the fused ``range_query_batch`` throughput.
+
+``main`` emits ``subseq_build`` / ``subseq_probe`` / ``subseq_refine`` /
+``subseq_range_query`` entries; with ``--merge-into`` they are folded
+into an existing ``bench_micro_hotpaths`` report (CI merges them into
+the freshly generated record so ``check_hotpath_regression`` gates the
+subsequence speedups alongside the PR 1–3 ones).
 
 pytest: window-length queries, both groupings, plus the brute-force bar.
 sweep:  ``python -m benchmarks.bench_subseq_stindex``
+gate:   ``python -m benchmarks.bench_subseq_stindex --merge-into /tmp/bench.json``
 """
 
 from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -21,21 +42,28 @@ from repro.subseq import STIndex
 
 WINDOW = 32
 EPS = 0.5
+#: workload: enough series that traversal/expansion/refine dominate the
+#: per-query fixed costs on both paths.
+COUNT = 200
+LENGTH = 1024
+NUM_QUERIES = 10
 
 _cache: dict[str, STIndex] = {}
 
 
-def index_for(grouping: str) -> STIndex:
-    if grouping not in _cache:
-        rel = make_stock_universe(count=40, length=512, seed=31)
+def index_for(grouping: str, count: int = COUNT, length: int = LENGTH) -> STIndex:
+    key = f"{grouping}:{count}x{length}"
+    if key not in _cache:
+        rel = make_stock_universe(count=count, length=length, seed=31)
         idx = STIndex(window=WINDOW, k=3, grouping=grouping, chunk=16)
         for rid in range(len(rel)):
             idx.add_series(rel.get(rid))
-        _cache[grouping] = idx
-    return _cache[grouping]
+        idx.kernel  # seal + bulk load + freeze outside the query timings
+        _cache[key] = idx
+    return _cache[key]
 
 
-def make_queries(idx: STIndex, count: int = 5) -> list[np.ndarray]:
+def make_queries(idx: STIndex, count: int = NUM_QUERIES) -> list[np.ndarray]:
     rng = np.random.default_rng(9)
     out = []
     for _ in range(count):
@@ -46,55 +74,200 @@ def make_queries(idx: STIndex, count: int = 5) -> list[np.ndarray]:
     return out
 
 
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (small smoke workload)
+# ----------------------------------------------------------------------
 @pytest.mark.parametrize("grouping", ["fixed", "adaptive"])
 def test_stindex_query(benchmark, grouping):
-    idx = index_for(grouping)
-    queries = make_queries(idx)
+    idx = index_for(grouping, count=40, length=512)
+    queries = make_queries(idx, count=5)
     benchmark(lambda: [idx.range_query(q, EPS) for q in queries])
 
 
 def test_stindex_brute(benchmark):
-    idx = index_for("adaptive")
-    queries = make_queries(idx)
+    idx = index_for("adaptive", count=40, length=512)
+    queries = make_queries(idx, count=5)
     benchmark.pedantic(
         lambda: [idx.brute_force(q, EPS) for q in queries], rounds=2, iterations=1
     )
 
 
 def test_answers_identical_across_methods():
-    fixed = index_for("fixed")
-    adaptive = index_for("adaptive")
-    for q in make_queries(adaptive):
+    fixed = index_for("fixed", count=40, length=512)
+    adaptive = index_for("adaptive", count=40, length=512)
+    for q in make_queries(adaptive, count=5):
         want = [(m.series_id, m.offset) for m in adaptive.brute_force(q, EPS)]
         assert [(m.series_id, m.offset) for m in adaptive.range_query(q, EPS)] == want
         assert [(m.series_id, m.offset) for m in fixed.range_query(q, EPS)] == want
 
 
-def main() -> None:
-    rows = []
-    for grouping in ("fixed", "adaptive"):
-        idx = index_for(grouping)
-        queries = make_queries(idx)
-        secs = time_per_query(lambda: [idx.range_query(q, EPS) for q in queries])
-        rows.append(
-            (
-                f"st-index/{grouping}",
-                idx.num_subtrails,
-                1000 * secs / len(queries),
-            )
+# ----------------------------------------------------------------------
+# phase benchmarks (the gated entries)
+# ----------------------------------------------------------------------
+def bench_build() -> dict:
+    """STR bulk load + freeze vs one R* insert per sub-trail.
+
+    Runs on a reduced workload: the insert reference costs one R*
+    insertion (with forced reinserts) per sub-trail and would dominate
+    the whole bench at full size.
+    """
+    rel = make_stock_universe(count=60, length=512, seed=31)
+    series = [rel.get(rid) for rid in range(len(rel))]
+
+    def bulk() -> None:
+        idx = STIndex(window=WINDOW, k=3, grouping="adaptive", chunk=16)
+        idx.add_series_many(series)
+        idx.kernel
+
+    def insert() -> None:
+        idx = STIndex(
+            window=WINDOW, k=3, grouping="adaptive", chunk=16, build="insert"
         )
+        idx.add_series_many(series)
+
+    bulk_s = time_per_query(bulk, repeats=3)
+    insert_s = time_per_query(insert, repeats=1)
+    return {
+        "series": len(series),
+        "bulk_s": bulk_s,
+        "insert_s": insert_s,
+        "speedup": insert_s / bulk_s,
+    }
+
+
+def bench_probe(idx: STIndex, queries: list[np.ndarray]) -> dict:
+    """Candidate generation only: fused kernel probe vs recursive search."""
+    kernel_s = time_per_query(
+        lambda: [idx.candidate_offsets(q, EPS) for q in queries]
+    )
+    reference_s = time_per_query(
+        lambda: [
+            idx._multipiece_candidates(np.asarray(q, dtype=np.float64), EPS)
+            for q in queries
+        ]
+    )
+    candidates = int(
+        sum(idx.candidate_offsets(q, EPS)[0].shape[0] for q in queries)
+    )
+    return {
+        "candidates": candidates,
+        "reference_s": reference_s,
+        "kernel_s": kernel_s,
+        "speedup": reference_s / kernel_s,
+    }
+
+
+def bench_refine(idx: STIndex, queries: list[np.ndarray]) -> dict:
+    """Verification only, over the same candidate sets."""
+    prepared = []
+    for q in queries:
+        qa = np.asarray(q, dtype=np.float64)
+        series, aligned = idx.candidate_offsets(qa, EPS)
+        prepared.append((qa, series, aligned))
+
+    def batched() -> None:
+        for qa, series, aligned in prepared:
+            idx._refine_arrays(qa, EPS, series, aligned)
+
+    def scalar() -> None:
+        for qa, series, aligned in prepared:
+            idx._refine(qa, EPS, set(zip(series.tolist(), aligned.tolist())))
+
+    batched_s = time_per_query(batched)
+    scalar_s = time_per_query(scalar)
+    return {
+        "candidates": int(sum(p[1].shape[0] for p in prepared)),
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def bench_range_query(idx: STIndex, queries: list[np.ndarray]) -> dict:
+    """End-to-end: columnar fast path vs recursive/scalar reference."""
+    fast_s = time_per_query(lambda: [idx.range_query(q, EPS) for q in queries])
+    reference_s = time_per_query(
+        lambda: [idx.range_query_reference(q, EPS) for q in queries]
+    )
+    batch_s = time_per_query(lambda: idx.range_query_batch(queries, EPS))
+    return {
+        "queries": len(queries),
+        "reference_ms_per_query": 1000 * reference_s / len(queries),
+        "fast_ms_per_query": 1000 * fast_s / len(queries),
+        "batch_ms_per_query": 1000 * batch_s / len(queries),
+        "speedup": reference_s / fast_s,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--merge-into", default=None,
+        help="existing bench JSON report to fold the subseq_* entries into "
+             "(e.g. BENCH_hotpaths.json or a freshly generated record)",
+    )
+    # tolerate foreign flags (run_all's --quick) when invoked via main()
+    args, _ = parser.parse_known_args()
+
     idx = index_for("adaptive")
     queries = make_queries(idx)
-    brute_secs = time_per_query(
-        lambda: [idx.brute_force(q, EPS) for q in queries], repeats=1
-    )
-    rows.append(("brute force", 0, 1000 * brute_secs / len(queries)))
+    report = {
+        "workload": {
+            "count": COUNT,
+            "length": LENGTH,
+            "window": WINDOW,
+            "eps": EPS,
+            "subtrails": idx.num_subtrails,
+        },
+        "subseq_build": bench_build(),
+        "subseq_probe": bench_probe(idx, queries),
+        "subseq_refine": bench_refine(idx, queries),
+        "subseq_range_query": bench_range_query(idx, queries),
+    }
+
+    build, probe = report["subseq_build"], report["subseq_probe"]
+    refine, e2e = report["subseq_refine"], report["subseq_range_query"]
     print_series(
-        f"ST-index vs exhaustive subsequence scan "
-        f"({idx.num_series} series x 512, window {WINDOW}, eps {EPS})",
-        ["method", "sub-trail MBRs", "ms/query"],
-        rows,
+        f"Columnar ST-index pipeline ({COUNT} series x {LENGTH}, window "
+        f"{WINDOW}, eps {EPS}, {idx.num_subtrails} sub-trail MBRs)",
+        ["phase", "reference_s", "columnar_s", "speedup"],
+        [
+            ("build (bulk vs insert)", build["insert_s"], build["bulk_s"],
+             build["speedup"]),
+            (f"probe ({probe['candidates']} candidates)",
+             probe["reference_s"], probe["kernel_s"], probe["speedup"]),
+            ("refine", refine["scalar_s"], refine["batched_s"],
+             refine["speedup"]),
+            ("range_query (end-to-end)",
+             e2e["reference_ms_per_query"] / 1000 * e2e["queries"],
+             e2e["fast_ms_per_query"] / 1000 * e2e["queries"],
+             e2e["speedup"]),
+        ],
     )
+    print(
+        f"\nrange_query_batch: {e2e['batch_ms_per_query']:.3f} ms/query "
+        f"(per-query fast path: {e2e['fast_ms_per_query']:.3f} ms/query)"
+    )
+
+    # Grouping comparison on the small workload (informational).
+    for grouping in ("fixed", "adaptive"):
+        small = index_for(grouping, count=40, length=512)
+        qs = make_queries(small, count=5)
+        secs = time_per_query(lambda: [small.range_query(q, EPS) for q in qs])
+        print(
+            f"st-index/{grouping} (40 x 512): {small.num_subtrails} MBRs, "
+            f"{1000 * secs / len(qs):.3f} ms/query"
+        )
+
+    if args.merge_into:
+        path = Path(args.merge_into)
+        merged = json.loads(path.read_text()) if path.exists() else {}
+        for key in (
+            "subseq_build", "subseq_probe", "subseq_refine", "subseq_range_query"
+        ):
+            merged[key] = report[key]
+        path.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"\nmerged subseq_* entries into {path}")
 
 
 if __name__ == "__main__":

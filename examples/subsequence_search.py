@@ -53,14 +53,29 @@ def main() -> None:
         print(f"  series {m.series_id:>3} offset {m.offset:>4}  D={m.distance:.3f}")
 
     # 3. Filter quality: compare against the exhaustive scan.
+    series_ids, cand_offsets = idx.candidate_offsets(pattern, eps)
     brute = idx.brute_force(pattern, eps)
     assert [(m.series_id, m.offset) for m in idx.range_query(pattern, eps)] == [
         (m.series_id, m.offset) for m in brute
     ]
     print(
-        f"\nexhaustive scan checks {offsets} offsets; "
-        f"the ST-index returned the identical answer set."
+        f"\nexhaustive scan checks {offsets} offsets; the filter kept "
+        f"{cand_offsets.shape[0]} candidates "
+        f"({100 * cand_offsets.shape[0] / offsets:.2f}%) and the ST-index "
+        f"returned the identical answer set."
     )
+
+    # 4. A whole batch of patterns shares one fused index probe: every
+    #    piece of every query descends the frozen kernel together.
+    patterns = [
+        idx.series(s)[o : o + window] + rng.normal(0, 0.01, size=window)
+        for s, o in [(3, 40), (11, 250), (29, 400)]
+    ]
+    batch = idx.range_query_batch(patterns, eps)
+    print(f"\nbatched query ({len(patterns)} patterns, one probe):")
+    for qi, matches in enumerate(batch):
+        best = f"D={matches[0].distance:.3f}" if matches else "-"
+        print(f"  pattern {qi}: {len(matches)} matches, best {best}")
 
 
 if __name__ == "__main__":

@@ -405,6 +405,52 @@ class FeatureSpace(ABC):
                     highs[base + 1] = math.pi
         return Rect(lows, highs)
 
+    def expand_rect_many(
+        self, lows: np.ndarray, highs: np.ndarray, eps: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`expand_rect` over stacked ``(m, dim)`` boxes.
+
+        One numpy pipeline grows every rectangle by the join radius — the
+        preprocessing step of the kernel-backed tree-matching join, where
+        the whole outer leaf relation expands at once instead of one
+        ``Rect`` at a time.  Rows agree with per-rect :meth:`expand_rect`
+        calls (to floating-point ulp on the polar ``asin`` construction;
+        either way the expansion is a superset test, so candidate
+        verification yields identical final answers).
+
+        Returns:
+            stacked ``(m, dim)`` expanded lows/highs arrays.
+        """
+        if eps < 0:
+            raise ValueError(f"eps must be non-negative, got {eps}")
+        lo = np.array(lows, dtype=np.float64, copy=True)
+        hi = np.array(highs, dtype=np.float64, copy=True)
+        if lo.ndim != 2 or lo.shape != hi.shape or lo.shape[1] != self.dim:
+            raise ValueError(
+                f"lows/highs must be matching (m, {self.dim}), got "
+                f"{lo.shape} vs {hi.shape}"
+            )
+        lo[:, : self.aux_dims] = -AUX_RANGE
+        hi[:, : self.aux_dims] = AUX_RANGE
+        for i in range(self.k):
+            e = eps / math.sqrt(self.weights[i])
+            base = self.aux_dims + 2 * i
+            if self.coord == "rect":
+                lo[:, base] -= e
+                hi[:, base] += e
+                lo[:, base + 1] -= e
+                hi[:, base + 1] += e
+            else:
+                m_lo = lo[:, base].copy()
+                lo[:, base] = np.maximum(0.0, m_lo - e)
+                hi[:, base] += e
+                safe = m_lo > e
+                ratio = np.minimum(np.divide(e, np.where(safe, m_lo, 1.0)), 1.0)
+                half = np.where(safe, np.arcsin(ratio), 0.0)
+                lo[:, base + 1] = np.where(safe, lo[:, base + 1] - half, -math.pi)
+                hi[:, base + 1] = np.where(safe, hi[:, base + 1] + half, math.pi)
+        return lo, hi
+
     # ------------------------------------------------------------------
     # Theorems 2/3: lowering transformations to index-space affine maps
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from repro.rtree.join import (
     index_nested_loop_join,
     index_nested_loop_join_pairs,
     tree_matching_join,
+    tree_matching_join_pairs,
 )
 from repro.rtree.kernel import FrontierStats, cached_kernel
 from repro.rtree.search import incremental_nearest
@@ -510,27 +511,44 @@ def all_pairs_tree_join(
 ) -> list[tuple[int, int, float]]:
     """Self-join by synchronized tree descent (not in the paper; ablation).
 
-    Uses :func:`repro.rtree.join.tree_matching_join` with the space's
-    ``eps`` rectangle expansion, then verifies candidates exactly — in
-    matrix blocks over the once-transformed spectra when ``batched``.
+    With ``batched`` and a frozen kernel the join runs as one
+    frontier-pair traversal over the columnar arrays
+    (:func:`repro.rtree.join.tree_matching_join_pairs`): the whole leaf
+    relation is expanded by the join radius in one
+    :meth:`~repro.core.features.FeatureSpace.expand_rect_many` pass and
+    descends the kernel together, with candidates verified in matrix
+    blocks.  Otherwise the recursive
+    :func:`repro.rtree.join.tree_matching_join` reference runs with the
+    space's per-rect ``eps`` expansion — the two produce the same
+    verified answer set.
     """
     view = _make_view(tree, space, transformation)
     tspec = _transformed_spectra(ground_spectra, transformation)
-    pair_iter = tree_matching_join(
-        view, view, expand=lambda r: space.expand_rect(r, eps), self_join=True
-    )
-    if batched:
-        out, candidates = _verify_pairs(tspec, pair_iter, eps)
+    if batched and view.kernel is not None:
+        outer_ids, inner_ids = tree_matching_join_pairs(
+            view,
+            view,
+            expand_many=lambda lo, hi: space.expand_rect_many(lo, hi, eps),
+            self_join=True,
+        )
+        out, candidates = _verify_pairs_arrays(tspec, outer_ids, inner_ids, eps)
     else:
-        candidates = 0
-        out = []
-        for i, j in pair_iter:
-            candidates += 1
-            d = float(np.linalg.norm(tspec[i] - tspec[j]))
-            if d <= eps:
-                out.append((i, j, d))
+        pair_iter = tree_matching_join(
+            view, view, expand=lambda r: space.expand_rect(r, eps), self_join=True
+        )
+        if batched:
+            out, candidates = _verify_pairs(tspec, pair_iter, eps)
+        else:
+            candidates = 0
+            out = []
+            for i, j in pair_iter:
+                candidates += 1
+                d = float(np.linalg.norm(tspec[i] - tspec[j]))
+                if d <= eps:
+                    out.append((i, j, d))
     if stats is not None:
         stats.candidate_count += candidates
         stats.distance_computations += candidates
         stats.verifications_completed += candidates
+    out.sort(key=lambda t: (t[0], t[1]))
     return out

@@ -43,17 +43,55 @@ def str_pack(
     pts = np.asarray(points, dtype=np.float64)
     if pts.ndim != 2:
         raise ValueError(f"points must be 2-D (n, dim), got shape {pts.shape}")
-    n, dim = pts.shape
+    return str_pack_rects(
+        pts, pts, record_ids=record_ids, store=store,
+        max_entries=max_entries, tree_cls=tree_cls,
+    )
+
+
+def str_pack_rects(
+    lows: Sequence[Sequence[float]],
+    highs: Sequence[Sequence[float]],
+    record_ids: Optional[Sequence[int]] = None,
+    store: Optional[NodeStore] = None,
+    max_entries: int = 32,
+    tree_cls: type[RTreeBase] = RStarTree,
+) -> RTreeBase:
+    """Build a packed tree over leaf *rectangles* (STR on their centers).
+
+    The general form of :func:`str_pack` for payloads whose leaf entries
+    are true boxes rather than degenerate points — e.g. the ST-index's
+    sub-trail MBRs, bulk-loaded with their ``(series, offset range)`` ids.
+    Tiling order sorts by rectangle center per axis, which reduces to the
+    classic point ordering when ``lows == highs``.
+
+    Args:
+        lows, highs: ``(n, dim)`` leaf rectangle bounds.
+        record_ids: ids stored at the leaves; defaults to ``0..n-1``.
+        store: node store for the new tree.
+        max_entries: node capacity (clamped by the page size for paged stores).
+        tree_cls: tree class to instantiate.
+
+    Returns:
+        a tree of ``tree_cls`` whose leaves are filled tile-by-tile.
+    """
+    los = np.asarray(lows, dtype=np.float64)
+    his = np.asarray(highs, dtype=np.float64)
+    if los.ndim != 2 or los.shape != his.shape:
+        raise ValueError(
+            f"lows/highs must be matching 2-D (n, dim), got {los.shape} vs {his.shape}"
+        )
+    n, dim = los.shape
     ids = np.arange(n) if record_ids is None else np.asarray(record_ids)
     if len(ids) != n:
-        raise ValueError(f"{n} points but {len(ids)} record ids")
+        raise ValueError(f"{n} rectangles but {len(ids)} record ids")
 
     tree = tree_cls(dim, store=store, max_entries=max_entries)
     if n == 0:
         return tree
     cap = tree.max_entries
 
-    entries = [Entry(Rect.from_point(pts[i]), int(ids[i])) for i in range(n)]
+    entries = [Entry(Rect(los[i], his[i]), int(ids[i])) for i in range(n)]
     level = 0
     while len(entries) > cap:
         entries = _pack_level(

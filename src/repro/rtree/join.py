@@ -9,7 +9,10 @@ index-based strategies are implemented:
   (transformed) index as a range query.
 * :func:`tree_matching_join` — synchronized traversal of both trees
   (Brinkmann-style R-tree join); not in the paper, provided as the
-  classical faster alternative and used as an ablation.
+  classical faster alternative and used as an ablation.  Its hot-path
+  form is :func:`tree_matching_join_pairs`: the same join over two
+  frozen kernels as one frontier-pair traversal, with the recursive
+  node-object descent kept as the parity reference.
 
 Both return *candidate* pairs; the caller post-processes them against full
 records, exactly like Algorithm 2's step 3.
@@ -27,6 +30,62 @@ from repro.rtree.transformed import TransformedIndexView
 
 #: builds a search rectangle around a (transformed) point
 SearchRectFn = Callable[[Rect], Rect]
+
+#: stacked expansion: (m, d) lows, (m, d) highs -> expanded (lows, highs)
+ExpandManyFn = Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]
+
+
+def tree_matching_join_pairs(
+    view_a: TransformedIndexView,
+    view_b: TransformedIndexView,
+    expand_many: ExpandManyFn,
+    self_join: bool = False,
+    fstats: Optional[FrontierStats] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Tree-matching join reformulated over two frozen kernels.
+
+    The recursive :func:`tree_matching_join` descends both node-object
+    trees in lockstep; this form expresses the same join as one
+    frontier-pair traversal: kernel A supplies the whole outer leaf
+    relation as flat arrays (:meth:`~repro.rtree.kernel.FrozenRTree.leaf_entries`,
+    mapped through A's affine view and grown by the join radius via
+    ``expand_many``), and those boxes descend kernel B together through
+    :meth:`~repro.rtree.kernel.FrozenRTree.join_pairs` — no node objects
+    anywhere on the hot path.  Candidate pair sets match the recursive
+    form, which stays in-tree as the parity reference.
+
+    Args:
+        view_a, view_b: transformed views whose trees carry frozen
+            kernels (may wrap the same tree for a self-join).
+        expand_many: grows stacked ``(m, dim)`` transformed leaf boxes by
+            the join distance (the array form of the recursive join's
+            ``expand`` callable).
+        self_join: emit each unordered pair once (``inner > outer``).
+        fstats: optional frontier counters for the B-side descent.
+
+    Returns:
+        ``(a ids, b ids)`` candidate-pair arrays, sorted by ``(a, b)``.
+    """
+    kernel_a = view_a.kernel
+    kernel_b = view_b.kernel
+    if kernel_a is None or kernel_b is None:
+        raise ValueError("tree_matching_join_pairs requires frozen kernels")
+    lows, highs, outer_ids = kernel_a.leaf_entries()
+    mapping = view_a.mapping
+    lo = lows * mapping.scale + mapping.offset
+    hi = highs * mapping.scale + mapping.offset
+    qlows, qhighs = expand_many(np.minimum(lo, hi), np.maximum(lo, hi))
+    return kernel_b.join_pairs(
+        np.asarray(qlows, dtype=np.float64),
+        np.asarray(qhighs, dtype=np.float64),
+        np.asarray(outer_ids, dtype=np.int64),
+        view_b.mapping.scale,
+        view_b.mapping.offset,
+        circular_mask=view_b.circular_mask,
+        self_join=self_join,
+        fstats=fstats,
+        io=view_b.tree.store.stats,
+    )
 
 
 def index_nested_loop_join_pairs(

@@ -12,9 +12,16 @@ tree), it can be **frozen** into contiguous struct-of-arrays storage:
     │   (N,)     │    (N,)     │ count │  │  (E, d)   │   (E, d)   │    (E,)     │
     └────────────┴─────────────┴───────┘  └───────────┴────────────┴─────────────┘
 
-``entry_child`` holds a child *node id* for internal entries and a
-*record id* for leaf entries (leaf rectangles are degenerate points, so
-``entry_lows`` doubles as the point matrix).  Because every leaf sits at
+``entry_child`` holds a child *node id* for internal entries and an
+opaque *id payload* for leaf entries — a record id for the engine's
+point trees (whose leaf rectangles are degenerate points, so
+``entry_lows`` doubles as the point matrix), or any other identifier for
+box-leaf payloads such as the ST-index's sub-trail MBRs tagged with
+sub-trail ids.  The range probes (:meth:`FrozenRTree.range_ids`,
+:meth:`FrozenRTree.range_ids_many`, :meth:`FrozenRTree.join_pairs`) test
+full ``[lows, highs]`` intersection and therefore serve both payload
+kinds; the nearest-neighbour traversals score leaves through
+``entry_lows`` and assume point leaves.  Because every leaf sits at
 level 0, a traversal frontier is always level-homogeneous, which is what
 makes level-at-a-time expansion a handful of numpy calls.
 
@@ -260,6 +267,17 @@ class FrozenRTree:
         if np.all(scale == 1.0) and np.all(offset == 0.0):
             return None, None
         return scale, offset
+
+    def leaf_entries(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All leaf entry boxes and their id payloads, in BFS leaf order.
+
+        Returns ``(lows, highs, ids)`` — the flat leaf relation a
+        two-kernel join uses as its outer side (see
+        :func:`repro.rtree.join.tree_matching_join_pairs`).
+        """
+        leaves = np.nonzero(self.node_level == 0)[0].astype(np.int64)
+        idx, _ = self._gather(leaves)
+        return self.entry_lows[idx], self.entry_highs[idx], self.entry_child[idx]
 
     # ------------------------------------------------------------------
     # range search (single query)

@@ -9,9 +9,12 @@ an extension subsystem, sharing the R*-tree and DFT substrates:
 * :mod:`repro.subseq.window` — sliding-window DFT features, with an O(k)
   incremental-update recurrence per step (and an FFT cross-check),
 * :mod:`repro.subseq.stindex` — the ST-index: each series becomes a
-  *trail* of feature points; trails are cut into sub-trails whose MBRs go
-  into one R*-tree; range queries for query length == window size, and
-  the multipiece ("PrefixSearch") reduction for longer queries.
+  *trail* of feature points; trails are cut into sub-trails whose MBRs
+  are STR bulk-loaded into one R-tree and frozen into the columnar
+  kernel; range queries for query length == window size, the multipiece
+  ("PrefixSearch") reduction for longer queries, and a fused
+  ``range_query_batch`` that probes all pieces of all queries in one
+  kernel traversal.
 
 Example 1.2 of the paper ("the Euclidean distance between p and any
 subsequence of length four of s...") is exactly a subsequence query; see
@@ -19,6 +22,12 @@ subsequence of length four of s...") is exactly a subsequence query; see
 """
 
 from repro.subseq.stindex import STIndex, SubseqMatch
-from repro.subseq.window import sliding_features, sliding_windows
+from repro.subseq.window import piece_features, sliding_features, sliding_windows
 
-__all__ = ["STIndex", "SubseqMatch", "sliding_features", "sliding_windows"]
+__all__ = [
+    "STIndex",
+    "SubseqMatch",
+    "piece_features",
+    "sliding_features",
+    "sliding_windows",
+]

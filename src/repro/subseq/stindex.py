@@ -1,4 +1,4 @@
-"""The ST-index: an R*-tree over sub-trail MBRs ([FRM94]).
+"""The ST-index: an R-tree over sub-trail MBRs ([FRM94]).
 
 Indexing: every series is mapped to a *trail* — the curve its sliding
 windows trace through feature space.  Storing one point per offset would
@@ -24,6 +24,22 @@ Querying (Algorithm: range search):
   ``eps``, some piece is within ``eps / sqrt(p)`` of its aligned window,
   so the union of piece searches (with shifted offsets) is a candidate
   superset; refine on the full length.
+
+Execution: the whole pipeline is columnar.  Sub-trail boundaries come
+from one vectorized pass over prefix extents per segment
+(:meth:`STIndex._adaptive_starts`), their MBRs from two ``reduceat``
+passes, and the rectangles are STR bulk-loaded and frozen into a
+:class:`~repro.rtree.kernel.FrozenRTree` on first query.  Probing fuses
+all pieces of all queries of a batch into **one**
+:meth:`~repro.rtree.kernel.FrozenRTree.range_ids_many` call; candidate
+offsets are expanded with ``np.repeat``/``np.arange`` arithmetic and
+deduplicated with ``np.unique`` over packed ``(series, offset)`` keys;
+refinement gathers each series' candidate windows into a strided
+sliding-window matrix and verifies them with one
+:func:`~repro.core.similarity.batch_euclidean_within` pass.  The original
+per-sub-trail R* inserts (``build="insert"``), recursive probe, Python-set
+expansion and scalar refine loop stay in-tree as the tested reference
+(:meth:`STIndex.range_query_reference`, mirroring the PR 1–3 pattern).
 """
 
 from __future__ import annotations
@@ -34,9 +50,11 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.rtree.bulk import str_pack_rects
 from repro.rtree.geometry import Rect
+from repro.rtree.kernel import FrontierStats, FrozenRTree, frozen_kernel
 from repro.rtree.rstar import RStarTree
-from repro.subseq.window import encode_rect, sliding_features
+from repro.subseq.window import encode_rect, piece_features, sliding_features
 
 ArrayLike = Union[Sequence[float], np.ndarray]
 
@@ -66,7 +84,12 @@ class STIndex:
         grouping: ``"adaptive"`` (default) or ``"fixed"``.
         chunk: sub-trail size for the fixed policy (and the adaptive
             policy's upper bound).
-        max_entries: R*-tree fanout.
+        max_entries: R-tree fanout.
+        build: ``"bulk"`` (default) defers tree construction and STR
+            bulk-loads all sub-trail MBRs at first query, freezing them
+            straight into the columnar kernel; ``"insert"`` reproduces
+            the original behaviour — one R* insert per sub-trail at
+            ``add_series`` time (the reference build path).
     """
 
     def __init__(
@@ -76,6 +99,7 @@ class STIndex:
         grouping: str = "adaptive",
         chunk: int = 16,
         max_entries: int = 32,
+        build: str = "bulk",
     ) -> None:
         if window < 2:
             raise ValueError(f"window must be >= 2, got {window}")
@@ -87,14 +111,34 @@ class STIndex:
             )
         if chunk < 1:
             raise ValueError(f"chunk must be >= 1, got {chunk}")
+        if build not in ("bulk", "insert"):
+            raise ValueError(f"build must be 'bulk' or 'insert', got {build!r}")
         self.window = window
         self.k = k
         self.grouping = grouping
         self.chunk = chunk
+        self.max_entries = max_entries
+        self.build = build
         self.dim = 2 * k
-        self.tree = RStarTree(self.dim, max_entries=max_entries)
         self._series: list[np.ndarray] = []
         self._subtrails: list[_SubTrail] = []
+        # Per-add_series stacks of sub-trail MBRs, concatenated at seal time.
+        self._mbr_lows: list[np.ndarray] = []
+        self._mbr_highs: list[np.ndarray] = []
+        self._tree = (
+            RStarTree(self.dim, max_entries=max_entries)
+            if build == "insert"
+            else None
+        )
+        # Columnar image of the sub-trail metadata + frozen tree, rebuilt
+        # lazily whenever series were added since the last seal.
+        self._sealed_count = -1
+        self._kernel: Optional[FrozenRTree] = None
+        self._sub_series = np.empty(0, dtype=np.int64)
+        self._sub_start = np.empty(0, dtype=np.int64)
+        self._sub_end = np.empty(0, dtype=np.int64)
+        self._series_lens = np.empty(0, dtype=np.int64)
+        self._offset_stride = 1
 
     # ------------------------------------------------------------------
     # building
@@ -110,16 +154,80 @@ class STIndex:
         series_id = len(self._series)
         self._series.append(x)
         points = encode_rect(sliding_features(x, self.window, self.k))
-        for start, end in self._group(points):
-            rect = Rect(
-                points[start : end + 1].min(axis=0),
-                points[start : end + 1].max(axis=0),
+        starts = self._group_starts(points)
+        ends = np.append(starts[1:] - 1, points.shape[0] - 1)
+        # All sub-trail MBRs of the series in two cumulative passes: the
+        # groups tile the trail contiguously, so reduceat over the start
+        # indices is exactly the per-group min/max.
+        lows = np.minimum.reduceat(points, starts, axis=0)
+        highs = np.maximum.reduceat(points, starts, axis=0)
+        base = len(self._subtrails)
+        for i in range(starts.shape[0]):
+            self._subtrails.append(
+                _SubTrail(series_id, int(starts[i]), int(ends[i]))
             )
-            self._subtrails.append(_SubTrail(series_id, start, end))
-            self.tree.insert(rect, len(self._subtrails) - 1)
+        self._mbr_lows.append(lows)
+        self._mbr_highs.append(highs)
+        if self.build == "insert":
+            for i in range(starts.shape[0]):
+                self._tree.insert(Rect(lows[i], highs[i]), base + i)
         return series_id
 
+    def add_series_many(self, seriess: Sequence[ArrayLike]) -> list[int]:
+        """Index a batch of series; returns their ids."""
+        return [self.add_series(x) for x in seriess]
+
+    def _group_starts(self, points: np.ndarray) -> np.ndarray:
+        """Sub-trail start offsets for one trail (vectorized policies)."""
+        m = points.shape[0]
+        if self.grouping == "fixed":
+            return np.arange(0, m, self.chunk, dtype=np.int64)
+        return self._adaptive_starts(points)
+
+    def _adaptive_starts(self, points: np.ndarray) -> np.ndarray:
+        """Greedy adaptive cuts, evaluated over prefix extents per segment.
+
+        Same rule as the scalar :meth:`_group` reference: extend while the
+        MBR margin per enclosed point stays roughly flat, cut on a sharp
+        trail turn (or at the ``chunk`` cap).  Instead of updating running
+        extents one point at a time, each segment computes cumulative
+        min/max over its next ``chunk + 1`` points, derives every prefix's
+        margin in one pass, and locates the first offending cut with a
+        single vectorized comparison — one numpy pass per *sub-trail*
+        rather than per offset.
+        """
+        m = points.shape[0]
+        chunk = self.chunk
+        starts = [0]
+        s = 0
+        while True:
+            stop = min(s + chunk + 1, m)
+            win = points[s:stop]
+            nw = stop - s
+            if nw <= 1:
+                break
+            cmin = np.minimum.accumulate(win, axis=0)
+            cmax = np.maximum.accumulate(win, axis=0)
+            margins = np.sum(cmax - cmin, axis=1)  # margins[t]: prefix t+1
+            j = np.arange(1, nw)  # group size when point s+j is considered
+            old_cost = margins[j - 1] / j
+            grown_cost = margins[j] / (j + 1)
+            cut = (j >= chunk) | (
+                (j >= 4) & (old_cost > 0) & (grown_cost > 1.3 * old_cost)
+            )
+            hits = np.nonzero(cut)[0]
+            if hits.size == 0:
+                break  # the segment runs to the end of the trail
+            s += int(j[hits[0]])
+            starts.append(s)
+        return np.asarray(starts, dtype=np.int64)
+
     def _group(self, points: np.ndarray) -> list[tuple[int, int]]:
+        """Scalar reference grouping (one Python step per trail point).
+
+        Kept verbatim as the tested reference for
+        :meth:`_adaptive_starts`; see ``tests/test_subseq_fast_parity.py``.
+        """
         m = points.shape[0]
         if self.grouping == "fixed":
             return [
@@ -160,6 +268,72 @@ class STIndex:
         groups.append((start, m - 1))
         return groups
 
+    # ------------------------------------------------------------------
+    # sealing: columnar metadata + bulk-loaded frozen tree
+    # ------------------------------------------------------------------
+    def _seal(self) -> None:
+        """Refresh the columnar sub-trail arrays after new series."""
+        n = len(self._subtrails)
+        if self._sealed_count == n:
+            return
+        self._sub_series = np.fromiter(
+            (s.series_id for s in self._subtrails), dtype=np.int64, count=n
+        )
+        self._sub_start = np.fromiter(
+            (s.start for s in self._subtrails), dtype=np.int64, count=n
+        )
+        self._sub_end = np.fromiter(
+            (s.end for s in self._subtrails), dtype=np.int64, count=n
+        )
+        self._series_lens = np.fromiter(
+            (x.shape[0] for x in self._series), dtype=np.int64,
+            count=len(self._series),
+        )
+        # Packing stride for (series, offset) dedup keys.
+        self._offset_stride = (
+            int(self._series_lens.max()) + 1 if self._series_lens.size else 1
+        )
+        if self.build == "bulk":
+            self._tree = None  # stale bulk tree: rebuild on next access
+        self._kernel = None
+        self._sealed_count = n
+
+    @property
+    def tree(self):
+        """The node-object R-tree over sub-trail MBRs.
+
+        In ``"insert"`` mode this is the incrementally built R*-tree; in
+        ``"bulk"`` mode it is STR-packed from the accumulated MBR stacks
+        on first access (one bulk load instead of one insert per
+        sub-trail) and rebuilt lazily after further ``add_series`` calls.
+        """
+        self._seal()
+        if self._tree is None:
+            lows = (
+                np.concatenate(self._mbr_lows)
+                if self._mbr_lows
+                else np.empty((0, self.dim))
+            )
+            highs = (
+                np.concatenate(self._mbr_highs)
+                if self._mbr_highs
+                else np.empty((0, self.dim))
+            )
+            self._tree = str_pack_rects(
+                lows, highs,
+                record_ids=np.arange(lows.shape[0], dtype=np.int64),
+                max_entries=self.max_entries,
+            )
+        return self._tree
+
+    @property
+    def kernel(self) -> FrozenRTree:
+        """Frozen columnar image of :attr:`tree` (built on demand)."""
+        self._seal()
+        if self._kernel is None:
+            self._kernel = frozen_kernel(self.tree)
+        return self._kernel
+
     @property
     def num_series(self) -> int:
         return len(self._series)
@@ -173,15 +347,9 @@ class STIndex:
         return self._series[series_id]
 
     # ------------------------------------------------------------------
-    # querying
+    # querying — the columnar fast path
     # ------------------------------------------------------------------
-    def range_query(self, query: ArrayLike, eps: float) -> list[SubseqMatch]:
-        """All subsequences within ``eps`` of ``query``.
-
-        The query must be at least one window long; longer queries go
-        through the multipiece reduction.  Matches report the best offset
-        semantics of [FRM94]: every qualifying offset is returned.
-        """
+    def _check_query(self, query: ArrayLike, eps: float) -> np.ndarray:
         q = np.asarray(query, dtype=np.float64)
         if eps < 0:
             raise ValueError(f"eps must be non-negative, got {eps}")
@@ -189,34 +357,218 @@ class STIndex:
             raise ValueError(
                 f"query must be 1-D with length >= {self.window}, got {q.shape}"
             )
-        if q.shape[0] == self.window:
-            candidates = self._window_candidates(q, eps, shift=0)
-        else:
-            candidates = self._multipiece_candidates(q, eps)
-        return self._refine(q, eps, candidates)
+        return q
+
+    def range_query(
+        self, query: ArrayLike, eps: float, fstats: Optional[FrontierStats] = None
+    ) -> list[SubseqMatch]:
+        """All subsequences within ``eps`` of ``query``.
+
+        The query must be at least one window long; longer queries go
+        through the multipiece reduction.  Matches report the best offset
+        semantics of [FRM94]: every qualifying offset is returned.
+        """
+        return self.range_query_batch([query], eps, fstats=fstats)[0]
+
+    def range_query_batch(
+        self,
+        queries: Sequence[ArrayLike],
+        eps: float,
+        fstats: Optional[FrontierStats] = None,
+    ) -> list[list[SubseqMatch]]:
+        """:meth:`range_query` over a batch, sharing one fused index probe.
+
+        All pieces of all queries (queries may have different lengths)
+        descend the frozen kernel together as one
+        :meth:`~repro.rtree.kernel.FrozenRTree.range_ids_many` pair
+        frontier; expansion, dedup and refinement then run per query on
+        the returned sub-trail id arrays.  Answers are identical to one
+        :meth:`range_query` per query.
+        """
+        qs = [self._check_query(q, eps) for q in queries]
+        if not qs or not self._subtrails:
+            return [[] for _ in qs]
+        candidates = self._probe_batch(qs, eps, fstats=fstats)
+        return [
+            self._refine_arrays(q, eps, series, aligned)
+            for q, (series, aligned) in zip(qs, candidates)
+        ]
+
+    def candidate_offsets(
+        self, query: ArrayLike, eps: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Deduplicated candidate ``(series ids, offsets)`` for one query.
+
+        The filter phase of the pipeline (fused kernel probe + array
+        expansion), exposed for filter-quality inspection and the phase
+        benchmarks; :meth:`range_query` refines exactly these candidates.
+        """
+        q = self._check_query(query, eps)
+        if not self._subtrails:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return self._probe_batch([q], eps)[0]
+
+    def _probe_batch(
+        self,
+        qs: list[np.ndarray],
+        eps: float,
+        fstats: Optional[FrontierStats] = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Fused filter phase: one kernel traversal for all queries' pieces.
+
+        Returns one deduplicated ``(series, aligned offset)`` array pair
+        per query.
+        """
+        kernel = self.kernel
+        # --- probe: one rectangle per (query, piece), one fused traversal
+        pieces: list[np.ndarray] = []
+        row_query: list[int] = []
+        row_shift: list[int] = []
+        row_eps: list[float] = []
+        w = self.window
+        for i, q in enumerate(qs):
+            p = q.shape[0] // w
+            piece_eps = eps / math.sqrt(p)
+            for j in range(p):
+                pieces.append(q[j * w : (j + 1) * w])
+                row_query.append(i)
+                row_shift.append(j * w)
+                row_eps.append(piece_eps)
+        feats = encode_rect(piece_features(np.stack(pieces), self.k))
+        # Pad by a numerical tolerance: the trail features come from the
+        # O(k) incremental recurrence, the query's from a fresh FFT, and
+        # their last-ulp disagreement must not dismiss an exact match at
+        # eps == 0.  Padding only widens the candidate set (Lemma 1 safe).
+        pad = 1e-7 * (1.0 + np.max(np.abs(feats), axis=1))
+        radius = (np.asarray(row_eps) + pad)[:, None]
+        ids_per_row = kernel.range_ids_many(
+            feats - radius, feats + radius,
+            fstats=fstats, io=self.tree.store.stats,
+        )
+        # --- expand + dedup, per query
+        shifts = np.asarray(row_shift, dtype=np.int64)
+        out: list[tuple[np.ndarray, np.ndarray]] = []
+        row = 0
+        for i, q in enumerate(qs):
+            rows = []
+            while row < len(row_query) and row_query[row] == i:
+                rows.append(row)
+                row += 1
+            out.append(
+                self._expand_rows(
+                    [ids_per_row[r] for r in rows], shifts[rows], q.shape[0]
+                )
+            )
+        return out
+
+    def _expand_rows(
+        self,
+        ids_per_row: list[np.ndarray],
+        shifts: np.ndarray,
+        qlen: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sub-trail id arrays -> deduplicated (series, aligned offset).
+
+        Each sub-trail ``(start, end)`` range becomes its run of offsets
+        via ``np.repeat``/``np.arange`` arithmetic; alignments that run
+        off either end of their series (``aligned < 0`` or
+        ``aligned + qlen > len(series)``) are dropped here, at expansion
+        time, and duplicates across overlapping sub-trails and query
+        pieces collapse with one ``np.unique`` over packed keys — no
+        Python sets anywhere.
+
+        Returns:
+            ``(series ids, aligned offsets)``, sorted by the packed key
+            (series-major, offset-minor).
+        """
+        ser_parts: list[np.ndarray] = []
+        ali_parts: list[np.ndarray] = []
+        for ids, shift in zip(ids_per_row, shifts):
+            if ids.size == 0:
+                continue
+            starts = self._sub_start[ids]
+            counts = self._sub_end[ids] - starts + 1
+            total = int(counts.sum())
+            csum = np.cumsum(counts)
+            intra = np.arange(total, dtype=np.int64) - np.repeat(
+                csum - counts, counts
+            )
+            ali_parts.append(np.repeat(starts - int(shift), counts) + intra)
+            ser_parts.append(np.repeat(self._sub_series[ids], counts))
+        if not ser_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        series = np.concatenate(ser_parts)
+        aligned = np.concatenate(ali_parts)
+        ok = (aligned >= 0) & (aligned <= self._series_lens[series] - qlen)
+        keys = np.unique(series[ok] * self._offset_stride + aligned[ok])
+        return keys // self._offset_stride, keys % self._offset_stride
+
+    def _refine_arrays(
+        self, q: np.ndarray, eps: float, series: np.ndarray, aligned: np.ndarray
+    ) -> list[SubseqMatch]:
+        """Verify candidates with one matrix pass per candidate series.
+
+        Gathers each series' candidate windows from a strided
+        sliding-window view (no per-candidate slicing) and runs the
+        matrix-level early-abandon verifier
+        :func:`~repro.core.similarity.batch_euclidean_within` once per
+        series — the batched counterpart of the scalar :meth:`_refine`.
+        """
+        from repro.core.similarity import batch_euclidean_within
+
+        L = q.shape[0]
+        out: list[SubseqMatch] = []
+        uniq, first = np.unique(series, return_index=True)
+        bounds = np.append(first, series.shape[0])
+        for t in range(uniq.shape[0]):
+            sid = int(uniq[t])
+            offs = aligned[bounds[t] : bounds[t + 1]]
+            x = self._series[sid]
+            windows = np.lib.stride_tricks.sliding_window_view(x, L)[offs]
+            kept, dists, _ = batch_euclidean_within(windows, q, eps)
+            for a, d in zip(kept, dists):
+                out.append(SubseqMatch(sid, int(offs[a]), float(d)))
+        out.sort(key=lambda m: (m.distance, m.series_id, m.offset))
+        return out
+
+    # ------------------------------------------------------------------
+    # querying — the recursive/scalar reference path
+    # ------------------------------------------------------------------
+    def range_query_reference(self, query: ArrayLike, eps: float) -> list[SubseqMatch]:
+        """Reference :meth:`range_query`: recursive probe, scalar refine.
+
+        The pre-kernel implementation, kept verbatim (recursive
+        ``tree.search`` per piece, Python-set candidate expansion, one
+        early-abandon distance call per candidate) as the tested parity
+        baseline for the columnar fast path.
+        """
+        q = self._check_query(query, eps)
+        return self._refine(q, eps, self._multipiece_candidates(q, eps))
 
     def _window_candidates(
-        self, piece: np.ndarray, eps: float, shift: int
+        self, piece: np.ndarray, eps: float, shift: int, qlen: int
     ) -> set[tuple[int, int]]:
         """Candidate (series, query-start offset) pairs from one piece.
 
         ``shift`` is the piece's offset inside the full query: a window
         matching at data offset ``p`` implies the full query aligns at
-        ``p - shift``.
+        ``p - shift``.  Offsets whose alignment cannot fit the full query
+        (``aligned + qlen > len(series)``) are skipped here, at expansion
+        time, rather than costing a set insert and a refine iteration.
         """
         feat = encode_rect(sliding_features(piece, self.window, self.k))[0]
-        # Pad by a numerical tolerance: the trail features come from the
-        # O(k) incremental recurrence, the query's from a fresh FFT, and
-        # their last-ulp disagreement must not dismiss an exact match at
-        # eps == 0.  Padding only widens the candidate set (Lemma 1 safe).
+        # Numerical-tolerance pad; see range_query_batch.
         pad = 1e-7 * (1.0 + float(np.max(np.abs(feat))))
         qrect = Rect(feat - eps - pad, feat + eps + pad)
         out: set[tuple[int, int]] = set()
         for entry in self.tree.search(qrect):
             sub = self._subtrails[entry.child]
+            limit = self._series[sub.series_id].shape[0] - qlen
             for offset in range(sub.start, sub.end + 1):
                 aligned = offset - shift
-                if aligned >= 0:
+                if 0 <= aligned <= limit:
                     out.add((sub.series_id, aligned))
         return out
 
@@ -229,7 +581,7 @@ class STIndex:
         for j in range(pieces):
             shift = j * self.window
             piece = q[shift : shift + self.window]
-            out |= self._window_candidates(piece, piece_eps, shift)
+            out |= self._window_candidates(piece, piece_eps, shift, q.shape[0])
         return out
 
     def _refine(
@@ -241,8 +593,6 @@ class STIndex:
         out: list[SubseqMatch] = []
         for series_id, offset in sorted(candidates):
             x = self._series[series_id]
-            if offset + L > x.shape[0]:
-                continue
             d = euclidean_early_abandon(x[offset : offset + L], q, eps)
             if d is not None:
                 out.append(SubseqMatch(series_id, offset, d))

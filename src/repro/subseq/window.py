@@ -72,6 +72,30 @@ def sliding_features(
     return out
 
 
+def piece_features(pieces: ArrayLike, k: int) -> np.ndarray:
+    """First ``k`` unitary DFT coefficients of every *row* of ``pieces``.
+
+    The batched form of the single-window case of :func:`sliding_features`
+    (``n == w``): all query pieces of a probe batch go through **one** FFT
+    call instead of one call per piece.  Row ``i`` equals
+    ``sliding_features(pieces[i], w, k)[0]``.
+
+    Args:
+        pieces: ``(m, w)`` matrix, one window-length piece per row.
+        k: retained coefficients per piece.
+
+    Returns:
+        complex array of shape ``(m, k)``.
+    """
+    p = np.asarray(pieces, dtype=np.float64)
+    if p.ndim != 2:
+        raise ValueError(f"pieces must be 2-D (m, w), got shape {p.shape}")
+    w = p.shape[1]
+    if not 1 <= k <= w:
+        raise ValueError(f"k must be in [1, {w}], got {k}")
+    return np.fft.fft(p, axis=1)[:, :k] / np.sqrt(w)
+
+
 def encode_rect(features: np.ndarray) -> np.ndarray:
     """Interleave complex window features into real index coordinates.
 

@@ -216,6 +216,30 @@ class TestExpandRect:
         with pytest.raises(ValueError):
             s.expand_rect(Rect.from_point(s.extract(rng.normal(size=32))), -0.5)
 
+    def test_expand_rect_many_matches_scalar_rows(self, rng):
+        from repro.rtree.geometry import Rect
+
+        for space in spaces():
+            dim = space.dim
+            lows = rng.normal(size=(9, dim))
+            highs = lows + rng.uniform(0, 1, size=(9, dim))
+            if space.coord == "polar":
+                # keep magnitude dimensions non-negative like real extents
+                for i in range(space.k):
+                    base = space.aux_dims + 2 * i
+                    lows[:, base] = np.abs(lows[:, base])
+                    highs[:, base] = lows[:, base] + np.abs(highs[:, base])
+            for eps in [0.0, 0.3, 2.5]:
+                got_lo, got_hi = space.expand_rect_many(lows, highs, eps)
+                for r in range(9):
+                    want = space.expand_rect(Rect(lows[r], highs[r]), eps)
+                    assert np.allclose(got_lo[r], want.lows, atol=1e-12)
+                    assert np.allclose(got_hi[r], want.highs, atol=1e-12)
+            with pytest.raises(ValueError):
+                space.expand_rect_many(lows, highs, -1.0)
+            with pytest.raises(ValueError):
+                space.expand_rect_many(lows[:, :-1], highs[:, :-1], 1.0)
+
 
 class TestAffineMaps:
     """Theorems 2 and 3: the affine map on index points must agree with

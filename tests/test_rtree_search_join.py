@@ -6,7 +6,12 @@ import pytest
 from repro.rtree.bulk import str_pack
 from repro.rtree.geometry import Rect
 from repro.rtree.guttman import GuttmanRTree
-from repro.rtree.join import index_nested_loop_join, tree_matching_join
+from repro.rtree.join import (
+    index_nested_loop_join,
+    tree_matching_join,
+    tree_matching_join_pairs,
+)
+from repro.rtree.kernel import frozen_kernel
 from repro.rtree.node import PagedNodeStore
 from repro.rtree.rstar import RStarTree
 from repro.rtree.search import (
@@ -297,3 +302,90 @@ class TestJoins:
             tree_matching_join(a, b, expand=lambda r: Rect(r.lows - 1, r.highs + 1))
         )
         assert got == []
+
+
+class TestTreeMatchingJoinPairs:
+    """The kernel frontier-pair form against the recursive reference."""
+
+    @staticmethod
+    def _kernel_view(tree, mapping=None):
+        return TransformedIndexView(tree, mapping, kernel=frozen_kernel(tree))
+
+    def test_self_join_matches_recursive(self, rng):
+        pts = rng.uniform(0, 20, size=(150, 2))
+        tree = str_pack(pts, max_entries=8)
+        view = self._kernel_view(tree)
+        eps = 1.5
+        ii, jj = tree_matching_join_pairs(
+            view, view,
+            expand_many=lambda lo, hi: (lo - eps, hi + eps),
+            self_join=True,
+        )
+        got = sorted(zip(ii.tolist(), jj.tolist()))
+        want = sorted(
+            tree_matching_join(
+                view, view,
+                expand=lambda r: Rect(r.lows - eps, r.highs + eps),
+                self_join=True,
+            )
+        )
+        assert got == want
+
+    def test_two_distinct_trees_match_recursive(self, rng):
+        a_pts = rng.uniform(0, 10, size=(60, 2))
+        b_pts = rng.uniform(0, 10, size=(80, 2))
+        view_a = self._kernel_view(str_pack(a_pts, max_entries=8))
+        view_b = self._kernel_view(str_pack(b_pts, max_entries=8))
+        eps = 0.8
+        ii, jj = tree_matching_join_pairs(
+            view_a, view_b, expand_many=lambda lo, hi: (lo - eps, hi + eps)
+        )
+        got = sorted(zip(ii.tolist(), jj.tolist()))
+        want = sorted(
+            tree_matching_join(
+                view_a, view_b,
+                expand=lambda r: Rect(r.lows - eps, r.highs + eps),
+            )
+        )
+        assert got == want
+
+    def test_affine_views_match_recursive(self, rng):
+        pts = rng.uniform(-5, 5, size=(100, 2))
+        tree = str_pack(pts, max_entries=8)
+        mapping = AffineMap([2.0, -1.5], [0.3, -0.7])
+        view = self._kernel_view(tree, mapping)
+        eps = 1.0
+        ii, jj = tree_matching_join_pairs(
+            view, view,
+            expand_many=lambda lo, hi: (lo - eps, hi + eps),
+            self_join=True,
+        )
+        got = sorted(zip(ii.tolist(), jj.tolist()))
+        want = sorted(
+            tree_matching_join(
+                view, view,
+                expand=lambda r: Rect(r.lows - eps, r.highs + eps),
+                self_join=True,
+            )
+        )
+        assert got == want
+
+    def test_requires_kernels(self, rng):
+        view = TransformedIndexView(str_pack(rng.uniform(0, 1, (10, 2))))
+        view.kernel = None
+        with pytest.raises(ValueError):
+            tree_matching_join_pairs(
+                view, view, expand_many=lambda lo, hi: (lo - 1, hi + 1)
+            )
+
+    def test_empty_trees(self, rng):
+        a = self._kernel_view(str_pack(rng.uniform(0, 1, (10, 2)), max_entries=8))
+        b = self._kernel_view(str_pack(np.empty((0, 2)), max_entries=8))
+        ii, jj = tree_matching_join_pairs(
+            a, b, expand_many=lambda lo, hi: (lo - 1, hi + 1)
+        )
+        assert ii.size == 0 and jj.size == 0
+        ii, jj = tree_matching_join_pairs(
+            b, a, expand_many=lambda lo, hi: (lo - 1, hi + 1)
+        )
+        assert ii.size == 0 and jj.size == 0

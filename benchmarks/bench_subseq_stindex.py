@@ -16,11 +16,19 @@ phase:
 * **range_query** — the two paths end-to-end (the gated headline), plus
   the fused ``range_query_batch`` throughput.
 
+Since PR 5 the bench also carries the subsequence **k-NN** workload
+("the k closest windows"): ``subseq_knn_build`` (bulk vs insert at the
+k-NN scale), ``subseq_knn_probe`` (the kernel's multi-step best-first
+search over sub-trail boxes vs a full window scan) and
+``subseq_knn_refine`` (the matrix early-abandon verify at the k-th
+neighbour radius vs one scalar call per window).
+
 ``main`` emits ``subseq_build`` / ``subseq_probe`` / ``subseq_refine`` /
-``subseq_range_query`` entries; with ``--merge-into`` they are folded
-into an existing ``bench_micro_hotpaths`` report (CI merges them into
-the freshly generated record so ``check_hotpath_regression`` gates the
-subsequence speedups alongside the PR 1–3 ones).
+``subseq_range_query`` / ``subseq_knn_*`` entries; with ``--merge-into``
+they are folded into an existing ``bench_micro_hotpaths`` report (CI
+merges them into the freshly generated record so
+``check_hotpath_regression`` gates the subsequence speedups alongside
+the PR 1–3 ones).
 
 pytest: window-length queries, both groupings, plus the brute-force bar.
 sweep:  ``python -m benchmarks.bench_subseq_stindex``
@@ -199,6 +207,100 @@ def bench_range_query(idx: STIndex, queries: list[np.ndarray]) -> dict:
     }
 
 
+K_NN = 10
+
+
+def bench_knn_build() -> dict:
+    """Index build for the k-NN workload: STR bulk + freeze vs R* inserts.
+
+    Same comparison as :func:`bench_build` at the k-NN bench's reduced
+    scale — kept as its own gated entry so the ``subseq_knn_*`` family
+    stands alone in the regression record.
+    """
+    rel = make_stock_universe(count=60, length=512, seed=47)
+    series = [rel.get(rid) for rid in range(len(rel))]
+
+    def bulk() -> None:
+        idx = STIndex(window=WINDOW, k=3, grouping="adaptive", chunk=16)
+        idx.add_series_many(series)
+        idx.kernel
+
+    def insert() -> None:
+        idx = STIndex(
+            window=WINDOW, k=3, grouping="adaptive", chunk=16, build="insert"
+        )
+        idx.add_series_many(series)
+
+    bulk_s = time_per_query(bulk, repeats=3)
+    insert_s = time_per_query(insert, repeats=1)
+    return {
+        "series": len(series),
+        "bulk_s": bulk_s,
+        "insert_s": insert_s,
+        "speedup": insert_s / bulk_s,
+    }
+
+
+def bench_knn_probe(idx: STIndex, queries: list[np.ndarray]) -> dict:
+    """k closest windows: kernel-guided multi-step search vs full scan."""
+    kernel_s = time_per_query(lambda: idx.knn_query_batch(queries, K_NN))
+    brute_s = time_per_query(
+        lambda: [idx.brute_force_knn(q, K_NN) for q in queries], repeats=2
+    )
+    return {
+        "queries": len(queries),
+        "k": K_NN,
+        "brute_s": brute_s,
+        "kernel_s": kernel_s,
+        "speedup": brute_s / kernel_s,
+    }
+
+
+def bench_knn_refine(idx: STIndex, queries: list[np.ndarray]) -> dict:
+    """Window verification at the k-NN radius: matrix pass vs scalar loop.
+
+    Replays the verify phase over every alignable window of a fixed
+    subset of series, bounded by each query's true k-th neighbour
+    distance — the batched early-abandon matrix against one scalar
+    early-abandon call per window.
+    """
+    from repro.core.similarity import batch_euclidean_within, euclidean_early_abandon
+
+    sample_sids = range(0, idx.num_series, idx.num_series // 8)
+    prepared = []
+    for q in queries:
+        qa = np.asarray(q, dtype=np.float64)
+        radius = idx.knn_query(qa, K_NN)[-1].distance
+        mats = [
+            np.lib.stride_tricks.sliding_window_view(
+                idx.series(sid), qa.shape[0]
+            )
+            for sid in sample_sids
+        ]
+        prepared.append((qa, radius, mats))
+
+    def batched() -> None:
+        for qa, radius, mats in prepared:
+            for mat in mats:
+                batch_euclidean_within(mat, qa, radius)
+
+    def scalar() -> None:
+        for qa, radius, mats in prepared:
+            for mat in mats:
+                for row in mat:
+                    euclidean_early_abandon(row, qa, radius)
+
+    batched_s = time_per_query(batched)
+    scalar_s = time_per_query(scalar, repeats=2)
+    windows = sum(m.shape[0] for _, _, ms in prepared for m in ms)
+    return {
+        "windows": windows,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -223,6 +325,9 @@ def main() -> None:
         "subseq_probe": bench_probe(idx, queries),
         "subseq_refine": bench_refine(idx, queries),
         "subseq_range_query": bench_range_query(idx, queries),
+        "subseq_knn_build": bench_knn_build(),
+        "subseq_knn_probe": bench_knn_probe(idx, queries),
+        "subseq_knn_refine": bench_knn_refine(idx, queries),
     }
 
     build, probe = report["subseq_build"], report["subseq_probe"]
@@ -249,6 +354,22 @@ def main() -> None:
         f"(per-query fast path: {e2e['fast_ms_per_query']:.3f} ms/query)"
     )
 
+    kb = report["subseq_knn_build"]
+    kp = report["subseq_knn_probe"]
+    kr = report["subseq_knn_refine"]
+    print_series(
+        f"Subsequence k-NN (k={K_NN}, {len(queries)} queries)",
+        ["phase", "reference_s", "columnar_s", "speedup"],
+        [
+            ("build (bulk vs insert)", kb["insert_s"], kb["bulk_s"],
+             kb["speedup"]),
+            ("probe (kernel vs window scan)", kp["brute_s"], kp["kernel_s"],
+             kp["speedup"]),
+            (f"refine ({kr['windows']} windows)", kr["scalar_s"],
+             kr["batched_s"], kr["speedup"]),
+        ],
+    )
+
     # Grouping comparison on the small workload (informational).
     for grouping in ("fixed", "adaptive"):
         small = index_for(grouping, count=40, length=512)
@@ -263,7 +384,9 @@ def main() -> None:
         path = Path(args.merge_into)
         merged = json.loads(path.read_text()) if path.exists() else {}
         for key in (
-            "subseq_build", "subseq_probe", "subseq_refine", "subseq_range_query"
+            "subseq_build", "subseq_probe", "subseq_refine",
+            "subseq_range_query",
+            "subseq_knn_build", "subseq_knn_probe", "subseq_knn_refine",
         ):
             merged[key] = report[key]
         path.write_text(json.dumps(merged, indent=2) + "\n")

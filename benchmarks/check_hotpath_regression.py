@@ -10,8 +10,15 @@ A hot-path number "regresses" when::
 
     current_speedup < baseline_speedup / tolerance
 
+``--require PREFIX`` (repeatable) additionally fails the gate when no
+speedup key in the *current* report starts with the prefix — a guard
+against a bench family (e.g. the ``subseq_knn_*`` entries) being
+silently dropped from the merged record, which the ratio comparison
+alone would only catch while the baseline still carries them.
+
 Run:  ``python -m benchmarks.check_hotpath_regression \\
-          --baseline BENCH_hotpaths.json --current /tmp/bench.json``
+          --baseline BENCH_hotpaths.json --current /tmp/bench.json \\
+          --require subseq_knn``
 """
 
 from __future__ import annotations
@@ -59,6 +66,10 @@ def main() -> int:
                         help="freshly generated report to check")
     parser.add_argument("--tolerance", type=float, default=1.25,
                         help="allowed regression factor (default 1.25)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PREFIX",
+                        help="fail unless some current speedup key starts "
+                             "with PREFIX (repeatable)")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -67,6 +78,13 @@ def main() -> int:
         current = json.load(f)
 
     failures = compare(baseline, current, args.tolerance)
+    current_keys = collect_speedups(current)
+    for prefix in args.require:
+        if not any(key.startswith(prefix) for key in current_keys):
+            failures.append(
+                f"required bench family {prefix!r}: no speedup entry in the "
+                f"current report"
+            )
     checked = len(collect_speedups(baseline))
     if failures:
         print(f"hot-path regression gate FAILED ({len(failures)}/{checked}):")

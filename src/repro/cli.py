@@ -13,13 +13,20 @@ Usage (``python -m repro.cli <command> ...``):
       python -m repro.cli query data.csv "RANGE s0 IN r EPS 2.0 USING mavg(20)"
       python -m repro.cli query data.csv "EXPLAIN RANGE s0 IN r EPS 9 PLAN auto"
       python -m repro.cli query data.csv "EXPLAIN ANALYZE KNN s0 IN r K 5"
+      python -m repro.cli query data.csv "KNN SUBSEQ s0 IN r K 5 WINDOW 32"
+      python -m repro.cli query data.csv \
+          "EXPLAIN RANGE SUBSEQ s0 IN r EPS 2 WINDOW 16 PROBE auto"
 
   Statements run through the engine's plan API, so ``EXPLAIN`` prints the
   compiled plan (access path, selectivity estimate, operator tree) as
   JSON, ``EXPLAIN ANALYZE`` additionally executes it and reports the
   per-operator IO deltas plus the columnar kernel's frontier stats
   (``nodes_expanded``, ``entries_scanned``, ``frontier_peak``), and
-  ``PLAN auto|index|scan`` hints the access path.
+  ``PLAN auto|index|scan`` hints the access path.  The ``SUBSEQ``
+  variants answer subsequence queries over an ST-index of the relation's
+  rows; ``EXPLAIN`` on a ``RANGE SUBSEQ`` shows the planner's
+  multipiece-vs-prefix probe choice, and subsequence rows print as
+  ``series,offset,distance``.
 
 * ``info`` — summarise a CSV relation (count, length, index geometry).
 
@@ -41,6 +48,7 @@ import numpy as np
 from repro.core.language import QueryError, QuerySession
 from repro.data import SequenceRelation, make_stock_universe
 from repro.data.synthetic import random_walks
+from repro.subseq.stindex import SubseqMatch
 
 
 def load_relation(path: str) -> SequenceRelation:
@@ -112,6 +120,11 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(json.dumps(result, indent=2, sort_keys=True))
     elif isinstance(result, float):
         print(f"{result:.6g}")
+    elif result and isinstance(result[0], SubseqMatch):
+        for m in result[: args.limit]:
+            print(f"{m.series_id},{m.offset},{m.distance:.6g}")
+        if len(result) > args.limit:
+            print(f"... {len(result) - args.limit} more", file=sys.stderr)
     elif result and len(result[0]) == 3:
         for i, j, d in result[: args.limit]:
             print(f"{i},{j},{d:.6g}")

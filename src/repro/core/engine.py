@@ -165,6 +165,34 @@ class SimilarityEngine:
         """``EXPLAIN`` for a spec: compile only, describe the plan."""
         return self.plan(spec, estimator=estimator).explain()
 
+    def subseq_index(
+        self,
+        window: int,
+        k: int = 3,
+        grouping: str = "adaptive",
+        chunk: int = 16,
+        max_entries: int = 32,
+        build: str = "bulk",
+    ):
+        """An ST-index over this engine's relation (every row a series).
+
+        The subsequence companion of the whole-sequence index: the
+        returned :class:`~repro.subseq.stindex.STIndex` answers
+        ``subseq_range`` / ``subseq_knn`` specs through its own
+        :meth:`~repro.subseq.stindex.STIndex.plan` — the same plan API,
+        compiled against sub-trail MBRs instead of feature points.  A new
+        index is built per call (the query language's
+        :class:`~repro.core.language.QuerySession` caches per window).
+        """
+        from repro.subseq.stindex import STIndex
+
+        idx = STIndex(
+            window, k=k, grouping=grouping, chunk=chunk,
+            max_entries=max_entries, build=build,
+        )
+        idx.add_series_many(self.relation.matrix)
+        return idx
+
     # ------------------------------------------------------------------
     # object-level helpers
     # ------------------------------------------------------------------

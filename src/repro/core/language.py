@@ -16,6 +16,8 @@ surface over :class:`~repro.core.engine.SimilarityEngine`:
     DIST  q, p USING mavg(3)
     RANGE q IN stocks EPS 2.5 PLAN scan
     EXPLAIN RANGE q IN stocks EPS 9 USING mavg(20)
+    RANGE SUBSEQ q IN stocks EPS 1.5 WINDOW 32 PROBE auto
+    KNN   SUBSEQ q IN stocks K 5 WINDOW 32
 
 * ``RANGE`` returns all records of the relation within ``EPS`` of ``q``
   after the transformation is applied to the data side (Algorithm 2).
@@ -28,6 +30,14 @@ surface over :class:`~repro.core.engine.SimilarityEngine`:
 * ``PLAN auto|index|scan`` hints the access path of a RANGE/KNN query;
   the default ``auto`` lets the Figure-12 selectivity planner route the
   query (answers are identical whichever path runs).
+* ``RANGE SUBSEQ`` / ``KNN SUBSEQ`` are the [FRM94] subsequence
+  variants, answered by an ST-index over the relation's rows (cached per
+  ``WINDOW``; the window defaults to the query's length).  ``PROBE
+  auto|multipiece|prefix`` hints the long-query reduction — under
+  ``auto`` the planner weighs piece count against prefix selectivity,
+  and ``EXPLAIN`` reports the choice.  Results are
+  :class:`~repro.subseq.stindex.SubseqMatch` records (series, offset,
+  distance).
 * ``EXPLAIN <query>`` compiles the query without running it and returns
   the plan description (chosen access path, estimated candidate
   fraction, operator tree) as a dict; ``EXPLAIN ANALYZE <query>`` runs
@@ -56,7 +66,7 @@ import numpy as np
 from repro.core import transforms
 from repro.core.engine import SimilarityEngine
 from repro.core.features import FeatureSpace
-from repro.core.plan import ACCESS_HINTS, QuerySpec, dist_plan
+from repro.core.plan import ACCESS_HINTS, SUBSEQ_PROBES, QuerySpec, dist_plan
 from repro.core.transforms import Transformation
 from repro.data.relation import SequenceRelation
 
@@ -80,7 +90,7 @@ _TOKEN_RE = re.compile(
 
 _KEYWORDS = {
     "RANGE", "KNN", "JOIN", "DIST", "IN", "EPS", "K", "USING", "THEN",
-    "METHOD", "EXPLAIN", "ANALYZE", "PLAN",
+    "METHOD", "EXPLAIN", "ANALYZE", "PLAN", "SUBSEQ", "WINDOW", "PROBE",
 }
 
 
@@ -155,6 +165,33 @@ class JoinQuery:
 
 
 @dataclass
+class SubseqRangeQuery:
+    """``RANGE SUBSEQ q IN r EPS e [WINDOW w] [PROBE p]``.
+
+    ``WINDOW`` defaults to the query's length (a single-piece probe);
+    ``PROBE`` hints the long-query reduction — ``auto`` (the planner
+    weighs piece count against prefix selectivity), ``multipiece`` or
+    ``prefix``.
+    """
+
+    seq: str
+    relation: str
+    eps: float
+    window: Optional[int] = None
+    probe: str = "auto"
+
+
+@dataclass
+class SubseqKnnQuery:
+    """``KNN SUBSEQ q IN r K k [WINDOW w]`` — the k closest windows."""
+
+    seq: str
+    relation: str
+    k: int
+    window: Optional[int] = None
+
+
+@dataclass
 class DistQuery:
     seq_a: str
     seq_b: str
@@ -175,7 +212,10 @@ class ExplainQuery:
     analyze: bool = False
 
 
-Query = Union[RangeQuery, KnnQuery, JoinQuery, DistQuery, ExplainQuery]
+Query = Union[
+    RangeQuery, KnnQuery, JoinQuery, DistQuery,
+    SubseqRangeQuery, SubseqKnnQuery, ExplainQuery,
+]
 
 
 # ----------------------------------------------------------------------
@@ -236,7 +276,9 @@ class Parser:
         self.expect("end")
         return ExplainQuery(node, analyze=analyze) if explain else node
 
-    def _range(self) -> RangeQuery:
+    def _range(self) -> Union[RangeQuery, SubseqRangeQuery]:
+        if self._maybe_kw("SUBSEQ"):
+            return self._subseq_range()
         seq = self.expect("ident").text
         self.expect("kw", "IN")
         relation = self.expect("ident").text
@@ -246,7 +288,9 @@ class Parser:
         plan = self._maybe_plan()
         return RangeQuery(seq, relation, eps, using, plan)
 
-    def _knn(self) -> KnnQuery:
+    def _knn(self) -> Union[KnnQuery, SubseqKnnQuery]:
+        if self._maybe_kw("SUBSEQ"):
+            return self._subseq_knn()
         seq = self.expect("ident").text
         self.expect("kw", "IN")
         relation = self.expect("ident").text
@@ -259,6 +303,55 @@ class Parser:
         using = self._maybe_using()
         plan = self._maybe_plan()
         return KnnQuery(seq, relation, int(k), using, plan)
+
+    def _subseq_range(self) -> SubseqRangeQuery:
+        seq = self.expect("ident").text
+        self.expect("kw", "IN")
+        relation = self.expect("ident").text
+        self.expect("kw", "EPS")
+        eps = self._number()
+        window = self._maybe_window()
+        probe = self._maybe_probe()
+        return SubseqRangeQuery(seq, relation, eps, window, probe)
+
+    def _subseq_knn(self) -> SubseqKnnQuery:
+        seq = self.expect("ident").text
+        self.expect("kw", "IN")
+        relation = self.expect("ident").text
+        self.expect("kw", "K")
+        k = self._number()
+        if k != int(k) or k < 0:
+            raise QueryError(f"K must be a non-negative integer, got {k}")
+        window = self._maybe_window()
+        return SubseqKnnQuery(seq, relation, int(k), window)
+
+    def _maybe_kw(self, text: str) -> bool:
+        """Consume the keyword if it is next; returns whether it was."""
+        if self.peek().kind == "kw" and self.peek().text == text:
+            self.next()
+            return True
+        return False
+
+    def _maybe_window(self) -> Optional[int]:
+        """Optional ``WINDOW w`` clause of the SUBSEQ variants."""
+        if not self._maybe_kw("WINDOW"):
+            return None
+        w = self._number()
+        if w != int(w) or w < 2:
+            raise QueryError(f"WINDOW must be an integer >= 2, got {w}")
+        return int(w)
+
+    def _maybe_probe(self) -> str:
+        """Optional ``PROBE auto|multipiece|prefix`` strategy hint."""
+        if not self._maybe_kw("PROBE"):
+            return "auto"
+        tok = self.expect("ident")
+        if tok.text not in SUBSEQ_PROBES:
+            raise QueryError(
+                f"PROBE expects one of {', '.join(SUBSEQ_PROBES)}, "
+                f"got {tok.text!r}"
+            )
+        return tok.text
 
     def _join(self) -> JoinQuery:
         relation = self.expect("ident").text
@@ -364,6 +457,7 @@ class QuerySession:
     ) -> None:
         self._relations: dict[str, SequenceRelation] = {}
         self._engines: dict[str, SimilarityEngine] = {}
+        self._subseq_indexes: dict[tuple[str, int], "STIndex"] = {}
         self._sequences: dict[str, np.ndarray] = {}
         self._transforms: dict[str, Transformation] = {}
         self._space_factory = space_factory
@@ -374,6 +468,8 @@ class QuerySession:
         """Bind (or rebind) a relation name; drops any cached engine."""
         self._relations[name] = relation
         self._engines.pop(name, None)
+        for key in [k for k in self._subseq_indexes if k[0] == name]:
+            del self._subseq_indexes[key]
 
     def bind_sequence(self, name: str, series: Sequence[float]) -> None:
         """Bind a constant sequence (the trivial pattern language)."""
@@ -399,11 +495,40 @@ class QuerySession:
             )
         return self._engines[relation_name]
 
+    #: ST-indexes retained per session; every distinct (relation, window)
+    #: pair costs a full index build over the relation, and WINDOW
+    #: defaults to the query length, so an unbounded cache could grow one
+    #: index per query length — evict least-recently-used beyond this.
+    SUBSEQ_CACHE_SIZE = 8
+
+    def subseq_index(self, relation_name: str, window: int) -> "STIndex":
+        """The (cached, LRU-bounded) ST-index over a bound relation."""
+        if relation_name not in self._relations:
+            raise QueryError(f"unknown relation {relation_name!r}")
+        key = (relation_name, window)
+        if key in self._subseq_indexes:
+            self._subseq_indexes[key] = self._subseq_indexes.pop(key)
+        else:
+            from repro.subseq.stindex import STIndex
+
+            rel = self._relations[relation_name]
+            try:
+                idx = STIndex(window=window)
+                idx.add_series_many(rel.matrix)
+            except ValueError as ex:
+                raise QueryError(str(ex)) from None
+            self._subseq_indexes[key] = idx
+            while len(self._subseq_indexes) > self.SUBSEQ_CACHE_SIZE:
+                self._subseq_indexes.pop(next(iter(self._subseq_indexes)))
+        return self._subseq_indexes[key]
+
     # -- execution --------------------------------------------------------
     def execute(self, text: str):
         """Parse and run one query; the result type depends on the verb.
 
         * ``RANGE`` / ``KNN`` → list of ``(record id, distance)``,
+        * ``RANGE SUBSEQ`` / ``KNN SUBSEQ`` → list of ``SubseqMatch``
+          records (series id, offset, distance),
         * ``JOIN`` → list of ``(id, id, distance)``,
         * ``DIST`` → float,
         * ``EXPLAIN ...`` → dict describing the compiled plan.
@@ -453,6 +578,29 @@ class QuerySession:
                 return engine.plan(spec)
             except ValueError as ex:
                 raise QueryError(str(ex)) from None
+        if isinstance(query, SubseqRangeQuery):
+            q = self._sequence(query.seq)
+            window = query.window if query.window is not None else q.shape[0]
+            idx = self.subseq_index(query.relation, window)
+            spec = QuerySpec(
+                kind="subseq_range", series=q, eps=query.eps,
+                window=window, probe=query.probe,
+            )
+            try:
+                return idx.plan(spec)
+            except ValueError as ex:
+                raise QueryError(str(ex)) from None
+        if isinstance(query, SubseqKnnQuery):
+            q = self._sequence(query.seq)
+            window = query.window if query.window is not None else q.shape[0]
+            idx = self.subseq_index(query.relation, window)
+            spec = QuerySpec(
+                kind="subseq_knn", series=q, k=query.k, window=window
+            )
+            try:
+                return idx.plan(spec)
+            except ValueError as ex:
+                raise QueryError(str(ex)) from None
         if isinstance(query, DistQuery):
             a = self._sequence(query.seq_a)
             b = self._sequence(query.seq_b)
@@ -469,9 +617,23 @@ class QuerySession:
         if isinstance(query, ExplainQuery):
             plan = self._compile(query.query)
             if query.analyze:
-                plan.execute()
+                self._execute_plan(plan)
             return plan.explain()
-        return self._compile(query).execute()
+        return self._execute_plan(self._compile(query))
+
+    @staticmethod
+    def _execute_plan(plan):
+        """Run a compiled plan under the language's error contract.
+
+        Compile-time validation catches malformed statements, but any
+        residual execute-time ``ValueError`` must still surface as
+        :class:`QueryError` — the boundary the CLI (and every language
+        caller) handles.
+        """
+        try:
+            return plan.execute()
+        except ValueError as ex:
+            raise QueryError(str(ex)) from None
 
     # -- helpers ----------------------------------------------------------
     def _sequence(self, name: str) -> np.ndarray:

@@ -452,6 +452,99 @@ class PairJoin(Operator):
         }
 
 
+class SubseqRangeSearch(Operator):
+    """Subsequence range search over an ST-index (the [FRM94] extension).
+
+    Executes the fused columnar pipeline of
+    :meth:`~repro.subseq.stindex.STIndex.range_query_batch` with the
+    probe strategies the plan resolved at compile time — one reduction
+    per query, ``"multipiece"`` (``p`` pieces at ``eps / sqrt(p)``) or
+    ``"prefix"`` (the leading window at the full ``eps``).  Both are
+    exact-answer candidate supersets; only latency differs.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[np.ndarray],
+        eps: float,
+        strategies: Sequence[str],
+        window: int,
+        batch: bool = False,
+    ) -> None:
+        super().__init__()
+        self.queries = list(queries)
+        self.eps = eps
+        self.strategies = list(strategies)
+        self.window = window
+        self.batch = batch
+
+    def _execute(self, ctx: ExecContext):
+        stindex = ctx.engine
+        self.frontier = FrontierStats()
+        results = stindex.range_query_batch(
+            self.queries, self.eps, fstats=self.frontier, probe=self.strategies
+        )
+        return results if self.batch else results[0]
+
+    def _describe(self) -> dict:
+        out = {
+            "eps": self.eps,
+            "window": self.window,
+            "probe_strategies": self.strategies,
+            "refine": "sliding-window matrix early-abandon",
+        }
+        if self.batch:
+            out["queries"] = len(self.queries)
+            out["fused_probe"] = True
+        return out
+
+
+class SubseqKnnSearch(Operator):
+    """Subsequence k-NN: the k closest windows across all indexed series.
+
+    A single multi-step operator (probe and verification interleave, as
+    in :class:`KnnSearch`): the queries' prefix-window features drive the
+    kernel's fused batched k-NN over the sub-trail *boxes*, every reached
+    sub-trail fans out into its windows, and full-length exact distances
+    feed the per-query pruning radii back into the traversal.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[np.ndarray],
+        k: int,
+        window: int,
+        batch: bool = False,
+    ) -> None:
+        super().__init__()
+        self.queries = list(queries)
+        self.k = k
+        self.window = window
+        self.batch = batch
+
+    def _execute(self, ctx: ExecContext):
+        stindex = ctx.engine
+        self.frontier = FrontierStats()
+        results = stindex.knn_query_batch(
+            self.queries, self.k, fstats=self.frontier
+        )
+        return results if self.batch else results[0]
+
+    def _describe(self) -> dict:
+        out = {
+            "k": self.k,
+            "window": self.window,
+            "strategy": (
+                "multi-step best-first over sub-trail boxes "
+                "(prefix features, shrinking radii)"
+            ),
+        }
+        if self.batch:
+            out["queries"] = len(self.queries)
+            out["fused_frontier"] = True
+        return out
+
+
 class DistCompute(Operator):
     """Exact distance between two bound series (the language's ``DIST``).
 

@@ -45,15 +45,21 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.core import ops
+from repro.core.planner import PROBE_STRATEGIES
 from repro.core.transforms import Transformation
 from repro.rtree.transformed import AffineMap
 
 ArrayLike = Union[Sequence[float], np.ndarray]
 
 #: Valid spec kinds.
-KINDS = ("range", "knn", "join", "dist")
+KINDS = ("range", "knn", "join", "dist", "subseq_range", "subseq_knn")
+#: The spec kinds compiled against an ST-index instead of an engine.
+SUBSEQ_KINDS = ("subseq_range", "subseq_knn")
 #: Access-path hints for range/knn specs.
 ACCESS_HINTS = ("auto", "index", "scan")
+#: Probe-strategy hints for subseq_range specs (one vocabulary,
+#: owned by the planner and shared with the ST-index).
+SUBSEQ_PROBES = PROBE_STRATEGIES
 #: Join methods (Table 1 labels plus the tree-matching ablation).
 JOIN_METHODS = ("scan", "scan-abandon", "index", "tree-join")
 
@@ -79,6 +85,11 @@ class QuerySpec:
         method: access-path hint — ``"auto"`` (planner decides),
             ``"index"``, ``"scan"``; joins take a Table-1 method name
             (``"auto"`` resolves to ``"index"``).
+        window: the ST-index window a subsequence spec expects (checked
+            against the index it compiles on; ``None`` accepts any).
+        probe: probe-strategy hint for ``subseq_range`` specs —
+            ``"auto"`` (the planner weighs piece count against prefix
+            selectivity per query), ``"multipiece"`` or ``"prefix"``.
     """
 
     kind: str
@@ -90,6 +101,8 @@ class QuerySpec:
     transform_query: bool = False
     aux_bounds: Optional[Sequence[tuple[float, float]]] = None
     method: str = "auto"
+    window: Optional[int] = None
+    probe: str = "auto"
 
 
 @dataclass
@@ -102,6 +115,8 @@ class LogicalPlan:
     batch: bool = False
     estimated_fraction: Optional[float] = None
     crossover_fraction: Optional[float] = None
+    #: per-query probe decisions of a subsequence plan (ProbeChoice dicts).
+    probe_choices: Optional[list[dict]] = None
     reason: str = ""
 
 
@@ -133,7 +148,7 @@ class PhysicalPlan:
     def explain(self) -> dict:
         """The plan as a JSON-friendly dict (``EXPLAIN`` output)."""
         spec, logical = self.spec, self.logical
-        return {
+        out = {
             "kind": spec.kind,
             "access_path": logical.access_path,
             "method_hint": logical.method_hint,
@@ -149,6 +164,16 @@ class PhysicalPlan:
             "transform_query": spec.transform_query,
             "plan": self.root.explain(),
         }
+        if spec.kind in SUBSEQ_KINDS:
+            out["window"] = spec.window
+        if logical.probe_choices is not None:
+            # One ProbeChoice dict per query; scalar plans report it flat.
+            out["probe"] = (
+                logical.probe_choices
+                if logical.batch
+                else logical.probe_choices[0]
+            )
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -231,6 +256,13 @@ def compile_spec(engine, spec: QuerySpec, estimator=None) -> PhysicalPlan:
     """
     if spec.kind not in KINDS:
         raise ValueError(f"unknown query kind {spec.kind!r}; expected one of {KINDS}")
+    if spec.kind in SUBSEQ_KINDS:
+        # Subsequence specs compile against an ST-index, not an engine —
+        # falling through here would silently run a whole-sequence query.
+        raise ValueError(
+            f"a {spec.kind!r} spec compiles against an ST-index: use "
+            "STIndex.plan(spec) (e.g. engine.subseq_index(window).plan(spec))"
+        )
     ctx = ops.ExecContext(engine)
     if spec.kind == "dist":
         return _compile_dist(spec, ctx)
@@ -336,6 +368,114 @@ def _compile_dist(spec: QuerySpec, ctx: ops.ExecContext) -> PhysicalPlan:
     root = ops.DistCompute(
         a, b, transformation=spec.transformation, symmetric=spec.transform_query
     )
+    return PhysicalPlan(root, ctx, logical, spec)
+
+
+def compile_subseq_spec(stindex, spec: QuerySpec) -> PhysicalPlan:
+    """Compile a subsequence spec against an ST-index.
+
+    The subsequence counterpart of :func:`compile_spec`:
+    ``"subseq_range"`` resolves one probe strategy per query at compile
+    time (FRM94's multipiece split vs longest-prefix search — the
+    planner's :class:`~repro.core.planner.SubseqProbePlanner` weighs
+    piece count against prefix selectivity under ``probe="auto"``), and
+    ``"subseq_knn"`` builds the multi-step k-closest-windows search.
+    ``EXPLAIN`` reports the decision without executing — which is why
+    ``probe="auto"`` featurizes each query's pieces here, at compile
+    time (one small FFT per query), in addition to the fused
+    featurization the probe itself performs at execute; the resolved
+    strategies are handed to the operator, so what runs is exactly what
+    ``EXPLAIN`` reported.
+
+    Raises:
+        ValueError: on an unknown kind/probe, a missing required field, a
+            malformed payload, or a ``window`` mismatching the index.
+    """
+    from repro.core.planner import ProbeChoice
+
+    if spec.kind not in SUBSEQ_KINDS:
+        raise ValueError(
+            f"unknown subsequence kind {spec.kind!r}; expected one of "
+            f"{SUBSEQ_KINDS}"
+        )
+    if spec.series is None:
+        raise ValueError(f"a {spec.kind!r} spec requires a query series")
+    if spec.window is not None and spec.window != stindex.window:
+        raise ValueError(
+            f"spec window {spec.window} != index window {stindex.window}"
+        )
+    series = spec.series
+    # A batch is a sequence of sequences (possibly ragged — subsequence
+    # queries may have different lengths), a scalar spec one flat series.
+    # Materialise non-array input once so iterators/generators survive.
+    if isinstance(series, np.ndarray):
+        batch = series.ndim != 1
+        raw = list(series) if batch else [series]
+    else:
+        seq = list(series)
+        batch = len(seq) == 0 or isinstance(
+            seq[0], (list, tuple, np.ndarray)
+        )
+        raw = seq if batch else [seq]
+    qs = [np.asarray(q, dtype=np.float64) for q in raw]
+    ctx = ops.ExecContext(stindex)
+
+    if spec.kind == "subseq_range":
+        if spec.eps is None:
+            raise ValueError("a 'subseq_range' spec requires eps")
+        if spec.probe not in SUBSEQ_PROBES:
+            raise ValueError(
+                f"unknown probe {spec.probe!r}; expected one of {SUBSEQ_PROBES}"
+            )
+        # Validate every query at compile time on every probe path, so a
+        # plan EXPLAIN reports is always one that can run.
+        for q in qs:
+            stindex._check_query(q, spec.eps)
+        if spec.probe == "auto":
+            choices = [stindex.choose_probe(q, spec.eps) for q in qs]
+            reason = "probe strategy chosen per query by selectivity"
+        else:
+            choices = [
+                ProbeChoice(
+                    strategy=spec.probe,
+                    pieces=q.shape[0] // stindex.window,
+                    reason="probe strategy forced by hint",
+                )
+                for q in qs
+            ]
+            reason = "probe strategy forced by hint"
+        logical = LogicalPlan(
+            kind="subseq_range",
+            access_path="st-index",
+            method_hint=spec.probe,
+            batch=batch,
+            probe_choices=[c.as_dict() for c in choices],
+            reason=reason,
+        )
+        root: ops.Operator = ops.SubseqRangeSearch(
+            qs, spec.eps, [c.strategy for c in choices],
+            window=stindex.window, batch=batch,
+        )
+        return PhysicalPlan(root, ctx, logical, spec)
+
+    # kind == "subseq_knn"
+    if spec.k is None or spec.k < 0:
+        raise ValueError(
+            f"a 'subseq_knn' spec requires non-negative k, got {spec.k}"
+        )
+    for q in qs:
+        stindex._check_query(q)
+    logical = LogicalPlan(
+        kind="subseq_knn",
+        access_path="st-index",
+        method_hint=spec.method,
+        batch=batch,
+        reason=(
+            "multi-step best-first over sub-trail boxes "
+            "(prefix-window features, per-query shrinking radii)"
+        ),
+    )
+    root = ops.SubseqKnnSearch(qs, spec.k, window=stindex.window, batch=batch)
     return PhysicalPlan(root, ctx, logical, spec)
 
 

@@ -23,6 +23,12 @@ query language, CLI, batch) shares one estimate.
 The estimator never affects correctness — both access paths return the
 exact answer set (verified in the tests); only latency is at stake.
 
+:class:`SubseqProbePlanner` is the subsequence analogue: for ST-index
+queries longer than the window it chooses between FRM94's multipiece
+reduction and the longest-prefix search by estimating each strategy's
+expanded candidate count against a sample of the indexed *window*
+feature points (see :meth:`repro.subseq.stindex.STIndex.choose_probe`).
+
 :class:`QueryPlanner` is the pre-plan-API user-facing wrapper, kept as a
 deprecated shim: it now builds a spec and routes through
 ``engine.plan(...)`` like everything else.
@@ -30,6 +36,7 @@ deprecated shim: it now builds a spec and routes through
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
@@ -124,6 +131,124 @@ class SelectivityEstimator:
         """``"index"`` or ``"scan"`` for this query point."""
         fraction = self.fraction(space, q_point, eps, mapping)
         return "scan" if fraction > self.crossover_fraction else "index"
+
+
+#: probe-strategy vocabulary for subsequence queries — the single source
+#: of truth shared by the ST-index, the plan layer and the language.
+PROBE_STRATEGIES = ("auto", "multipiece", "prefix")
+
+
+@dataclass
+class ProbeChoice:
+    """The planner's probe-strategy decision for one subsequence query.
+
+    ``EXPLAIN`` surfaces every field; ``strategy`` is what the ST-index
+    executes (``"multipiece"`` or ``"prefix"``).
+    """
+
+    strategy: str
+    pieces: int
+    estimated_multipiece: Optional[float] = None
+    estimated_prefix: Optional[float] = None
+    reason: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "pieces": self.pieces,
+            "estimated_multipiece_candidates": self.estimated_multipiece,
+            "estimated_prefix_candidates": self.estimated_prefix,
+            "reason": self.reason,
+        }
+
+
+class SubseqProbePlanner:
+    """Choose between FRM94's two long-query probe reductions.
+
+    A subsequence query longer than the index window ``w`` can probe the
+    ST-index two ways, both candidate supersets with no false dismissals:
+
+    * **multipiece** — split into ``p = floor(L / w)`` disjoint pieces and
+      search each at radius ``eps / sqrt(p)`` (narrow rectangles, but
+      ``p`` of them, and their candidate sets union);
+    * **prefix** — search only the leading window at the full radius
+      ``eps`` (one wide rectangle).
+
+    Which is cheaper is a selectivity question: the multipiece radius
+    shrinks with ``p`` but every piece contributes candidates, while the
+    prefix pays the undivided ``eps``.  The planner estimates each
+    strategy's expanded candidate count against a fixed sample of the
+    index's *window feature points* (the subsequence analogue of
+    :class:`SelectivityEstimator`'s relation sample) and picks the
+    smaller; ties and single-piece queries fall back to multipiece (the
+    two coincide at ``p == 1``).
+
+    Args:
+        sample_points: ``(s, dim)`` sampled window feature points.
+        total_windows: number of indexed windows the sample represents.
+    """
+
+    def __init__(self, sample_points: np.ndarray, total_windows: int) -> None:
+        self._sample = np.asarray(sample_points, dtype=np.float64)
+        self.total_windows = int(total_windows)
+
+    def fraction(self, lo: np.ndarray, hi: np.ndarray) -> float:
+        """Estimated fraction of indexed windows inside ``[lo, hi]``."""
+        if self._sample.shape[0] == 0:
+            return 0.0
+        hits = np.all(self._sample >= lo, axis=1) & np.all(
+            self._sample <= hi, axis=1
+        )
+        return float(np.count_nonzero(hits)) / self._sample.shape[0]
+
+    def choose(
+        self,
+        piece_lows: np.ndarray,
+        piece_highs: np.ndarray,
+        prefix_lo: np.ndarray,
+        prefix_hi: np.ndarray,
+    ) -> ProbeChoice:
+        """Pick a probe strategy given both reductions' search rectangles.
+
+        Args:
+            piece_lows, piece_highs: ``(p, dim)`` multipiece rectangles
+                (radius ``eps / sqrt(p)``).
+            prefix_lo, prefix_hi: the prefix rectangle (radius ``eps``).
+        """
+        pieces = int(piece_lows.shape[0])
+        if pieces <= 1:
+            return ProbeChoice(
+                strategy="multipiece",
+                pieces=pieces,
+                reason="single-piece query: both reductions coincide",
+            )
+        w = self.total_windows
+        est_multi = sum(
+            self.fraction(piece_lows[j], piece_highs[j]) * w
+            for j in range(pieces)
+        )
+        est_prefix = self.fraction(prefix_lo, prefix_hi) * w
+        if est_prefix < est_multi:
+            return ProbeChoice(
+                strategy="prefix",
+                pieces=pieces,
+                estimated_multipiece=est_multi,
+                estimated_prefix=est_prefix,
+                reason=(
+                    f"prefix search estimates {est_prefix:.1f} candidates vs "
+                    f"{est_multi:.1f} across {pieces} pieces"
+                ),
+            )
+        return ProbeChoice(
+            strategy="multipiece",
+            pieces=pieces,
+            estimated_multipiece=est_multi,
+            estimated_prefix=est_prefix,
+            reason=(
+                f"{pieces} pieces estimate {est_multi:.1f} candidates vs "
+                f"{est_prefix:.1f} for the prefix"
+            ),
+        )
 
 
 class QueryPlanner:

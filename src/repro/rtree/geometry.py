@@ -219,10 +219,15 @@ class Rect:
         rM = np.where(p >= mid, self.lows, self.highs)
         far_sq = (p - rM) ** 2
         near_sq = (p - rm) ** 2
-        total_far = float(np.sum(far_sq))
         # For each k: swap the k-th farther-edge term for the nearer edge.
-        candidates = total_far - far_sq + near_sq
-        return float(math.sqrt(float(np.min(candidates))))
+        # Summed per candidate (O(d^2), d is small) rather than as
+        # ``total_far - far_sq + near_sq``: the subtraction cancels
+        # catastrophically when one dimension's extent dwarfs the others,
+        # which could push MINMAXDIST (an upper bound) below MINDIST.
+        d = p.shape[0]
+        candidates = np.tile(far_sq, (d, 1))
+        np.fill_diagonal(candidates, near_sq)
+        return float(math.sqrt(float(np.min(candidates.sum(axis=1)))))
 
     def max_dist(self, point: Sequence[float]) -> float:
         """Largest possible distance from ``point`` to anywhere in the MBR."""

@@ -20,10 +20,15 @@ box-leaf payloads such as the ST-index's sub-trail MBRs tagged with
 sub-trail ids.  The range probes (:meth:`FrozenRTree.range_ids`,
 :meth:`FrozenRTree.range_ids_many`, :meth:`FrozenRTree.join_pairs`) test
 full ``[lows, highs]`` intersection and therefore serve both payload
-kinds; the nearest-neighbour traversals score leaves through
-``entry_lows`` and assume point leaves.  Because every leaf sits at
-level 0, a traversal frontier is always level-homogeneous, which is what
-makes level-at-a-time expansion a handful of numpy calls.
+kinds; :meth:`FrozenRTree.nearest_stream` scores leaves through
+``entry_lows`` and assumes point leaves, while
+:meth:`FrozenRTree.knn_batch` also serves box leaves (``box_leaves``
+scores them by rectangle MINDIST, and the ``verify_expand`` seam lets
+one leaf id fan out into many verifiable items — e.g. a sub-trail into
+its windows — with the per-query pruning radius handed to the callback).
+Because every leaf sits at level 0, a traversal frontier is always
+level-homogeneous, which is what makes level-at-a-time expansion a
+handful of numpy calls.
 
 On top of the frozen arrays one **iterative frontier engine** replaces the
 per-algorithm recursive descents:
@@ -80,6 +85,14 @@ RectDistRowsFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
 PointDistRowsFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 #: exact verification: (query indices, record ids) -> exact distances
 VerifyManyFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+#: expanding verification: (query indices, leaf payload ids, per-row pruning
+#: radii) -> (query indices, item keys, exact distances), any number of rows
+#: per input pair — the box-leaf seam where one leaf id (e.g. a sub-trail)
+#: fans out into many verifiable items (its windows).
+ExpandVerifyFn = Callable[
+    [np.ndarray, np.ndarray, np.ndarray],
+    tuple[np.ndarray, np.ndarray, np.ndarray],
+]
 
 # Heap item kinds for the best-first traversals.
 _NODE = 0  # payload: node id
@@ -526,11 +539,13 @@ class FrozenRTree:
         self,
         qpoints: np.ndarray,
         k: int,
-        verify_many: VerifyManyFn,
+        verify_many: Optional[VerifyManyFn] = None,
         scale: Optional[np.ndarray] = None,
         offset: Optional[np.ndarray] = None,
         rect_dist_rows: Optional[RectDistRowsFn] = None,
         point_dist_rows: Optional[PointDistRowsFn] = None,
+        box_leaves: bool = False,
+        verify_expand: Optional[ExpandVerifyFn] = None,
         fstats: Optional[FrontierStats] = None,
         io: Optional[IOStats] = None,
     ) -> list[list[tuple[int, float]]]:
@@ -558,17 +573,35 @@ class FrozenRTree:
             scale, offset: affine map of the transformed view.
             rect_dist_rows, point_dist_rows: row-aligned lower-bound
                 metrics (Euclidean when omitted).
+            box_leaves: score leaf entries as *rectangles* (MINDIST via
+                ``rect_dist_rows``) instead of points — for trees whose
+                leaf payloads are true boxes, e.g. sub-trail MBRs.
+            verify_expand: box-leaf verification seam.  Maps ``(query
+                indices, leaf payload ids, per-row pruning radii)`` to
+                ``(query indices, item keys, exact distances)``, with any
+                number of output rows per input pair — one leaf id may fan
+                out into many verifiable items.  The per-query pruning
+                radius (the k-th best exact distance so far, ``inf`` while
+                the heap is short) is handed to the callback so it can
+                abandon items early; radii only shrink, so dropping items
+                beyond it is safe.  When set, results are ``(item key,
+                distance)`` pairs with a deterministic smallest-key
+                tie-break at the k-th position, and ``verify_many`` is
+                unused.
             fstats, io: counters (see module docstring).
 
         Returns:
-            per query, ``(record id, exact distance)`` sorted by
-            ``(distance, id)`` — the same contract as ``knn_query``.
+            per query, ``(record id, exact distance)`` — or ``(item key,
+            exact distance)`` under ``verify_expand`` — sorted by
+            ``(distance, id)``, the same contract as ``knn_query``.
         """
         qpoints = np.asarray(qpoints, dtype=np.float64)
         m = qpoints.shape[0]
         out: list[list[tuple[int, float]]] = [[] for _ in range(m)]
         if k <= 0 or m == 0 or self.size == 0 or self.entry_count[self.root] == 0:
             return out
+        if verify_many is None and verify_expand is None:
+            raise ValueError("knn_batch needs verify_many or verify_expand")
         scale, offset = self._affine(scale, offset)
         if rect_dist_rows is None:
             rect_dist_rows = _euclid_rect_rows
@@ -578,7 +611,10 @@ class FrozenRTree:
         heaps: list[list] = [
             [(0.0, next(counter), _NODE, self.root, 0)] for _ in range(m)
         ]
-        best: list[list[tuple[float, int]]] = [[] for _ in range(m)]  # (-d, rid)
+        # best[qi]: a size-<=k heap of (-d, rid) — or (-d, -key) under
+        # verify_expand, so that among equal k-th distances the *largest*
+        # key sits on top and is evicted first (deterministic ties).
+        best: list[list[tuple[float, int]]] = [[] for _ in range(m)]
         active = list(range(m))
         while active:
             if fstats is not None:
@@ -586,6 +622,7 @@ class FrozenRTree:
             expand_q: list[int] = []
             expand_n: list[int] = []
             verify_q: list[int] = []
+            verify_rad: list[float] = []
             verify_r: list[np.ndarray] = []
             next_active: list[int] = []
             for qi in active:
@@ -619,26 +656,40 @@ class FrozenRTree:
                     hi = int(np.searchsorted(bounds, radius, side="right"))
                     if hi > pos:
                         verify_q.append(qi)
+                        verify_rad.append(radius)
                         verify_r.append(rids[pos:hi])
                 if node >= 0:
                     expand_q.append(qi)
                     expand_n.append(node)
                     next_active.append(qi)
             if verify_r:
+                seg_lens = [seg.shape[0] for seg in verify_r]
                 rid_arr = np.concatenate(verify_r)
                 qidx_arr = np.repeat(
-                    np.asarray(verify_q, dtype=np.int64),
-                    [seg.shape[0] for seg in verify_r],
+                    np.asarray(verify_q, dtype=np.int64), seg_lens
                 )
-                dists = verify_many(qidx_arr, rid_arr)
-                for j in range(rid_arr.shape[0]):
-                    qi = int(qidx_arr[j])
-                    d = float(dists[j])
-                    b = best[qi]
-                    if len(b) < k:
-                        heapq.heappush(b, (-d, int(rid_arr[j])))
-                    elif d < -b[0][0]:
-                        heapq.heapreplace(b, (-d, int(rid_arr[j])))
+                if verify_expand is not None:
+                    rad_arr = np.repeat(np.asarray(verify_rad), seg_lens)
+                    eq, keys, dists = verify_expand(qidx_arr, rid_arr, rad_arr)
+                    for j in range(keys.shape[0]):
+                        qi = int(eq[j])
+                        item = (-float(dists[j]), -int(keys[j]))
+                        b = best[qi]
+                        if len(b) < k:
+                            heapq.heappush(b, item)
+                        elif item > b[0]:
+                            # d < k-th distance, or a tie with a smaller key.
+                            heapq.heapreplace(b, item)
+                else:
+                    dists = verify_many(qidx_arr, rid_arr)
+                    for j in range(rid_arr.shape[0]):
+                        qi = int(qidx_arr[j])
+                        d = float(dists[j])
+                        b = best[qi]
+                        if len(b) < k:
+                            heapq.heappush(b, (-d, int(rid_arr[j])))
+                        elif d < -b[0][0]:
+                            heapq.heapreplace(b, (-d, int(rid_arr[j])))
             if expand_n:
                 nodes = np.asarray(expand_n, dtype=np.int64)
                 qidx = np.asarray(expand_q, dtype=np.int64)
@@ -648,14 +699,20 @@ class FrozenRTree:
                 levels = self.node_level[nodes]
                 leaf_rows = np.repeat(levels == 0, counts)
                 bounds = np.empty(idx.shape[0])
-                if np.any(~leaf_rows):
-                    bounds[~leaf_rows] = rect_dist_rows(
-                        t_lo[~leaf_rows], t_hi[~leaf_rows], qpoints[equery[~leaf_rows]]
-                    )
-                if np.any(leaf_rows):
-                    bounds[leaf_rows] = point_dist_rows(
-                        t_lo[leaf_rows], qpoints[equery[leaf_rows]]
-                    )
+                if box_leaves:
+                    # Leaf entries are true boxes: MINDIST bounds for
+                    # internal and leaf rows alike.
+                    bounds[:] = rect_dist_rows(t_lo, t_hi, qpoints[equery])
+                else:
+                    if np.any(~leaf_rows):
+                        bounds[~leaf_rows] = rect_dist_rows(
+                            t_lo[~leaf_rows], t_hi[~leaf_rows],
+                            qpoints[equery[~leaf_rows]],
+                        )
+                    if np.any(leaf_rows):
+                        bounds[leaf_rows] = point_dist_rows(
+                            t_lo[leaf_rows], qpoints[equery[leaf_rows]]
+                        )
                 children = self.entry_child[idx]
                 offsets = np.cumsum(counts) - counts
                 if fstats is not None:
@@ -677,9 +734,16 @@ class FrozenRTree:
                     )
             active = next_active
         for qi in range(m):
-            out[qi] = sorted(
-                ((rid, -nd) for nd, rid in best[qi]), key=lambda t: (t[1], t[0])
-            )
+            if verify_expand is not None:
+                out[qi] = sorted(
+                    ((-nk, -nd) for nd, nk in best[qi]),
+                    key=lambda t: (t[1], t[0]),
+                )
+            else:
+                out[qi] = sorted(
+                    ((rid, -nd) for nd, rid in best[qi]),
+                    key=lambda t: (t[1], t[0]),
+                )
         return out
 
 

@@ -11,23 +11,32 @@ an extension subsystem, sharing the R*-tree and DFT substrates:
 * :mod:`repro.subseq.stindex` — the ST-index: each series becomes a
   *trail* of feature points; trails are cut into sub-trails whose MBRs
   are STR bulk-loaded into one R-tree and frozen into the columnar
-  kernel; range queries for query length == window size, the multipiece
-  ("PrefixSearch") reduction for longer queries, and a fused
-  ``range_query_batch`` that probes all pieces of all queries in one
-  kernel traversal.
+  kernel; range queries for query length == window size, two
+  planner-chosen probe reductions for longer queries (the multipiece
+  split and FRM94's longest-prefix search), subsequence **k-NN** ("the
+  k closest windows") over the kernel's box-leaf best-first search, and
+  fused ``range_query_batch`` / ``knn_query_batch`` that probe all
+  queries in one kernel traversal.
 
 Example 1.2 of the paper ("the Euclidean distance between p and any
 subsequence of length four of s...") is exactly a subsequence query; see
 ``tests/test_subseq.py``.
 """
 
-from repro.subseq.stindex import STIndex, SubseqMatch
-from repro.subseq.window import piece_features, sliding_features, sliding_windows
+from repro.subseq.stindex import PROBE_STRATEGIES, STIndex, SubseqMatch
+from repro.subseq.window import (
+    piece_features,
+    prefix_features,
+    sliding_features,
+    sliding_windows,
+)
 
 __all__ = [
+    "PROBE_STRATEGIES",
     "STIndex",
     "SubseqMatch",
     "piece_features",
+    "prefix_features",
     "sliding_features",
     "sliding_windows",
 ]

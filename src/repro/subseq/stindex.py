@@ -19,11 +19,27 @@ Querying (Algorithm: range search):
   offset they cover against the raw series (early abandoning) — a
   two-step filter-and-refine with no false dismissals, since the
   truncated-spectrum distance lower-bounds the true window distance.
-* query length ``L > w`` (multipiece / "PrefixSearch"): split the query
-  into ``p = floor(L / w)`` disjoint pieces; if the whole match is within
-  ``eps``, some piece is within ``eps / sqrt(p)`` of its aligned window,
-  so the union of piece searches (with shifted offsets) is a candidate
-  superset; refine on the full length.
+* query length ``L > w``: two probe reductions, planner-chosen per query
+  (``probe="auto"``; :class:`~repro.core.planner.SubseqProbePlanner`):
+
+  - **multipiece** — split the query into ``p = floor(L / w)`` disjoint
+    pieces; if the whole match is within ``eps``, some piece is within
+    ``eps / sqrt(p)`` of its aligned window, so the union of piece
+    searches (with shifted offsets) is a candidate superset;
+  - **prefix** (FRM94's PrefixSearch) — search only the leading window
+    at the full ``eps``: one wide rectangle instead of ``p`` narrow
+    ones.  Both refine on the full length and return identical answers.
+
+Subsequence k-NN (:meth:`STIndex.knn_query`,
+:meth:`STIndex.knn_query_batch`): the k closest windows, exactly.  The
+query's prefix-window features drive the kernel's batched best-first
+k-NN with the sub-trail MBRs as *box* leaves; every reached sub-trail
+fans out into its windows via the kernel's ``verify_expand`` seam, and
+full-length exact distances feed the per-query pruning radii back into
+the traversal.  Feature-space MINDIST lower-bounds every covered
+window's true distance (Lemma 1 + prefix monotonicity), so no answer is
+dismissed; k-th-position ties resolve to the smallest
+``(series, offset)``.  :meth:`STIndex.brute_force_knn` is the reference.
 
 Execution: the whole pipeline is columnar.  Sub-trail boundaries come
 from one vectorized pass over prefix extents per segment
@@ -50,11 +66,24 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.planner import (
+    PROBE_STRATEGIES,
+    ProbeChoice,
+    SubseqProbePlanner,
+)
 from repro.rtree.bulk import str_pack_rects
 from repro.rtree.geometry import Rect
 from repro.rtree.kernel import FrontierStats, FrozenRTree, frozen_kernel
 from repro.rtree.rstar import RStarTree
-from repro.subseq.window import encode_rect, piece_features, sliding_features
+from repro.subseq.window import (
+    encode_rect,
+    piece_features,
+    prefix_features,
+    sliding_features,
+)
+
+#: window feature points sampled per series for the probe planner.
+_PLANNER_SAMPLE_PER_SERIES = 16
 
 ArrayLike = Union[Sequence[float], np.ndarray]
 
@@ -139,6 +168,12 @@ class STIndex:
         self._sub_end = np.empty(0, dtype=np.int64)
         self._series_lens = np.empty(0, dtype=np.int64)
         self._offset_stride = 1
+        # Per-series subsamples of window feature points, feeding the
+        # probe planner's selectivity sample.
+        self._feat_samples: list[np.ndarray] = []
+        self._window_sample = np.empty((0, self.dim))
+        self._total_windows = 0
+        self._planner: Optional[SubseqProbePlanner] = None
 
     # ------------------------------------------------------------------
     # building
@@ -154,6 +189,16 @@ class STIndex:
         series_id = len(self._series)
         self._series.append(x)
         points = encode_rect(sliding_features(x, self.window, self.k))
+        # Evenly-spaced subsample of the trail for the probe planner's
+        # selectivity estimates (deterministic, a handful of rows per
+        # series).
+        sel = np.unique(
+            np.linspace(
+                0, points.shape[0] - 1,
+                num=min(points.shape[0], _PLANNER_SAMPLE_PER_SERIES),
+            ).astype(np.int64)
+        )
+        self._feat_samples.append(points[sel])
         starts = self._group_starts(points)
         ends = np.append(starts[1:] - 1, points.shape[0] - 1)
         # All sub-trail MBRs of the series in two cumulative passes: the
@@ -293,6 +338,15 @@ class STIndex:
         self._offset_stride = (
             int(self._series_lens.max()) + 1 if self._series_lens.size else 1
         )
+        self._window_sample = (
+            np.concatenate(self._feat_samples)
+            if self._feat_samples
+            else np.empty((0, self.dim))
+        )
+        self._total_windows = int(
+            np.sum(self._series_lens - self.window + 1)
+        )
+        self._planner = None
         if self.build == "bulk":
             self._tree = None  # stale bulk tree: rebuild on next access
         self._kernel = None
@@ -335,6 +389,11 @@ class STIndex:
         return self._kernel
 
     @property
+    def stats(self):
+        """The backing store's :class:`~repro.storage.stats.IOStats`."""
+        return self.tree.store.stats
+
+    @property
     def num_series(self) -> int:
         return len(self._series)
 
@@ -347,9 +406,28 @@ class STIndex:
         return self._series[series_id]
 
     # ------------------------------------------------------------------
+    # the unified plan API (mirrors SimilarityEngine.plan)
+    # ------------------------------------------------------------------
+    def plan(self, spec):
+        """Compile a ``subseq_range``/``subseq_knn`` spec into a plan.
+
+        The subsequence entry point of the unified plan API: probe
+        strategies are resolved at compile time (so ``EXPLAIN`` reports
+        the planner's multipiece-vs-prefix choice without running), and
+        ``.execute()`` runs the fused fast path.
+        """
+        from repro.core.plan import compile_subseq_spec
+
+        return compile_subseq_spec(self, spec)
+
+    def explain(self, spec) -> dict:
+        """``EXPLAIN`` for a subsequence spec: compile only, describe."""
+        return self.plan(spec).explain()
+
+    # ------------------------------------------------------------------
     # querying — the columnar fast path
     # ------------------------------------------------------------------
-    def _check_query(self, query: ArrayLike, eps: float) -> np.ndarray:
+    def _check_query(self, query: ArrayLike, eps: float = 0.0) -> np.ndarray:
         q = np.asarray(query, dtype=np.float64)
         if eps < 0:
             raise ValueError(f"eps must be non-negative, got {eps}")
@@ -357,102 +435,237 @@ class STIndex:
             raise ValueError(
                 f"query must be 1-D with length >= {self.window}, got {q.shape}"
             )
+        if not np.all(np.isfinite(q)):
+            # A NaN would silently empty the probe rectangles (every
+            # comparison false) and an inf would blow them up; fail the
+            # query cleanly instead of returning a wrong answer.
+            raise ValueError("query must contain only finite values")
         return q
 
+    def _check_probe(
+        self, probe: Union[str, Sequence[str]], count: int
+    ) -> list[str]:
+        """Normalise a probe hint into one resolved strategy per query."""
+        if isinstance(probe, str):
+            if probe not in PROBE_STRATEGIES:
+                raise ValueError(
+                    f"probe must be one of {PROBE_STRATEGIES}, got {probe!r}"
+                )
+            return [probe] * count
+        out = list(probe)
+        if len(out) != count:
+            raise ValueError(
+                f"probe list has {len(out)} entries for {count} queries"
+            )
+        for s in out:
+            if s not in PROBE_STRATEGIES:
+                raise ValueError(
+                    f"probe must be one of {PROBE_STRATEGIES}, got {s!r}"
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # probe-strategy planning
+    # ------------------------------------------------------------------
+    @property
+    def probe_planner(self) -> SubseqProbePlanner:
+        """The planner choosing between multipiece and prefix probes.
+
+        Backed by a deterministic subsample of the indexed window feature
+        points (collected at ``add_series`` time); rebuilt lazily after
+        new series.
+        """
+        self._seal()
+        if self._planner is None:
+            self._planner = SubseqProbePlanner(
+                self._window_sample, self._total_windows
+            )
+        return self._planner
+
+    def _query_rects(
+        self, q: np.ndarray, eps: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Both reductions' search rectangles for one query.
+
+        Returns ``(piece_lows, piece_highs, prefix_lo, prefix_hi)`` — the
+        ``p`` multipiece rectangles at radius ``eps / sqrt(p)`` and the
+        single prefix rectangle at radius ``eps``, all padded by the same
+        numerical tolerance the probe applies.
+        """
+        w = self.window
+        p = q.shape[0] // w
+        feats = encode_rect(
+            piece_features(q[: p * w].reshape(p, w), self.k)
+        )
+        pad = self._feat_pad(feats)
+        piece_r = (eps / math.sqrt(p) + pad)[:, None]
+        prefix_r = eps + pad[0]
+        return (
+            feats - piece_r,
+            feats + piece_r,
+            feats[0] - prefix_r,
+            feats[0] + prefix_r,
+        )
+
+    def choose_probe(self, query: ArrayLike, eps: float) -> ProbeChoice:
+        """The planner's probe-strategy decision for one query.
+
+        Single-piece queries (length under ``2 * window``) always resolve
+        to ``"multipiece"`` — the two reductions coincide there.
+        """
+        q = self._check_query(query, eps)
+        return self.probe_planner.choose(*self._query_rects(q, eps))
+
     def range_query(
-        self, query: ArrayLike, eps: float, fstats: Optional[FrontierStats] = None
+        self,
+        query: ArrayLike,
+        eps: float,
+        fstats: Optional[FrontierStats] = None,
+        probe: str = "auto",
     ) -> list[SubseqMatch]:
         """All subsequences within ``eps`` of ``query``.
 
         The query must be at least one window long; longer queries go
-        through the multipiece reduction.  Matches report the best offset
+        through a probe reduction — the multipiece split or FRM94's
+        longest-prefix search, planner-chosen under ``probe="auto"``
+        (answers are identical whichever runs; both are candidate
+        supersets refined exactly).  Matches report the best offset
         semantics of [FRM94]: every qualifying offset is returned.
         """
-        return self.range_query_batch([query], eps, fstats=fstats)[0]
+        return self.range_query_batch([query], eps, fstats=fstats, probe=probe)[0]
 
     def range_query_batch(
         self,
         queries: Sequence[ArrayLike],
         eps: float,
         fstats: Optional[FrontierStats] = None,
+        probe: Union[str, Sequence[str]] = "auto",
     ) -> list[list[SubseqMatch]]:
         """:meth:`range_query` over a batch, sharing one fused index probe.
 
-        All pieces of all queries (queries may have different lengths)
-        descend the frozen kernel together as one
+        All probe rectangles of all queries (queries may have different
+        lengths and different resolved strategies) descend the frozen
+        kernel together as one
         :meth:`~repro.rtree.kernel.FrozenRTree.range_ids_many` pair
         frontier; expansion, dedup and refinement then run per query on
         the returned sub-trail id arrays.  Answers are identical to one
-        :meth:`range_query` per query.
+        :meth:`range_query` per query, and independent of the probe
+        strategy.
+
+        Args:
+            queries: the query series (each at least one window long).
+            eps: similarity threshold.
+            fstats: optional frontier counters to fill in.
+            probe: ``"auto"`` (planner decides per query),
+                ``"multipiece"``, ``"prefix"``, or one resolved strategy
+                per query.
         """
         qs = [self._check_query(q, eps) for q in queries]
+        strategies = self._check_probe(probe, len(qs))
         if not qs or not self._subtrails:
             return [[] for _ in qs]
-        candidates = self._probe_batch(qs, eps, fstats=fstats)
+        candidates = self._probe_batch(qs, eps, strategies, fstats=fstats)
         return [
             self._refine_arrays(q, eps, series, aligned)
             for q, (series, aligned) in zip(qs, candidates)
         ]
 
     def candidate_offsets(
-        self, query: ArrayLike, eps: float
+        self, query: ArrayLike, eps: float, probe: str = "multipiece"
     ) -> tuple[np.ndarray, np.ndarray]:
         """Deduplicated candidate ``(series ids, offsets)`` for one query.
 
         The filter phase of the pipeline (fused kernel probe + array
         expansion), exposed for filter-quality inspection and the phase
-        benchmarks; :meth:`range_query` refines exactly these candidates.
+        benchmarks; :meth:`range_query` under the same resolved ``probe``
+        strategy refines exactly these candidates (the default pins the
+        multipiece reduction so candidate sets are reproducible).
         """
         q = self._check_query(query, eps)
+        strategies = self._check_probe(probe, 1)
         if not self._subtrails:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        return self._probe_batch([q], eps)[0]
+        return self._probe_batch([q], eps, strategies)[0]
 
     def _probe_batch(
         self,
         qs: list[np.ndarray],
         eps: float,
+        strategies: Sequence[str],
         fstats: Optional[FrontierStats] = None,
     ) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Fused filter phase: one kernel traversal for all queries' pieces.
+        """Fused filter phase: one kernel traversal for all queries' probes.
 
-        Returns one deduplicated ``(series, aligned offset)`` array pair
-        per query.
+        ``strategies`` holds one reduction hint per query —
+        ``"multipiece"`` contributes ``floor(L / w)`` rectangles at radius
+        ``eps / sqrt(p)``, ``"prefix"`` one rectangle (the leading window)
+        at the full ``eps``, and ``"auto"`` is resolved *here*, by the
+        planner, against the same fused piece features the probe uses (so
+        the piece FFTs run exactly once per query either way).  Returns
+        one deduplicated ``(series, aligned offset)`` array pair per
+        query.
         """
         kernel = self.kernel
-        # --- probe: one rectangle per (query, piece), one fused traversal
+        w = self.window
+        # --- probe rows, one fused FFT.  A query pre-resolved to
+        # "prefix" contributes only its leading window up front (no
+        # point featurizing pieces the keep-mask would discard); "auto"
+        # and "multipiece" emit every piece — "auto" needs them all for
+        # the planner's estimates anyway.
         pieces: list[np.ndarray] = []
         row_query: list[int] = []
         row_shift: list[int] = []
-        row_eps: list[float] = []
-        w = self.window
+        counts: list[int] = []
         for i, q in enumerate(qs):
-            p = q.shape[0] // w
-            piece_eps = eps / math.sqrt(p)
+            p = 1 if strategies[i] == "prefix" else q.shape[0] // w
+            counts.append(p)
             for j in range(p):
                 pieces.append(q[j * w : (j + 1) * w])
                 row_query.append(i)
                 row_shift.append(j * w)
-                row_eps.append(piece_eps)
         feats = encode_rect(piece_features(np.stack(pieces), self.k))
-        # Pad by a numerical tolerance: the trail features come from the
-        # O(k) incremental recurrence, the query's from a fresh FFT, and
-        # their last-ulp disagreement must not dismiss an exact match at
-        # eps == 0.  Padding only widens the candidate set (Lemma 1 safe).
-        pad = 1e-7 * (1.0 + np.max(np.abs(feats), axis=1))
-        radius = (np.asarray(row_eps) + pad)[:, None]
+        pad = self._feat_pad(feats)
+        # --- resolve strategies + per-row radii; prefix keeps row 0 only
+        bounds = np.cumsum([0] + counts)
+        keep = np.ones(len(pieces), dtype=bool)
+        row_eps = np.empty(len(pieces))
+        planner: Optional[SubseqProbePlanner] = None
+        for i, q in enumerate(qs):
+            s, e = int(bounds[i]), int(bounds[i + 1])
+            p = q.shape[0] // w
+            strategy = strategies[i]
+            if strategy == "auto":
+                if p <= 1:
+                    strategy = "multipiece"  # the reductions coincide
+                else:
+                    if planner is None:
+                        planner = self.probe_planner
+                    piece_r = (eps / math.sqrt(p) + pad[s:e])[:, None]
+                    prefix_r = eps + pad[s]
+                    strategy = planner.choose(
+                        feats[s:e] - piece_r, feats[s:e] + piece_r,
+                        feats[s] - prefix_r, feats[s] + prefix_r,
+                    ).strategy
+            if strategy == "prefix":
+                keep[s + 1 : e] = False
+                row_eps[s] = eps
+            else:
+                row_eps[s:e] = eps / math.sqrt(p)
+        radius = (row_eps + pad)[keep][:, None]
+        kept_feats = feats[keep]
         ids_per_row = kernel.range_ids_many(
-            feats - radius, feats + radius,
+            kept_feats - radius, kept_feats + radius,
             fstats=fstats, io=self.tree.store.stats,
         )
         # --- expand + dedup, per query
-        shifts = np.asarray(row_shift, dtype=np.int64)
+        shifts = np.asarray(row_shift, dtype=np.int64)[keep]
+        kept_query = np.asarray(row_query, dtype=np.int64)[keep]
         out: list[tuple[np.ndarray, np.ndarray]] = []
         row = 0
         for i, q in enumerate(qs):
             rows = []
-            while row < len(row_query) and row_query[row] == i:
+            while row < kept_query.shape[0] and kept_query[row] == i:
                 rows.append(row)
                 row += 1
             out.append(
@@ -461,6 +674,41 @@ class STIndex:
                 )
             )
         return out
+
+    def _expand_subtrails(
+        self, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sub-trail ids -> their full ``(series, window offset)`` runs.
+
+        The ``np.repeat``/``np.arange`` expansion shared by the range
+        pipeline (:meth:`_expand_rows`, which then shifts, bounds-checks
+        and dedups) and the k-NN verifier (which then drops offsets that
+        cannot host the full query) — the index arithmetic lives once.
+        """
+        starts = self._sub_start[ids]
+        counts = self._sub_end[ids] - starts + 1
+        total = int(counts.sum())
+        csum = np.cumsum(counts)
+        intra = np.arange(total, dtype=np.int64) - np.repeat(
+            csum - counts, counts
+        )
+        return (
+            np.repeat(self._sub_series[ids], counts),
+            np.repeat(starts, counts) + intra,
+        )
+
+    @staticmethod
+    def _feat_pad(feats: np.ndarray) -> np.ndarray:
+        """Numerical-tolerance pad, one value per feature row.
+
+        Trail features come from the O(k) incremental recurrence, query
+        features from a fresh FFT; their last-ulp disagreement must not
+        dismiss an exact match at ``eps == 0`` or prune an exact k-NN
+        tie.  Every probe rectangle and k-NN lower bound applies this
+        same rule (widening only — Lemma 1 safe), including the planner's
+        compile-time rectangles, which must match the execute-time probe.
+        """
+        return 1e-7 * (1.0 + np.max(np.abs(np.atleast_2d(feats)), axis=1))
 
     def _expand_rows(
         self,
@@ -487,15 +735,9 @@ class STIndex:
         for ids, shift in zip(ids_per_row, shifts):
             if ids.size == 0:
                 continue
-            starts = self._sub_start[ids]
-            counts = self._sub_end[ids] - starts + 1
-            total = int(counts.sum())
-            csum = np.cumsum(counts)
-            intra = np.arange(total, dtype=np.int64) - np.repeat(
-                csum - counts, counts
-            )
-            ali_parts.append(np.repeat(starts - int(shift), counts) + intra)
-            ser_parts.append(np.repeat(self._sub_series[ids], counts))
+            sids, offs = self._expand_subtrails(ids)
+            ali_parts.append(offs - int(shift))
+            ser_parts.append(sids)
         if not ser_parts:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
@@ -534,17 +776,198 @@ class STIndex:
         return out
 
     # ------------------------------------------------------------------
+    # querying — subsequence k-NN (the k closest windows)
+    # ------------------------------------------------------------------
+    def knn_query(
+        self, query: ArrayLike, k: int, fstats: Optional[FrontierStats] = None
+    ) -> list[SubseqMatch]:
+        """The ``k`` subsequences closest to ``query`` (exact).
+
+        Multi-step best-first search over the sub-trail MBRs: the query's
+        *prefix window* features drive the kernel's batched k-NN with the
+        sub-trail boxes as leaves, and every reached sub-trail fans out
+        into its windows, verified against the raw series at full query
+        length.  The feature-space MINDIST to a sub-trail MBR lower-bounds
+        the true distance of every window it covers (Lemma 1 plus prefix
+        monotonicity), so pruning by the k-th best exact distance never
+        dismisses an answer.  Ties at the k-th position resolve
+        deterministically to the smallest ``(series, offset)``.
+        """
+        return self.knn_query_batch([query], k, fstats=fstats)[0]
+
+    def knn_query_batch(
+        self,
+        queries: Sequence[ArrayLike],
+        k: int,
+        fstats: Optional[FrontierStats] = None,
+    ) -> list[list[SubseqMatch]]:
+        """:meth:`knn_query` over a batch, sharing one fused kernel search.
+
+        All queries run through one round-synchronous
+        :meth:`~repro.rtree.kernel.FrozenRTree.knn_batch` traversal with
+        per-query pruning radii; each query's shrinking radius (its k-th
+        best exact window distance so far) feeds back into both the
+        kernel's node pruning and the sliding-window verifier's early
+        abandoning.
+
+        Edge cases follow the kernel's uniform contract: ``k == 0``, an
+        empty batch or an empty index return empty lists; ``k`` larger
+        than the number of alignable windows returns every window,
+        exactly verified and sorted.
+        """
+        if k != int(k) or k < 0:
+            raise ValueError(f"k must be a non-negative integer, got {k}")
+        k = int(k)
+        qs = [self._check_query(q) for q in queries]
+        if not qs:
+            return []
+        if k == 0 or not self._subtrails:
+            return [[] for _ in qs]
+        kernel = self.kernel
+        feats = encode_rect(prefix_features(qs, self.window, self.k))
+        pairs = self._knn_kernel_call(kernel, feats, k, qs, fstats)
+        stride = self._offset_stride
+        return [
+            [
+                SubseqMatch(int(key // stride), int(key % stride), float(d))
+                for key, d in pr
+            ]
+            for pr in pairs
+        ]
+
+    def _knn_kernel_call(self, kernel, feats, k, qs, fstats):
+        """Drive :meth:`FrozenRTree.knn_batch` with the window verifier.
+
+        The MINDIST rows are shrunk by the probe's numerical tolerance:
+        trail features come from the incremental recurrence, the query's
+        from a fresh FFT, and a last-ulp excess must not prune an exact
+        tie at the pruning radius.  Shrinking a lower bound only widens
+        the search — it can never dismiss an answer.
+        """
+
+        def rect_rows(lows, highs, qrows):
+            clamped = np.clip(qrows, lows, highs)
+            d = np.linalg.norm(qrows - clamped, axis=1)
+            return np.maximum(d - self._feat_pad(qrows), 0.0)
+
+        return kernel.knn_batch(
+            feats,
+            k,
+            box_leaves=True,
+            verify_expand=self._knn_verifier(qs),
+            rect_dist_rows=rect_rows,
+            fstats=fstats,
+            io=self.tree.store.stats,
+        )
+
+    def _knn_verifier(self, qs: list[np.ndarray]):
+        """The expanding verify callback :meth:`knn_query_batch` hands the
+        kernel: sub-trail ids -> exact full-length window distances.
+
+        Windows are gathered per candidate series from a strided
+        sliding-window view and verified with one
+        :func:`~repro.core.similarity.batch_euclidean_within` pass at the
+        query's current pruning radius — windows provably beyond it are
+        abandoned early and never reach the kernel's result heap (safe:
+        radii only shrink).  Alignments that cannot fit the full query are
+        dropped at expansion time.  Item keys are the packed
+        ``series * stride + offset`` values, which make the kernel's
+        smallest-key tie-break exactly the ``(series, offset)`` order.
+        """
+        from repro.core.similarity import batch_euclidean_within
+
+        stride = self._offset_stride
+
+        def verify(
+            qidx: np.ndarray, rids: np.ndarray, radii: np.ndarray
+        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            out_q: list[np.ndarray] = []
+            out_key: list[np.ndarray] = []
+            out_d: list[np.ndarray] = []
+            order = np.argsort(qidx, kind="stable")
+            qidx_s, rids_s, rad_s = qidx[order], rids[order], radii[order]
+            starts = np.nonzero(
+                np.diff(qidx_s, prepend=qidx_s[0] - 1 if qidx_s.size else 0)
+            )[0]
+            bounds = np.append(starts, qidx_s.shape[0])
+            for g in range(starts.shape[0]):
+                qi = int(qidx_s[bounds[g]])
+                radius = float(rad_s[bounds[g]])
+                ids = rids_s[bounds[g] : bounds[g + 1]]
+                q = qs[qi]
+                L = q.shape[0]
+                sids, offs = self._expand_subtrails(ids)
+                ok = offs <= self._series_lens[sids] - L
+                offs, sids = offs[ok], sids[ok]
+                if offs.size == 0:
+                    continue
+                keys = sids * stride + offs
+                ks = np.argsort(keys)
+                keys, offs, sids = keys[ks], offs[ks], sids[ks]
+                uniq, first = np.unique(sids, return_index=True)
+                sb = np.append(first, sids.shape[0])
+                for t in range(uniq.shape[0]):
+                    offs_t = offs[sb[t] : sb[t + 1]]
+                    x = self._series[int(uniq[t])]
+                    windows = np.lib.stride_tricks.sliding_window_view(x, L)[
+                        offs_t
+                    ]
+                    kept, dists, _ = batch_euclidean_within(windows, q, radius)
+                    if kept.size == 0:
+                        continue
+                    out_q.append(np.full(kept.shape[0], qi, dtype=np.int64))
+                    out_key.append(keys[sb[t] : sb[t + 1]][kept])
+                    out_d.append(dists)
+            if not out_key:
+                empty = np.empty(0, dtype=np.int64)
+                return empty, empty, np.empty(0)
+            return (
+                np.concatenate(out_q),
+                np.concatenate(out_key),
+                np.concatenate(out_d),
+            )
+
+        return verify
+
+    def brute_force_knn(self, query: ArrayLike, k: int) -> list[SubseqMatch]:
+        """Reference k-NN: scan every alignable window of every series.
+
+        Sorted by ``(distance, series, offset)`` — the deterministic tie
+        order :meth:`knn_query` reproduces.
+        """
+        if k != int(k) or k < 0:
+            raise ValueError(f"k must be a non-negative integer, got {k}")
+        q = self._check_query(query)
+        L = q.shape[0]
+        out: list[SubseqMatch] = []
+        for sid, x in enumerate(self._series):
+            if x.shape[0] < L:
+                continue
+            windows = np.lib.stride_tricks.sliding_window_view(x, L)
+            dists = np.linalg.norm(windows - q, axis=1)
+            out.extend(
+                SubseqMatch(sid, off, float(d)) for off, d in enumerate(dists)
+            )
+        out.sort(key=lambda m: (m.distance, m.series_id, m.offset))
+        return out[:k]
+
+    # ------------------------------------------------------------------
     # querying — the recursive/scalar reference path
     # ------------------------------------------------------------------
-    def range_query_reference(self, query: ArrayLike, eps: float) -> list[SubseqMatch]:
+    def range_query_reference(
+        self, query: ArrayLike, eps: float, probe: str = "multipiece"
+    ) -> list[SubseqMatch]:
         """Reference :meth:`range_query`: recursive probe, scalar refine.
 
         The pre-kernel implementation, kept verbatim (recursive
         ``tree.search`` per piece, Python-set candidate expansion, one
         early-abandon distance call per candidate) as the tested parity
-        baseline for the columnar fast path.
+        baseline for the columnar fast path.  ``probe="prefix"`` runs the
+        scalar form of the longest-prefix reduction instead.
         """
         q = self._check_query(query, eps)
+        if probe == "prefix":
+            return self._refine(q, eps, self._prefix_candidates(q, eps))
         return self._refine(q, eps, self._multipiece_candidates(q, eps))
 
     def _window_candidates(
@@ -559,8 +982,7 @@ class STIndex:
         time, rather than costing a set insert and a refine iteration.
         """
         feat = encode_rect(sliding_features(piece, self.window, self.k))[0]
-        # Numerical-tolerance pad; see range_query_batch.
-        pad = 1e-7 * (1.0 + float(np.max(np.abs(feat))))
+        pad = float(self._feat_pad(feat)[0])
         qrect = Rect(feat - eps - pad, feat + eps + pad)
         out: set[tuple[int, int]] = set()
         for entry in self.tree.search(qrect):
@@ -571,6 +993,18 @@ class STIndex:
                 if 0 <= aligned <= limit:
                     out.add((sub.series_id, aligned))
         return out
+
+    def _prefix_candidates(
+        self, q: np.ndarray, eps: float
+    ) -> set[tuple[int, int]]:
+        """Scalar longest-prefix reduction: one probe at the full radius.
+
+        A full-length match within ``eps`` implies its leading window
+        matches the query's prefix within ``eps``, so the single prefix
+        search is a candidate superset — FRM94's alternative to the
+        multipiece split.
+        """
+        return self._window_candidates(q[: self.window], eps, 0, q.shape[0])
 
     def _multipiece_candidates(
         self, q: np.ndarray, eps: float

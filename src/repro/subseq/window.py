@@ -96,6 +96,31 @@ def piece_features(pieces: ArrayLike, k: int) -> np.ndarray:
     return np.fft.fft(p, axis=1)[:, :k] / np.sqrt(w)
 
 
+def prefix_features(queries: Sequence[ArrayLike], w: int, k: int) -> np.ndarray:
+    """First ``k`` DFT coefficients of each query's length-``w`` prefix.
+
+    The probe side of FRM94's longest-prefix search and of subsequence
+    k-NN: only the leading window of each (possibly longer) query is
+    featurized, through one batched FFT (:func:`piece_features`).  Row
+    ``i`` equals ``sliding_features(queries[i], w, k)[0]``.
+
+    Args:
+        queries: sequences, each of length ``>= w`` (lengths may differ).
+        w: window length.
+        k: retained coefficients per prefix.
+
+    Returns:
+        complex array of shape ``(m, k)``.
+    """
+    rows = [np.asarray(q, dtype=np.float64) for q in queries]
+    for q in rows:
+        if q.ndim != 1 or q.shape[0] < w:
+            raise ValueError(
+                f"every query must be 1-D with length >= {w}, got {q.shape}"
+            )
+    return piece_features(np.stack([q[:w] for q in rows]), k)
+
+
 def encode_rect(features: np.ndarray) -> np.ndarray:
     """Interleave complex window features into real index coordinates.
 

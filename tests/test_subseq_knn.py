@@ -1,0 +1,429 @@
+"""Subsequence k-NN: edge cases, tie determinism, planner and plan API.
+
+The k-closest-windows query rides the frozen kernel's batched k-NN with
+the sub-trail MBRs as *box* leaves and an expanding window verifier;
+these tests pin down its contract — the kernel's uniform edge cases
+(``k == 0``, ``k`` beyond the window count, empty index), deterministic
+``(series, offset)`` ordering under duplicate distances, the
+``range_query_batch`` empty/NaN hardening, the multipiece-vs-prefix
+probe planner, and the ``EXPLAIN``/language surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.language import QueryError, QuerySession
+from repro.core.plan import QuerySpec
+from repro.data import SequenceRelation
+from repro.rtree.kernel import FrontierStats
+from repro.subseq import STIndex
+
+
+def build_index(seed=0, num=10, length=120, window=8, **kw):
+    rng = np.random.default_rng(seed)
+    idx = STIndex(window=window, k=3, chunk=8, **kw)
+    for _ in range(num):
+        idx.add_series(np.cumsum(rng.uniform(-1, 1, size=length)))
+    return idx
+
+
+def keys(matches):
+    return [(m.series_id, m.offset) for m in matches]
+
+
+@pytest.fixture(scope="module")
+def idx() -> STIndex:
+    return build_index()
+
+
+@pytest.fixture(scope="module")
+def query(idx) -> np.ndarray:
+    return idx.series(3)[10:30].copy()  # length 20 > window 8
+
+
+# ----------------------------------------------------------------------
+# edge cases
+# ----------------------------------------------------------------------
+class TestKnnEdgeCases:
+    def test_k_zero_is_empty(self, idx, query):
+        assert idx.knn_query(query, 0) == []
+        assert idx.knn_query_batch([query, query], 0) == [[], []]
+
+    def test_negative_k_raises(self, idx, query):
+        with pytest.raises(ValueError, match="non-negative"):
+            idx.knn_query(query, -1)
+        with pytest.raises(ValueError, match="non-negative"):
+            idx.brute_force_knn(query, -1)
+
+    def test_k_beyond_total_windows_returns_all(self, idx, query):
+        res = idx.knn_query(query, 10**9)
+        brute = idx.brute_force_knn(query, 10**9)
+        # Every alignable window of every series, exactly once.
+        expected = sum(
+            idx.series(s).shape[0] - query.shape[0] + 1
+            for s in range(idx.num_series)
+        )
+        assert len(res) == expected
+        assert keys(res) == keys(brute)
+
+    def test_query_shorter_than_window_raises(self, idx):
+        with pytest.raises(ValueError, match="length >="):
+            idx.knn_query(np.zeros(idx.window - 1), 3)
+
+    def test_series_shorter_than_window_rejected_at_add(self):
+        st = STIndex(window=8)
+        with pytest.raises(ValueError, match="length >= 8"):
+            st.add_series(np.zeros(7))
+
+    def test_empty_index(self, query):
+        st = STIndex(window=8)
+        assert st.knn_query(query[:8], 5) == []
+        assert st.knn_query_batch([query[:8]], 5) == [[]]
+        assert st.brute_force_knn(query[:8], 5) == []
+
+    def test_empty_batch(self, idx):
+        assert idx.knn_query_batch([], 5) == []
+
+    def test_nan_query_raises(self, idx):
+        bad = np.full(12, np.nan)
+        with pytest.raises(ValueError, match="finite"):
+            idx.knn_query(bad, 3)
+
+    def test_query_longer_than_every_series(self, idx):
+        # No series can host an alignment: empty result, not an error.
+        long_q = np.zeros(1000)
+        assert idx.knn_query(long_q, 5) == []
+        assert idx.brute_force_knn(long_q, 5) == []
+
+
+class TestKnnParity:
+    @pytest.mark.parametrize("qlen", [8, 13, 20, 33])
+    @pytest.mark.parametrize("k", [1, 4, 17])
+    def test_matches_brute_force(self, idx, qlen, k):
+        rng = np.random.default_rng(qlen * 31 + k)
+        src = idx.series(int(rng.integers(0, idx.num_series)))
+        start = int(rng.integers(0, src.shape[0] - qlen))
+        q = src[start : start + qlen] + rng.normal(0, 0.05, qlen)
+        fast = idx.knn_query(q, k)
+        brute = idx.brute_force_knn(q, k)
+        assert keys(fast) == keys(brute)
+        np.testing.assert_allclose(
+            [m.distance for m in fast],
+            [m.distance for m in brute],
+            atol=1e-9,
+        )
+
+    def test_batch_equals_loop(self, idx):
+        rng = np.random.default_rng(5)
+        qs = [
+            idx.series(i)[j : j + 8 + 4 * i] + rng.normal(0, 0.02, 8 + 4 * i)
+            for i, j in [(0, 3), (1, 20), (2, 50)]
+        ]
+        batched = idx.knn_query_batch(qs, 5)
+        looped = [idx.knn_query(q, 5) for q in qs]
+        assert [keys(b) for b in batched] == [keys(l) for l in looped]
+
+    @pytest.mark.parametrize("build", ["bulk", "insert"])
+    @pytest.mark.parametrize("grouping", ["fixed", "adaptive"])
+    def test_across_build_modes(self, build, grouping):
+        st = build_index(seed=2, num=6, length=80, build=build)
+        st.grouping = grouping  # affects nothing post-build; vary the seed
+        q = st.series(1)[7:23].copy()
+        assert keys(st.knn_query(q, 6)) == keys(st.brute_force_knn(q, 6))
+
+    def test_frontier_stats_filled(self, idx, query):
+        fstats = FrontierStats()
+        idx.knn_query(query, 3, fstats=fstats)
+        assert fstats.nodes_expanded > 0
+        assert fstats.entries_scanned > 0
+        assert fstats.frontier_peak > 0
+
+
+class TestKnnTieDeterminism:
+    def test_duplicate_series_ties_resolve_by_series_then_offset(self):
+        # Three identical series: every window distance appears three
+        # times; the k-th boundary cuts through an exact-tie group and
+        # must keep the smallest (series, offset) keys.
+        rng = np.random.default_rng(9)
+        base = np.cumsum(rng.uniform(-1, 1, size=60))
+        st = STIndex(window=8, k=2, chunk=8)
+        for _ in range(3):
+            st.add_series(base)
+        q = base[10:18].copy()
+        for k in (1, 2, 4, 5):
+            fast = st.knn_query(q, k)
+            brute = st.brute_force_knn(q, k)
+            assert keys(fast) == keys(brute)
+            order = [(m.distance, m.series_id, m.offset) for m in fast]
+            assert order == sorted(order)
+
+    def test_exact_zero_ties_all_found(self):
+        # Two exact copies: both zero-distance offsets must surface even
+        # though the pruning radius hits zero after the first.
+        base = np.sin(np.linspace(0, 8, 50))
+        st = STIndex(window=8, k=3)
+        st.add_series(base)
+        st.add_series(base)
+        q = base[5:13].copy()
+        res = st.knn_query(q, 2)
+        assert keys(res) == [(0, 5), (1, 5)]
+        assert [m.distance for m in res] == [0.0, 0.0]
+
+
+# ----------------------------------------------------------------------
+# range_query_batch hardening (the PR's fix satellite)
+# ----------------------------------------------------------------------
+class TestRangeBatchHardening:
+    def test_empty_query_list(self, idx):
+        assert idx.range_query_batch([], 1.0) == []
+        fstats = FrontierStats()
+        assert idx.range_query_batch([], 1.0, fstats=fstats) == []
+        assert fstats.nodes_expanded == 0
+
+    def test_empty_query_list_on_empty_index(self):
+        assert STIndex(window=8).range_query_batch([], 1.0) == []
+
+    def test_zero_length_query_raises(self, idx):
+        with pytest.raises(ValueError, match="length >="):
+            idx.range_query(np.empty(0), 1.0)
+        with pytest.raises(ValueError, match="length >="):
+            idx.range_query_batch([np.empty(0)], 1.0)
+
+    def test_nan_query_raises_cleanly(self, idx):
+        with pytest.raises(ValueError, match="finite"):
+            idx.range_query(np.full(12, np.nan), 1.0)
+        with pytest.raises(ValueError, match="finite"):
+            idx.range_query_batch([np.full(12, np.inf)], 1.0)
+
+    def test_batch_rejects_nan_before_probing_good_queries(self, idx, query):
+        # Validation happens for the whole batch up front.
+        with pytest.raises(ValueError, match="finite"):
+            idx.range_query_batch([query, np.full(12, np.nan)], 1.0)
+
+
+# ----------------------------------------------------------------------
+# probe strategies + planner
+# ----------------------------------------------------------------------
+class TestProbeStrategies:
+    @pytest.mark.parametrize("probe", ["auto", "multipiece", "prefix"])
+    def test_answers_identical_across_strategies(self, idx, probe):
+        rng = np.random.default_rng(11)
+        for qlen, eps in [(8, 1.0), (20, 2.5), (33, 6.0)]:
+            src = idx.series(2)
+            q = src[4 : 4 + qlen] + rng.normal(0, 0.05, qlen)
+            brute = idx.brute_force(q, eps)
+            got = idx.range_query(q, eps, probe=probe)
+            assert keys(got) == keys(brute)
+
+    def test_prefix_reference_parity(self, idx):
+        rng = np.random.default_rng(13)
+        q = idx.series(4)[6:30] + rng.normal(0, 0.05, 24)
+        eps = 3.0
+        fast = idx.range_query(q, eps, probe="prefix")
+        ref = idx.range_query_reference(q, eps, probe="prefix")
+        brute = idx.brute_force(q, eps)
+        assert keys(fast) == keys(ref) == keys(brute)
+
+    def test_prefix_candidates_superset_of_answers(self, idx):
+        q = idx.series(0)[0:24].copy()
+        eps = 2.0
+        series, aligned = idx.candidate_offsets(q, eps, probe="prefix")
+        cands = set(zip(series.tolist(), aligned.tolist()))
+        assert set(keys(idx.brute_force(q, eps))) <= cands
+
+    def test_unknown_probe_rejected(self, idx, query):
+        with pytest.raises(ValueError, match="probe"):
+            idx.range_query(query, 1.0, probe="sideways")
+
+    def test_single_piece_resolves_multipiece(self, idx):
+        choice = idx.choose_probe(idx.series(0)[:10], 1.0)
+        assert choice.strategy == "multipiece"
+        assert choice.pieces == 1
+
+    def test_planner_prefers_prefix_for_broad_queries(self, idx):
+        # At a huge eps the multipiece radius eps/sqrt(p) still floods
+        # every piece with candidates, so p probes cost ~p times the
+        # single prefix probe's candidates.
+        q = idx.series(1)[0:32]
+        choice = idx.choose_probe(q, 50.0)
+        assert choice.pieces == 4
+        assert choice.strategy == "prefix"
+        assert choice.estimated_prefix < choice.estimated_multipiece
+
+    def test_choice_reported_fields(self, idx):
+        d = idx.choose_probe(idx.series(1)[0:32], 5.0).as_dict()
+        assert d["strategy"] in ("multipiece", "prefix")
+        assert d["pieces"] == 4
+        assert "reason" in d
+
+
+# ----------------------------------------------------------------------
+# plan API + EXPLAIN + language
+# ----------------------------------------------------------------------
+class TestSubseqPlanAPI:
+    def test_range_plan_executes_and_explains(self, idx, query):
+        plan = idx.plan(
+            QuerySpec(kind="subseq_range", series=query, eps=2.0)
+        )
+        res = plan.execute()
+        assert keys(res) == keys(idx.brute_force(query, 2.0))
+        info = plan.explain()
+        assert info["kind"] == "subseq_range"
+        assert info["access_path"] == "st-index"
+        assert info["probe"]["strategy"] in ("multipiece", "prefix")
+        # executed plans carry the kernel's frontier counters
+        assert info["plan"]["frontier"]["nodes_expanded"] > 0
+
+    def test_knn_plan_executes_and_explains(self, idx, query):
+        plan = idx.plan(QuerySpec(kind="subseq_knn", series=query, k=4))
+        res = plan.execute()
+        assert keys(res) == keys(idx.brute_force_knn(query, 4))
+        info = plan.explain()
+        assert info["kind"] == "subseq_knn"
+        assert info["plan"]["op"] == "SubseqKnnSearch"
+        assert info["plan"]["frontier"]["entries_scanned"] > 0
+
+    def test_batch_specs(self, idx):
+        qs = [idx.series(0)[0:16], idx.series(1)[5:13]]
+        plan = idx.plan(QuerySpec(kind="subseq_range", series=qs, eps=1.5))
+        res = plan.execute()
+        assert len(res) == 2
+        assert plan.explain()["batch"] is True
+        kplan = idx.plan(QuerySpec(kind="subseq_knn", series=qs, k=2))
+        assert len(kplan.execute()) == 2
+
+    def test_forced_probe_hint(self, idx, query):
+        plan = idx.plan(
+            QuerySpec(
+                kind="subseq_range", series=query, eps=2.0, probe="prefix"
+            )
+        )
+        assert plan.explain()["probe"]["strategy"] == "prefix"
+        assert keys(plan.execute()) == keys(idx.brute_force(query, 2.0))
+
+    def test_window_mismatch_rejected(self, idx, query):
+        with pytest.raises(ValueError, match="window"):
+            idx.plan(
+                QuerySpec(
+                    kind="subseq_range", series=query, eps=1.0, window=99
+                )
+            )
+
+    def test_missing_fields_rejected(self, idx, query):
+        with pytest.raises(ValueError, match="eps"):
+            idx.plan(QuerySpec(kind="subseq_range", series=query))
+        with pytest.raises(ValueError, match="k"):
+            idx.plan(QuerySpec(kind="subseq_knn", series=query))
+        with pytest.raises(ValueError, match="series"):
+            idx.plan(QuerySpec(kind="subseq_knn", k=3))
+
+    def test_engine_rejects_subseq_specs(self):
+        # A subseq spec on the whole-sequence engine must fail loudly —
+        # it would otherwise compile as a whole-sequence query and return
+        # record ids instead of windows.
+        from repro.core.engine import SimilarityEngine
+
+        rng = np.random.default_rng(3)
+        rel = SequenceRelation.from_matrix(
+            np.cumsum(rng.uniform(-1, 1, size=(10, 32)), axis=1)
+        )
+        engine = SimilarityEngine(rel)
+        q = rel.get(0)
+        with pytest.raises(ValueError, match="ST-index"):
+            engine.plan(QuerySpec(kind="subseq_knn", series=q, k=3))
+        with pytest.raises(ValueError, match="ST-index"):
+            engine.plan(QuerySpec(kind="subseq_range", series=q, eps=1.0))
+
+    def test_engine_subseq_index_factory(self):
+        # engine.subseq_index builds an ST-index over the relation rows
+        # whose plans answer exactly like a hand-built index.
+        from repro.core.engine import SimilarityEngine
+
+        rng = np.random.default_rng(4)
+        rel = SequenceRelation.from_matrix(
+            np.cumsum(rng.uniform(-1, 1, size=(10, 64)), axis=1)
+        )
+        engine = SimilarityEngine(rel)
+        st = engine.subseq_index(window=8)
+        assert st.num_series == len(rel)
+        q = rel.get(4)[10:30]
+        plan = st.plan(QuerySpec(kind="subseq_knn", series=q, k=5))
+        assert keys(plan.execute()) == keys(st.brute_force_knn(q, 5))
+        insert_st = engine.subseq_index(window=8, build="insert")
+        assert keys(insert_st.knn_query(q, 5)) == keys(st.knn_query(q, 5))
+
+
+class TestSubseqLanguage:
+    @pytest.fixture(scope="class")
+    def session(self):
+        rng = np.random.default_rng(21)
+        rel = SequenceRelation.from_matrix(
+            np.cumsum(rng.uniform(-1, 1, size=(12, 80)), axis=1)
+        )
+        s = QuerySession()
+        s.bind_relation("r", rel)
+        s.bind_sequence("q", rel.get(2)[10:26])
+        return s
+
+    def test_knn_subseq(self, session):
+        res = session.execute("KNN SUBSEQ q IN r K 3 WINDOW 8")
+        assert len(res) == 3
+        assert (res[0].series_id, res[0].offset) == (2, 10)
+        assert res[0].distance == pytest.approx(0.0)
+
+    def test_range_subseq_with_probe(self, session):
+        auto = session.execute("RANGE SUBSEQ q IN r EPS 2 WINDOW 8 PROBE auto")
+        multi = session.execute(
+            "RANGE SUBSEQ q IN r EPS 2 WINDOW 8 PROBE multipiece"
+        )
+        pref = session.execute(
+            "RANGE SUBSEQ q IN r EPS 2 WINDOW 8 PROBE prefix"
+        )
+        assert keys(auto) == keys(multi) == keys(pref)
+
+    def test_window_defaults_to_query_length(self, session):
+        res = session.execute("KNN SUBSEQ q IN r K 1")
+        assert (res[0].series_id, res[0].offset) == (2, 10)
+
+    def test_explain_shows_probe_strategy(self, session):
+        info = session.execute(
+            "EXPLAIN RANGE SUBSEQ q IN r EPS 2 WINDOW 8"
+        )
+        assert info["kind"] == "subseq_range"
+        assert info["window"] == 8
+        assert info["probe"]["strategy"] in ("multipiece", "prefix")
+
+    def test_explain_analyze_carries_frontier(self, session):
+        info = session.execute("EXPLAIN ANALYZE KNN SUBSEQ q IN r K 2 WINDOW 8")
+        assert info["plan"]["frontier"]["nodes_expanded"] > 0
+
+    def test_bad_probe_is_query_error(self, session):
+        with pytest.raises(QueryError, match="PROBE"):
+            session.execute("RANGE SUBSEQ q IN r EPS 2 PROBE nope")
+
+    def test_bad_window_is_query_error(self, session):
+        with pytest.raises(QueryError, match="WINDOW"):
+            session.execute("KNN SUBSEQ q IN r K 2 WINDOW 1")
+        # window longer than the relation's series cannot be indexed
+        with pytest.raises(QueryError):
+            session.execute("KNN SUBSEQ q IN r K 2 WINDOW 500")
+
+    def test_k_zero_is_empty(self, session):
+        assert session.execute("KNN SUBSEQ q IN r K 0 WINDOW 8") == []
+
+    def test_window_beyond_query_is_query_error_even_forced(self, session):
+        # Validation must fire at compile on every probe path — a plan
+        # EXPLAIN would report has to be runnable.
+        for stmt in (
+            "KNN SUBSEQ q IN r K 2 WINDOW 64",
+            "RANGE SUBSEQ q IN r EPS 2 WINDOW 64 PROBE prefix",
+            "EXPLAIN RANGE SUBSEQ q IN r EPS 2 WINDOW 64 PROBE multipiece",
+        ):
+            with pytest.raises(QueryError, match="length >="):
+                session.execute(stmt)
+
+    def test_negative_eps_is_query_error(self, session):
+        with pytest.raises(QueryError, match="non-negative"):
+            session.execute("RANGE SUBSEQ q IN r EPS -1 WINDOW 8 PROBE prefix")

@@ -220,6 +220,47 @@ def bench_all_pairs(matrix: np.ndarray, eps: float) -> dict:
     return out
 
 
+def bench_persist(engine: SimilarityEngine) -> tuple[dict, dict]:
+    """Validated (manifest + crc32) persistence vs the plain image write.
+
+    Here ``speedup`` is the ratio plain / validated: ~1.0 means the
+    checksums and atomic-replace protocol are nearly free, and the CI
+    gate fails if validation overhead ever grows past the tolerance.
+    """
+    import shutil
+    import tempfile
+
+    from repro import persist
+
+    root = Path(tempfile.mkdtemp(prefix="bench_persist_"))
+    try:
+        plain_dir = str(root / "plain")
+        valid_dir = str(root / "validated")
+        save_plain = _timed(
+            lambda: persist.save_engine(engine, plain_dir, manifest=False),
+            repeats=2,
+        )
+        save_valid = _timed(
+            lambda: persist.save_engine(engine, valid_dir, manifest=True),
+            repeats=2,
+        )
+        load_plain = _timed(lambda: persist.load_engine(plain_dir), repeats=2)
+        load_valid = _timed(lambda: persist.load_engine(valid_dir), repeats=2)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    save = {
+        "plain_s": save_plain,
+        "validated_s": save_valid,
+        "speedup": save_plain / save_valid,
+    }
+    load = {
+        "plain_s": load_plain,
+        "validated_s": load_valid,
+        "speedup": load_plain / load_valid,
+    }
+    return save, load
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--count", type=int, default=10_000,
@@ -309,6 +350,20 @@ def main() -> None:
              ap["scan_abandon"]["scalar_s"] / ap["index_join"]["recursive_s"]),
             ("index join kernel", ap["index_join"]["kernel_s"],
              ap["scan_abandon"]["scalar_s"] / ap["index_join"]["kernel_s"]),
+        ],
+    )
+
+    report["persist_save"], report["persist_load"] = bench_persist(engine)
+    print_series(
+        f"Validated persistence ({args.count} x {LENGTH})",
+        ["operation", "plain", "validated", "plain/validated"],
+        [
+            ("save", report["persist_save"]["plain_s"],
+             report["persist_save"]["validated_s"],
+             report["persist_save"]["speedup"]),
+            ("load", report["persist_load"]["plain_s"],
+             report["persist_load"]["validated_s"],
+             report["persist_load"]["speedup"]),
         ],
     )
 

@@ -16,6 +16,8 @@ Usage (``python -m repro.cli <command> ...``):
       python -m repro.cli query data.csv "KNN SUBSEQ s0 IN r K 5 WINDOW 32"
       python -m repro.cli query data.csv \
           "EXPLAIN RANGE SUBSEQ s0 IN r EPS 2 WINDOW 16 PROBE auto"
+      python -m repro.cli query data.csv "RANGE s0 IN r EPS 2 BUDGET 100"
+      python -m repro.cli query data.csv "HEALTH r"
 
   Statements run through the engine's plan API, so ``EXPLAIN`` prints the
   compiled plan (access path, selectivity estimate, operator tree) as
@@ -26,7 +28,13 @@ Usage (``python -m repro.cli <command> ...``):
   variants answer subsequence queries over an ST-index of the relation's
   rows; ``EXPLAIN`` on a ``RANGE SUBSEQ`` shows the planner's
   multipiece-vs-prefix probe choice, and subsequence rows print as
-  ``series,offset,distance``.
+  ``series,offset,distance``.  ``BUDGET ms`` caps a query's wall-clock
+  time (range-style queries report a query error past the deadline,
+  k-NN returns the exact partial results), and ``HEALTH r`` prints the
+  engine's component health report — relation, node index, columnar
+  kernel, persistence — as JSON.  EXPLAIN output carries
+  ``degraded_from`` (the access path the planner had to abandon, if
+  any) and ``budget`` fields.
 
 * ``info`` — summarise a CSV relation (count, length, index geometry).
 

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core import queries as q
 from repro.core.features import FeatureSpace, NormalFormSpace
+from repro.core.health import ComponentHealth, HealthReport
 from repro.core.plan import PhysicalPlan, QuerySpec, compile_spec
 from repro.core.planner import SelectivityEstimator
 from repro.core.transforms import Transformation
@@ -140,8 +141,56 @@ class SimilarityEngine:
         This is the struct-of-arrays image the frontier engine traverses;
         ``EXPLAIN`` reports its per-operator ``nodes_expanded`` /
         ``entries_scanned`` / ``frontier_peak`` counters after a run.
+
+        Raises:
+            CorruptIndexError: the kernel is disabled because its
+                persisted image failed validation (degraded engines
+                answer queries through the reference path instead).
         """
         return frozen_kernel(self.tree)
+
+    def health(self) -> HealthReport:
+        """Trust state of the engine's components (see :mod:`repro.core.health`).
+
+        A built engine is all-ok; a loaded one carries whatever the
+        persistence layer's validation found — a failed index (queries
+        degrade to the sequential scan), a failed kernel image (queries
+        run the node-object reference path), or a legacy image with no
+        manifest to verify.  ``getattr`` defaults throughout because
+        persistence reassembles engines via ``__new__``.
+        """
+        index_failed = getattr(self, "_index_failed", None)
+        kernel_disabled = getattr(self.tree, "_kernel_disabled", False)
+        kernel_detail = getattr(self, "_kernel_detail", "")
+        persist_status, persist_detail = getattr(
+            self, "_persist_health", ("ok", "built in memory (not loaded)")
+        )
+        if index_failed:
+            index = ComponentHealth("index", "failed", index_failed)
+            kernel = ComponentHealth(
+                "kernel", "failed",
+                kernel_detail or "unavailable: the node index failed validation",
+            )
+        elif kernel_disabled:
+            index = ComponentHealth("index", "ok", "node pages verified")
+            kernel = ComponentHealth(
+                "kernel", "degraded",
+                kernel_detail
+                or "columnar image failed validation; reference path in use",
+            )
+        else:
+            index = ComponentHealth("index", "ok", "")
+            kernel = ComponentHealth("kernel", "ok", "")
+        return HealthReport(
+            [
+                ComponentHealth(
+                    "relation", "ok", f"{len(self.relation)} records"
+                ),
+                index,
+                kernel,
+                ComponentHealth("persistence", persist_status, persist_detail),
+            ]
+        )
 
     def plan(
         self, spec: QuerySpec, estimator: Optional[SelectivityEstimator] = None

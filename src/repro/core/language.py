@@ -18,6 +18,8 @@ surface over :class:`~repro.core.engine.SimilarityEngine`:
     EXPLAIN RANGE q IN stocks EPS 9 USING mavg(20)
     RANGE SUBSEQ q IN stocks EPS 1.5 WINDOW 32 PROBE auto
     KNN   SUBSEQ q IN stocks K 5 WINDOW 32
+    RANGE q IN stocks EPS 2.5 BUDGET 50
+    HEALTH stocks
 
 * ``RANGE`` returns all records of the relation within ``EPS`` of ``q``
   after the transformation is applied to the data side (Algorithm 2).
@@ -38,6 +40,12 @@ surface over :class:`~repro.core.engine.SimilarityEngine`:
   and ``EXPLAIN`` reports the choice.  Results are
   :class:`~repro.subseq.stindex.SubseqMatch` records (series, offset,
   distance).
+* ``BUDGET ms`` caps a RANGE/KNN/JOIN/SUBSEQ query's wall-clock time:
+  range-style queries raise a :class:`QueryError` when the deadline
+  passes, k-NN queries return the (exact) partial results found so far.
+* ``HEALTH r`` reports the relation's engine component health (the
+  relation, node index, columnar kernel and persistence layer) as a
+  dict — the query-language face of ``engine.health()``.
 * ``EXPLAIN <query>`` compiles the query without running it and returns
   the plan description (chosen access path, estimated candidate
   fraction, operator tree) as a dict; ``EXPLAIN ANALYZE <query>`` runs
@@ -69,6 +77,7 @@ from repro.core.features import FeatureSpace
 from repro.core.plan import ACCESS_HINTS, SUBSEQ_PROBES, QuerySpec, dist_plan
 from repro.core.transforms import Transformation
 from repro.data.relation import SequenceRelation
+from repro.storage.budget import QueryBudgetExceeded, ResourceBudget
 
 
 class QueryError(Exception):
@@ -91,6 +100,7 @@ _TOKEN_RE = re.compile(
 _KEYWORDS = {
     "RANGE", "KNN", "JOIN", "DIST", "IN", "EPS", "K", "USING", "THEN",
     "METHOD", "EXPLAIN", "ANALYZE", "PLAN", "SUBSEQ", "WINDOW", "PROBE",
+    "BUDGET", "HEALTH",
 }
 
 
@@ -145,6 +155,7 @@ class RangeQuery:
     eps: float
     using: Optional[TransformExpr]
     plan: str = "auto"
+    budget_ms: Optional[float] = None
 
 
 @dataclass
@@ -154,6 +165,7 @@ class KnnQuery:
     k: int
     using: Optional[TransformExpr]
     plan: str = "auto"
+    budget_ms: Optional[float] = None
 
 
 @dataclass
@@ -162,6 +174,7 @@ class JoinQuery:
     eps: float
     using: Optional[TransformExpr]
     method: str = "index"
+    budget_ms: Optional[float] = None
 
 
 @dataclass
@@ -179,6 +192,7 @@ class SubseqRangeQuery:
     eps: float
     window: Optional[int] = None
     probe: str = "auto"
+    budget_ms: Optional[float] = None
 
 
 @dataclass
@@ -189,6 +203,14 @@ class SubseqKnnQuery:
     relation: str
     k: int
     window: Optional[int] = None
+    budget_ms: Optional[float] = None
+
+
+@dataclass
+class HealthQuery:
+    """``HEALTH r`` — the relation's engine component health report."""
+
+    relation: str
 
 
 @dataclass
@@ -214,7 +236,7 @@ class ExplainQuery:
 
 Query = Union[
     RangeQuery, KnnQuery, JoinQuery, DistQuery,
-    SubseqRangeQuery, SubseqKnnQuery, ExplainQuery,
+    SubseqRangeQuery, SubseqKnnQuery, HealthQuery, ExplainQuery,
 ]
 
 
@@ -271,6 +293,10 @@ class Parser:
             node = self._join()
         elif tok.text == "DIST":
             node = self._dist()
+        elif tok.text == "HEALTH":
+            if explain:
+                raise QueryError("HEALTH cannot be wrapped in EXPLAIN")
+            node = HealthQuery(self.expect("ident").text)
         else:
             raise QueryError(f"unknown query verb {tok.text}")
         self.expect("end")
@@ -286,7 +312,7 @@ class Parser:
         eps = self._number()
         using = self._maybe_using()
         plan = self._maybe_plan()
-        return RangeQuery(seq, relation, eps, using, plan)
+        return RangeQuery(seq, relation, eps, using, plan, self._maybe_budget())
 
     def _knn(self) -> Union[KnnQuery, SubseqKnnQuery]:
         if self._maybe_kw("SUBSEQ"):
@@ -302,7 +328,9 @@ class Parser:
             raise QueryError(f"K must be a non-negative integer, got {k}")
         using = self._maybe_using()
         plan = self._maybe_plan()
-        return KnnQuery(seq, relation, int(k), using, plan)
+        return KnnQuery(
+            seq, relation, int(k), using, plan, self._maybe_budget()
+        )
 
     def _subseq_range(self) -> SubseqRangeQuery:
         seq = self.expect("ident").text
@@ -312,7 +340,9 @@ class Parser:
         eps = self._number()
         window = self._maybe_window()
         probe = self._maybe_probe()
-        return SubseqRangeQuery(seq, relation, eps, window, probe)
+        return SubseqRangeQuery(
+            seq, relation, eps, window, probe, self._maybe_budget()
+        )
 
     def _subseq_knn(self) -> SubseqKnnQuery:
         seq = self.expect("ident").text
@@ -323,7 +353,9 @@ class Parser:
         if k != int(k) or k < 0:
             raise QueryError(f"K must be a non-negative integer, got {k}")
         window = self._maybe_window()
-        return SubseqKnnQuery(seq, relation, int(k), window)
+        return SubseqKnnQuery(
+            seq, relation, int(k), window, self._maybe_budget()
+        )
 
     def _maybe_kw(self, text: str) -> bool:
         """Consume the keyword if it is next; returns whether it was."""
@@ -340,6 +372,15 @@ class Parser:
         if w != int(w) or w < 2:
             raise QueryError(f"WINDOW must be an integer >= 2, got {w}")
         return int(w)
+
+    def _maybe_budget(self) -> Optional[float]:
+        """Optional ``BUDGET ms`` wall-clock deadline clause."""
+        if not self._maybe_kw("BUDGET"):
+            return None
+        ms = self._number()
+        if ms <= 0:
+            raise QueryError(f"BUDGET must be a positive deadline in ms, got {ms}")
+        return ms
 
     def _maybe_probe(self) -> str:
         """Optional ``PROBE auto|multipiece|prefix`` strategy hint."""
@@ -362,7 +403,7 @@ class Parser:
         if self.peek().kind == "kw" and self.peek().text == "METHOD":
             self.next()
             method = self.expect("ident").text
-        return JoinQuery(relation, eps, using, method)
+        return JoinQuery(relation, eps, using, method, self._maybe_budget())
 
     def _dist(self) -> DistQuery:
         seq_a = self.expect("ident").text
@@ -554,6 +595,7 @@ class QuerySession:
                 transformation=t,
                 transform_query=True,
                 method=query.plan,
+                budget=self._build_budget(query.budget_ms),
             )
             return engine.plan(spec)
         if isinstance(query, KnnQuery):
@@ -566,13 +608,16 @@ class QuerySession:
                 transformation=t,
                 transform_query=True,
                 method=query.plan,
+                budget=self._build_budget(query.budget_ms),
             )
             return engine.plan(spec)
         if isinstance(query, JoinQuery):
             engine = self.engine(query.relation)
             t = self._build_transform(query.using, engine.space.n)
             spec = QuerySpec(
-                kind="join", eps=query.eps, transformation=t, method=query.method
+                kind="join", eps=query.eps, transformation=t,
+                method=query.method,
+                budget=self._build_budget(query.budget_ms),
             )
             try:
                 return engine.plan(spec)
@@ -585,6 +630,7 @@ class QuerySession:
             spec = QuerySpec(
                 kind="subseq_range", series=q, eps=query.eps,
                 window=window, probe=query.probe,
+                budget=self._build_budget(query.budget_ms),
             )
             try:
                 return idx.plan(spec)
@@ -595,7 +641,8 @@ class QuerySession:
             window = query.window if query.window is not None else q.shape[0]
             idx = self.subseq_index(query.relation, window)
             spec = QuerySpec(
-                kind="subseq_knn", series=q, k=query.k, window=window
+                kind="subseq_knn", series=q, k=query.k, window=window,
+                budget=self._build_budget(query.budget_ms),
             )
             try:
                 return idx.plan(spec)
@@ -614,6 +661,8 @@ class QuerySession:
 
     def run(self, query: Query):
         """Execute a pre-parsed query AST through the plan API."""
+        if isinstance(query, HealthQuery):
+            return self.engine(query.relation).health().as_dict()
         if isinstance(query, ExplainQuery):
             plan = self._compile(query.query)
             if query.analyze:
@@ -626,14 +675,22 @@ class QuerySession:
         """Run a compiled plan under the language's error contract.
 
         Compile-time validation catches malformed statements, but any
-        residual execute-time ``ValueError`` must still surface as
-        :class:`QueryError` — the boundary the CLI (and every language
-        caller) handles.
+        residual execute-time ``ValueError`` — and a blown ``BUDGET``
+        deadline — must still surface as :class:`QueryError`, the
+        boundary the CLI (and every language caller) handles.
         """
         try:
             return plan.execute()
+        except QueryBudgetExceeded as ex:
+            raise QueryError(str(ex)) from None
         except ValueError as ex:
             raise QueryError(str(ex)) from None
+
+    @staticmethod
+    def _build_budget(budget_ms: Optional[float]) -> Optional[ResourceBudget]:
+        if budget_ms is None:
+            return None
+        return ResourceBudget(deadline_ms=budget_ms)
 
     # -- helpers ----------------------------------------------------------
     def _sequence(self, name: str) -> np.ndarray:

@@ -53,10 +53,14 @@ class ExecContext:
         engine: the :class:`~repro.core.engine.SimilarityEngine` whose
             relation/index the plan runs against; ``None`` only for plans
             that touch no relation (``DIST``).
+        budget: optional :class:`~repro.storage.budget.ResourceBudget`
+            governing this execution; operators hand it to the kernel's
+            frontier loops and charge verified candidates against it.
     """
 
-    def __init__(self, engine=None) -> None:
+    def __init__(self, engine=None, budget=None) -> None:
         self.engine = engine
+        self.budget = budget
 
     @property
     def stats(self):
@@ -144,7 +148,9 @@ class IndexProbe(Operator):
             self.q_point, self.eps, aux_bounds=self.aux_bounds
         )
         self.frontier = FrontierStats()
-        ids = view.search_ids(qrect, fstats=self.frontier)
+        ids = view.search_ids(qrect, fstats=self.frontier, budget=ctx.budget)
+        if ctx.budget is not None:
+            ctx.budget.charge_candidates(int(ids.shape[0]), where="index probe")
         if ctx.stats is not None:
             ctx.stats.candidate_count += ids.shape[0]
         return ids
@@ -193,8 +199,14 @@ class BatchIndexProbe(Operator):
             self.q_points, self.eps, aux_bounds=self.aux_bounds
         )
         self.frontier = FrontierStats()
-        id_lists = view.search_many(qlows, qhighs, fstats=self.frontier)
+        id_lists = view.search_many(
+            qlows, qhighs, fstats=self.frontier, budget=ctx.budget
+        )
         out = [np.asarray(ids, dtype=np.intp) for ids in id_lists]
+        if ctx.budget is not None:
+            ctx.budget.charge_candidates(
+                sum(int(a.shape[0]) for a in out), where="batch index probe"
+            )
         if ctx.stats is not None:
             ctx.stats.candidate_count += sum(a.shape[0] for a in out)
         return out
@@ -238,6 +250,10 @@ class SeqScan(Operator):
     def _execute(self, ctx: ExecContext):
         engine = ctx.engine
         spectra = engine.ground_spectra
+        if ctx.budget is not None:
+            # The scan is one fused pass; the deadline is checked at entry
+            # (its runtime is bounded by the relation, not the query).
+            ctx.budget.check(where="seq scan")
         if self.kind == "range":
             if self.batch:
                 return scan_range_many(
@@ -306,6 +322,8 @@ class Verify(Operator):
         self, ctx: ExecContext, ids: np.ndarray, q_spec: np.ndarray
     ) -> list[Match]:
         engine = ctx.engine
+        if ctx.budget is not None:
+            ctx.budget.check(where="verify round")
         kept, dists, abandoned = engine.space.ground_distances_within_many(
             engine.ground_spectra[ids], q_spec, self.eps, self.transformation
         )
@@ -376,14 +394,14 @@ class KnnSearch(Operator):
                 engine.tree, engine.space, engine.ground_spectra,
                 self.query_spectra, self.q_points, self.k,
                 transformation=self.transformation, stats=ctx.stats,
-                frontier_stats=self.frontier,
+                frontier_stats=self.frontier, budget=ctx.budget,
             )
         self.frontier = FrontierStats()
         return q.knn_query_fused(
             engine.tree, engine.space, engine.ground_spectra,
             self.query_spectra, self.q_points, self.k,
             transformation=self.transformation, stats=ctx.stats,
-            frontier_stats=self.frontier,
+            frontier_stats=self.frontier, budget=ctx.budget,
         )
 
     def _describe(self) -> dict:
@@ -420,6 +438,8 @@ class PairJoin(Operator):
     def _execute(self, ctx: ExecContext) -> list[tuple[int, int, float]]:
         engine = ctx.engine
         spectra = engine.ground_spectra
+        if ctx.budget is not None:
+            ctx.budget.check(where="pair join")
         if self.method == "scan":
             return q.all_pairs_scan(
                 spectra, self.eps, self.transformation,
@@ -482,7 +502,8 @@ class SubseqRangeSearch(Operator):
         stindex = ctx.engine
         self.frontier = FrontierStats()
         results = stindex.range_query_batch(
-            self.queries, self.eps, fstats=self.frontier, probe=self.strategies
+            self.queries, self.eps, fstats=self.frontier,
+            probe=self.strategies, budget=ctx.budget,
         )
         return results if self.batch else results[0]
 
@@ -526,7 +547,7 @@ class SubseqKnnSearch(Operator):
         stindex = ctx.engine
         self.frontier = FrontierStats()
         results = stindex.knn_query_batch(
-            self.queries, self.k, fstats=self.frontier
+            self.queries, self.k, fstats=self.frontier, budget=ctx.budget
         )
         return results if self.batch else results[0]
 

@@ -48,6 +48,8 @@ from repro.core import ops
 from repro.core.planner import PROBE_STRATEGIES
 from repro.core.transforms import Transformation
 from repro.rtree.transformed import AffineMap
+from repro.storage.budget import ResourceBudget
+from repro.storage.manifest import CorruptIndexError
 
 ArrayLike = Union[Sequence[float], np.ndarray]
 
@@ -90,6 +92,9 @@ class QuerySpec:
         probe: probe-strategy hint for ``subseq_range`` specs —
             ``"auto"`` (the planner weighs piece count against prefix
             selectivity per query), ``"multipiece"`` or ``"prefix"``.
+        budget: optional :class:`~repro.storage.budget.ResourceBudget`
+            bounding the execution (deadline, candidate and frontier
+            caps); re-armed on every ``execute()``.
     """
 
     kind: str
@@ -103,6 +108,7 @@ class QuerySpec:
     method: str = "auto"
     window: Optional[int] = None
     probe: str = "auto"
+    budget: Optional[ResourceBudget] = None
 
 
 @dataclass
@@ -117,6 +123,10 @@ class LogicalPlan:
     crossover_fraction: Optional[float] = None
     #: per-query probe decisions of a subsequence plan (ProbeChoice dicts).
     probe_choices: Optional[list[dict]] = None
+    #: the access path the planner *wanted* but had to abandon because a
+    #: component failed validation (``"frozen-kernel"``, ``"index"``, or a
+    #: join method); ``None`` on a healthy engine.
+    degraded_from: Optional[str] = None
     reason: str = ""
 
 
@@ -143,6 +153,8 @@ class PhysicalPlan:
 
     def execute(self):
         """Run the plan; the result type matches the spec kind."""
+        if self.ctx.budget is not None:
+            self.ctx.budget.start()
         return self.root.execute(self.ctx)
 
     def explain(self) -> dict:
@@ -155,6 +167,8 @@ class PhysicalPlan:
             "batch": logical.batch,
             "estimated_candidate_fraction": logical.estimated_fraction,
             "crossover_fraction": logical.crossover_fraction,
+            "degraded_from": logical.degraded_from,
+            "budget": None if spec.budget is None else spec.budget.as_dict(),
             "reason": logical.reason,
             "eps": spec.eps,
             "k": spec.k,
@@ -199,6 +213,19 @@ def _route_range(
     logical = LogicalPlan(
         kind="range", access_path="index", method_hint=spec.method, batch=batch
     )
+    failed = getattr(engine, "_index_failed", None)
+    if failed:
+        if spec.aux_bounds is not None:
+            # A scan cannot apply aux-dimension bounds, so there is no
+            # trusted path left for this query — fail typed.
+            raise CorruptIndexError(
+                f"aux_bounds need the index path, but the persisted index "
+                f"failed validation: {failed}"
+            )
+        logical.access_path = "scan"
+        logical.degraded_from = "index"
+        logical.reason = f"index unavailable ({failed}); degraded to scan"
+        return logical
     if spec.aux_bounds is not None:
         # Only the index path can apply [GK95]-style aux-dimension bounds;
         # a scan would silently return records outside them.
@@ -263,7 +290,7 @@ def compile_spec(engine, spec: QuerySpec, estimator=None) -> PhysicalPlan:
             f"a {spec.kind!r} spec compiles against an ST-index: use "
             "STIndex.plan(spec) (e.g. engine.subseq_index(window).plan(spec))"
         )
-    ctx = ops.ExecContext(engine)
+    ctx = ops.ExecContext(engine, budget=spec.budget)
     if spec.kind == "dist":
         return _compile_dist(spec, ctx)
     if spec.kind == "join":
@@ -288,6 +315,7 @@ def compile_spec(engine, spec: QuerySpec, estimator=None) -> PhysicalPlan:
                 f"unknown method {spec.method!r}; expected one of {ACCESS_HINTS}"
             )
         logical = _route_range(engine, spec, q_points, batch, estimator)
+        _note_kernel_degradation(engine, logical)
         if logical.access_path == "scan":
             root: ops.Operator = ops.SeqScan(
                 "range", q_specs, eps=spec.eps,
@@ -316,9 +344,14 @@ def compile_spec(engine, spec: QuerySpec, estimator=None) -> PhysicalPlan:
     logical = LogicalPlan(
         kind="knn", access_path="index", method_hint=spec.method, batch=batch
     )
-    if spec.method == "scan":
+    failed = getattr(engine, "_index_failed", None)
+    if spec.method == "scan" or failed:
         logical.access_path = "scan"
-        logical.reason = "access path forced by method hint"
+        if spec.method == "scan":
+            logical.reason = "access path forced by method hint"
+        else:
+            logical.degraded_from = "index"
+            logical.reason = f"index unavailable ({failed}); degraded to scan"
         root = ops.SeqScan(
             "knn", q_specs, k=spec.k,
             transformation=spec.transformation, batch=batch,
@@ -328,11 +361,30 @@ def compile_spec(engine, spec: QuerySpec, estimator=None) -> PhysicalPlan:
             "k-NN has no eps to estimate selectivity from; "
             "multi-step index search is the default"
         )
+        _note_kernel_degradation(engine, logical)
         root = ops.KnnSearch(
             q_specs, q_points, spec.k,
             transformation=spec.transformation, batch=batch,
         )
     return PhysicalPlan(root, ctx, logical, spec)
+
+
+def _note_kernel_degradation(engine, logical: LogicalPlan) -> None:
+    """Record the frozen-kernel → reference-path downgrade in the plan.
+
+    When a loaded engine's columnar image failed validation the tree's
+    ``_kernel_disabled`` flag makes every query path fall back to the
+    node-object reference traversal; the plan stays on the index access
+    path but EXPLAIN must say so.
+    """
+    if logical.access_path not in ("index",):
+        return
+    if getattr(engine.tree, "_kernel_disabled", False):
+        logical.degraded_from = "frozen-kernel"
+        logical.reason += (
+            "; columnar kernel failed validation — "
+            "node-object reference traversal"
+        )
 
 
 def _compile_join(spec: QuerySpec, ctx: ops.ExecContext) -> PhysicalPlan:
@@ -350,6 +402,16 @@ def _compile_join(spec: QuerySpec, ctx: ops.ExecContext) -> PhysicalPlan:
         method_hint=spec.method,
         reason="Table-1 join strategy",
     )
+    failed = getattr(ctx.engine, "_index_failed", None)
+    if failed and method in ("index", "tree-join"):
+        logical.degraded_from = method
+        method = "scan-abandon"
+        logical.access_path = method
+        logical.reason = (
+            f"index unavailable ({failed}); degraded to scan-abandon"
+        )
+    else:
+        _note_kernel_degradation(ctx.engine, logical)
     root = ops.PairJoin(spec.eps, transformation=spec.transformation, method=method)
     return PhysicalPlan(root, ctx, logical, spec)
 
@@ -418,7 +480,7 @@ def compile_subseq_spec(stindex, spec: QuerySpec) -> PhysicalPlan:
         )
         raw = seq if batch else [seq]
     qs = [np.asarray(q, dtype=np.float64) for q in raw]
-    ctx = ops.ExecContext(stindex)
+    ctx = ops.ExecContext(stindex, budget=spec.budget)
 
     if spec.kind == "subseq_range":
         if spec.eps is None:

@@ -157,6 +157,7 @@ def knn_query(
     batched: bool = True,
     view: Optional[TransformedIndexView] = None,
     frontier_stats: Optional[FrontierStats] = None,
+    budget=None,
 ) -> list[Match]:
     """Exact k-nearest-neighbours under a safe transformation.
 
@@ -191,7 +192,7 @@ def knn_query(
             np.asarray(query_spectrum)[None, :],
             np.asarray(query_point, dtype=np.float64)[None, :],
             k, transformation=transformation, stats=stats, view=view,
-            frontier_stats=frontier_stats,
+            frontier_stats=frontier_stats, budget=budget,
         )[0]
     q = np.asarray(query_point, dtype=np.float64)
     best: list[tuple[float, int]] = []  # max-heap by negated distance
@@ -212,6 +213,11 @@ def knn_query(
         **many_kwargs,
     ):
         if len(best) == k and bound > -best[0][0]:
+            break
+        if budget is not None and budget.exceeded(0) is not None:
+            # k-NN truncates instead of raising: results so far are exact,
+            # just possibly incomplete.
+            budget.truncated = True
             break
         d = space.ground_distance(
             ground_spectra[entry.child], query_spectrum, transformation
@@ -239,6 +245,7 @@ def knn_query_fused(
     stats: Optional[IOStats] = None,
     view: Optional[TransformedIndexView] = None,
     frontier_stats: Optional["FrontierStats"] = None,
+    budget=None,
 ) -> list[list[Match]]:
     """Fused multi-step exact k-NN for a whole batch of queries.
 
@@ -275,6 +282,7 @@ def knn_query_fused(
             knn_query(
                 tree, space, ground_spectra, query_spectra[i], q_points[i], k,
                 transformation=transformation, stats=stats, view=view,
+                budget=budget,
             )
             for i in range(m)
         ]
@@ -296,6 +304,7 @@ def knn_query_fused(
         rect_dist_rows=space.rect_mindist_rows,
         point_dist_rows=space.point_dist_rows,
         fstats=frontier_stats, io=view.tree.store.stats,
+        budget=budget,
     )
 
 

@@ -73,6 +73,8 @@ from repro.rtree.geometry import (
     intersects_circular_many,
     intersects_circular_rows,
 )
+from repro.storage.budget import ResourceBudget
+from repro.storage.manifest import CorruptIndexError
 from repro.storage.stats import IOStats
 
 #: batched rect lower bound: (m, d) lows, (m, d) highs, (d,) query -> (m,)
@@ -218,19 +220,125 @@ class FrozenRTree:
         }
 
     @classmethod
-    def from_arrays(cls, arrays) -> "FrozenRTree":
-        """Rebuild a frozen tree from :meth:`to_arrays` output (or an npz)."""
-        meta = np.asarray(arrays["meta"], dtype=np.int64)
-        return cls(
-            int(meta[0]),
-            int(meta[1]),
-            np.asarray(arrays["node_level"], dtype=np.int32),
-            np.asarray(arrays["entry_start"], dtype=np.int64),
-            np.asarray(arrays["entry_count"], dtype=np.int64),
-            np.asarray(arrays["entry_lows"], dtype=np.float64),
-            np.asarray(arrays["entry_highs"], dtype=np.float64),
-            np.asarray(arrays["entry_child"], dtype=np.int64),
+    def from_arrays(cls, arrays, validate: bool = False) -> "FrozenRTree":
+        """Rebuild a frozen tree from :meth:`to_arrays` output (or an npz).
+
+        With ``validate=True`` the structural invariants are checked
+        (:meth:`validate`) — the persistence layer always does this, so a
+        corrupted image raises
+        :class:`~repro.storage.manifest.CorruptIndexError` instead of
+        producing garbage traversals.
+        """
+        try:
+            meta = np.asarray(arrays["meta"], dtype=np.int64)
+            if meta.shape != (2,):
+                raise CorruptIndexError(
+                    f"kernel meta must have shape (2,), got {meta.shape}"
+                )
+            tree = cls(
+                int(meta[0]),
+                int(meta[1]),
+                np.asarray(arrays["node_level"], dtype=np.int32),
+                np.asarray(arrays["entry_start"], dtype=np.int64),
+                np.asarray(arrays["entry_count"], dtype=np.int64),
+                np.asarray(arrays["entry_lows"], dtype=np.float64),
+                np.asarray(arrays["entry_highs"], dtype=np.float64),
+                np.asarray(arrays["entry_child"], dtype=np.int64),
+            )
+        except CorruptIndexError:
+            raise
+        except Exception as exc:
+            raise CorruptIndexError(f"unreadable kernel arrays: {exc}") from exc
+        if validate:
+            tree.validate()
+        return tree
+
+    def validate(self, tol: float = 1e-9) -> None:
+        """Check the structural invariants of the frozen image.
+
+        Verifies — all vectorized, so this is cheap relative to a load —
+
+        * array shapes are mutually consistent and ``entry_start`` is the
+          exclusive cumulative sum of ``entry_count``;
+        * no NaN/inf coordinates and ``lows <= highs`` everywhere;
+        * internal entries point at in-range child nodes exactly one level
+          down; leaf entries carry payload ids in ``[0, size)``;
+        * every internal entry's MBR contains its child node's own MBR
+          (parent ⊇ child, within ``tol``).
+
+        Raises:
+            CorruptIndexError: the first violated invariant.
+        """
+
+        def bad(msg: str) -> CorruptIndexError:
+            return CorruptIndexError(f"frozen kernel invariant violated: {msg}")
+
+        n = self.node_level.shape[0]
+        if n == 0:
+            raise bad("no nodes")
+        if self.entry_start.shape != (n,) or self.entry_count.shape != (n,):
+            raise bad("entry_start/entry_count shape mismatch with node_level")
+        total = self.entry_child.shape[0]
+        if (
+            self.entry_lows.shape != (total, self.dim)
+            or self.entry_highs.shape != (total, self.dim)
+        ):
+            raise bad("entry box arrays disagree with entry_child/dim")
+        if np.any(self.entry_count < 0):
+            raise bad("negative entry_count")
+        expected_start = np.concatenate(
+            ([0], np.cumsum(self.entry_count)[:-1])
         )
+        if not np.array_equal(self.entry_start, expected_start):
+            raise bad("entry_start is not the cumulative sum of entry_count")
+        if int(self.entry_count.sum()) != total:
+            raise bad("entry_count does not sum to the number of entries")
+        if total and not np.all(np.isfinite(self.entry_lows)):
+            raise bad("non-finite coordinates in entry_lows")
+        if total and not np.all(np.isfinite(self.entry_highs)):
+            raise bad("non-finite coordinates in entry_highs")
+        if total and np.any(self.entry_lows > self.entry_highs + tol):
+            raise bad("entry has lows > highs")
+        if np.any(self.node_level < 0):
+            raise bad("negative node level")
+
+        owner_level = np.repeat(self.node_level, self.entry_count)
+        internal = owner_level > 0
+        children = self.entry_child[internal]
+        if children.size:
+            if np.any((children < 0) | (children >= n)):
+                raise bad("internal entry child id out of node range")
+            if np.any(
+                self.node_level[children] != owner_level[internal] - 1
+            ):
+                raise bad("child node level is not parent level - 1")
+        leaf_ids = self.entry_child[~internal]
+        if leaf_ids.size and np.any((leaf_ids < 0) | (leaf_ids >= self.size)):
+            raise bad("leaf entry id outside [0, size)")
+
+        if children.size:
+            # Per-node MBRs via reduceat over each node's entry range, then
+            # containment of each child's MBR in its parent entry's box.
+            nonempty = np.nonzero(self.entry_count > 0)[0]
+            node_low = np.full((n, self.dim), np.inf)
+            node_high = np.full((n, self.dim), -np.inf)
+            if nonempty.size:
+                starts = self.entry_start[nonempty].astype(np.intp)
+                node_low[nonempty] = np.minimum.reduceat(self.entry_lows, starts)
+                node_high[nonempty] = np.maximum.reduceat(
+                    self.entry_highs, starts
+                )
+                # reduceat folds to the array end for the last start; nodes
+                # with empty tails are already excluded via ``nonempty``.
+            has_entries = self.entry_count[children] > 0
+            kids = children[has_entries]
+            plo = self.entry_lows[internal][has_entries]
+            phi = self.entry_highs[internal][has_entries]
+            if kids.size and (
+                np.any(node_low[kids] < plo - tol)
+                or np.any(node_high[kids] > phi + tol)
+            ):
+                raise bad("parent entry MBR does not contain its child's MBR")
 
     @property
     def height(self) -> int:
@@ -304,12 +412,16 @@ class FrozenRTree:
         circular_mask: Optional[np.ndarray] = None,
         fstats: Optional[FrontierStats] = None,
         io: Optional[IOStats] = None,
+        budget: Optional[ResourceBudget] = None,
     ) -> np.ndarray:
         """Record ids whose transformed point intersects ``[qlo, qhi]``.
 
         Level-at-a-time: the whole frontier of surviving nodes is expanded
         per iteration — gather, transform, intersect as three fused numpy
-        steps — instead of one recursive call per node.
+        steps — instead of one recursive call per node.  A ``budget`` is
+        checked once per level and raises
+        :class:`~repro.storage.budget.QueryBudgetExceeded` when the
+        deadline passes or the frontier outgrows its cap.
         """
         qlo = np.asarray(qlo, dtype=np.float64)
         qhi = np.asarray(qhi, dtype=np.float64)
@@ -319,6 +431,8 @@ class FrozenRTree:
         frontier = np.array([self.root], dtype=np.int64)
         level = int(self.node_level[self.root])
         while frontier.size:
+            if budget is not None:
+                budget.check(int(frontier.size), where="range frontier")
             if fstats is not None:
                 fstats.nodes_expanded += int(frontier.size)
                 fstats.observe(int(frontier.size))
@@ -351,6 +465,7 @@ class FrozenRTree:
         circular_mask: Optional[np.ndarray],
         fstats: Optional[FrontierStats],
         io: Optional[IOStats],
+        budget: Optional[ResourceBudget] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Drive a ``(node, query)`` pair frontier down to the leaves.
 
@@ -366,6 +481,8 @@ class FrozenRTree:
         fquery = np.arange(m, dtype=np.int64)
         level = int(self.node_level[self.root])
         while fnodes.size:
+            if budget is not None:
+                budget.check(int(fnodes.size), where="pair frontier")
             if fstats is not None:
                 fstats.nodes_expanded += int(fnodes.size)
                 fstats.observe(int(fnodes.size))
@@ -403,6 +520,7 @@ class FrozenRTree:
         circular_mask: Optional[np.ndarray] = None,
         fstats: Optional[FrontierStats] = None,
         io: Optional[IOStats] = None,
+        budget: Optional[ResourceBudget] = None,
     ) -> list[np.ndarray]:
         """Fused multi-query range search: one id array per query row.
 
@@ -412,7 +530,7 @@ class FrozenRTree:
         """
         m = qlows.shape[0]
         recs, qidx = self._pair_frontier(
-            qlows, qhighs, scale, offset, circular_mask, fstats, io
+            qlows, qhighs, scale, offset, circular_mask, fstats, io, budget
         )
         order = np.argsort(qidx, kind="stable")
         recs = recs[order]
@@ -430,6 +548,7 @@ class FrozenRTree:
         self_join: bool = True,
         fstats: Optional[FrontierStats] = None,
         io: Optional[IOStats] = None,
+        budget: Optional[ResourceBudget] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Index nested-loop join as one frontier-pair traversal.
 
@@ -443,7 +562,7 @@ class FrozenRTree:
             sorted by outer then inner id.
         """
         recs, qidx = self._pair_frontier(
-            qlows, qhighs, scale, offset, circular_mask, fstats, io
+            qlows, qhighs, scale, offset, circular_mask, fstats, io, budget
         )
         outer = np.asarray(outer_ids, dtype=np.int64)[qidx]
         if self_join:
@@ -548,6 +667,7 @@ class FrozenRTree:
         verify_expand: Optional[ExpandVerifyFn] = None,
         fstats: Optional[FrontierStats] = None,
         io: Optional[IOStats] = None,
+        budget: Optional[ResourceBudget] = None,
     ) -> list[list[tuple[int, float]]]:
         """Fused multi-step exact k-NN for a whole batch of queries.
 
@@ -589,6 +709,11 @@ class FrozenRTree:
                 tie-break at the k-th position, and ``verify_many`` is
                 unused.
             fstats, io: counters (see module docstring).
+            budget: resource budget, checked once per round.  k-NN does
+                not raise on exhaustion — it stops expanding, returns the
+                best exact results found so far and sets
+                ``budget.truncated`` (verified distances are exact, the
+                lists are just possibly incomplete).
 
         Returns:
             per query, ``(record id, exact distance)`` — or ``(item key,
@@ -617,6 +742,15 @@ class FrozenRTree:
         best: list[list[tuple[float, int]]] = [[] for _ in range(m)]
         active = list(range(m))
         while active:
+            if budget is not None:
+                frontier = (
+                    sum(len(heaps[qi]) for qi in active)
+                    if budget.max_frontier is not None
+                    else 0
+                )
+                if budget.exceeded(frontier) is not None:
+                    budget.truncated = True
+                    break
             if fstats is not None:
                 fstats.observe(sum(len(heaps[qi]) for qi in active))
             expand_q: list[int] = []
@@ -665,6 +799,10 @@ class FrozenRTree:
             if verify_r:
                 seg_lens = [seg.shape[0] for seg in verify_r]
                 rid_arr = np.concatenate(verify_r)
+                if budget is not None:
+                    # Soft accounting: the cap is enforced at the next
+                    # round boundary by truncating, never by raising.
+                    budget.consume(int(rid_arr.shape[0]))
                 qidx_arr = np.repeat(
                     np.asarray(verify_q, dtype=np.int64), seg_lens
                 )
@@ -778,6 +916,11 @@ def frozen_kernel(tree) -> FrozenRTree:
     refreeze.  :func:`attach_kernel` installs a deserialized image under
     the same contract.
     """
+    if getattr(tree, "_kernel_disabled", False):
+        raise CorruptIndexError(
+            "frozen kernel is disabled on this tree (its persisted image "
+            "failed validation); clear tree._kernel_disabled to re-enable"
+        )
     mutations = getattr(tree, "_mutations", 0)
     cached = getattr(tree, "_frozen_cache", None)
     if cached is not None and cached[0] == mutations:
@@ -795,7 +938,15 @@ def cached_kernel(tree) -> Optional[FrozenRTree]:
     refreezes after :data:`REFREEZE_AFTER_STALE_READS` of them, returning
     ``None`` (= caller takes the recursive reference path) in between, so
     interleaved mutate/query workloads never pay O(tree) per query.
+
+    A tree whose ``_kernel_disabled`` flag is set (its persisted kernel
+    image failed validation) always gets ``None`` — the graceful-
+    degradation tier where every query runs the node-object reference
+    path instead of trusting, or expensively rebuilding, the columnar
+    image.
     """
+    if getattr(tree, "_kernel_disabled", False):
+        return None
     mutations = getattr(tree, "_mutations", 0)
     cached = getattr(tree, "_frozen_cache", None)
     if cached is not None and cached[0] == mutations:

@@ -202,9 +202,9 @@ class PagedNodeStore:
     def free(self, node_id: int) -> None:
         self.pool.free(node_id)
 
-    def flush(self) -> None:
-        """Force all dirty pages to the page file."""
-        self.pool.flush()
+    def flush(self, sync: bool = False) -> None:
+        """Force all dirty pages to the page file (``sync`` fsyncs it too)."""
+        self.pool.flush(sync=sync)
 
     def drop_cache(self) -> None:
         """Flush and empty the buffer pool (cold-cache measurements)."""

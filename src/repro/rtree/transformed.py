@@ -237,22 +237,29 @@ class TransformedIndexView:
             self._search(node.entries[i].child, query, out)
 
     def search_ids(
-        self, query: Rect, fstats: Optional[FrontierStats] = None
+        self,
+        query: Rect,
+        fstats: Optional[FrontierStats] = None,
+        budget=None,
     ) -> np.ndarray:
         """Matching record ids for a range query (the hot-path result form).
 
         Runs through the columnar kernel's level-at-a-time frontier when
         one is attached (bumping the store's logical ``node_reads`` by the
         nodes expanded, so Figure 8/9-style access counting still works);
-        otherwise falls back to the recursive reference :meth:`search`.
+        otherwise falls back to the recursive reference :meth:`search`
+        (where a ``budget``'s deadline is checked once before the
+        traversal — the reference path has no level loop to hook).
         """
         if self.kernel is not None:
             return self.kernel.range_ids(
                 query.lows, query.highs,
                 self.mapping.scale, self.mapping.offset,
                 circular_mask=self.circular_mask,
-                fstats=fstats, io=self.tree.store.stats,
+                fstats=fstats, io=self.tree.store.stats, budget=budget,
             )
+        if budget is not None:
+            budget.check(where="reference range search")
         hits = self.search(query)
         return np.fromiter((e.child for e in hits), dtype=np.int64, count=len(hits))
 
@@ -261,6 +268,7 @@ class TransformedIndexView:
         qlows: np.ndarray,
         qhighs: np.ndarray,
         fstats: Optional[FrontierStats] = None,
+        budget=None,
     ) -> list[np.ndarray]:
         """Multi-query range search sharing a single tree descent.
 
@@ -286,7 +294,7 @@ class TransformedIndexView:
                 np.asarray(qhighs, dtype=np.float64),
                 self.mapping.scale, self.mapping.offset,
                 circular_mask=self.circular_mask,
-                fstats=fstats, io=self.tree.store.stats,
+                fstats=fstats, io=self.tree.store.stats, budget=budget,
             )
         from repro.rtree.geometry import intersects_circular_pairwise
 
@@ -296,6 +304,8 @@ class TransformedIndexView:
             return out
         stack: list[tuple[int, np.ndarray]] = [(self.tree.root_id, np.arange(m))]
         while stack:
+            if budget is not None:
+                budget.check(len(stack), where="reference batch search")
             node_id, active = stack.pop()
             node, t_lows, t_highs = self.transformed_node_arrays(node_id)
             if not node.entries:

@@ -12,14 +12,35 @@ package provides a small but real storage engine:
   page file; a pool miss is a counted "disk access",
 * :class:`~repro.storage.stats.IOStats` — counters shared by every layer,
 * :mod:`~repro.storage.serialization` — fixed-layout binary encoding of
-  R-tree nodes so they actually fit in pages.
+  R-tree nodes so they actually fit in pages,
+* :mod:`~repro.storage.manifest` — checksummed save manifests and the
+  typed persistence error hierarchy,
+* :mod:`~repro.storage.budget` — per-query resource budgets,
+* :mod:`~repro.storage.faults` — injectable failpoints for crash-safety
+  tests.
 
 The R-tree (:mod:`repro.rtree`) talks to this layer through node stores, so
 the same tree code runs fully in memory or against the paged backend.
 """
 
+from repro.storage.budget import QueryBudgetExceeded, ResourceBudget
 from repro.storage.buffer import BufferPool
+from repro.storage.manifest import (
+    CorruptIndexError,
+    PersistError,
+    SchemaVersionError,
+)
 from repro.storage.pager import PAGE_SIZE, PageFile
 from repro.storage.stats import IOStats
 
-__all__ = ["BufferPool", "IOStats", "PageFile", "PAGE_SIZE"]
+__all__ = [
+    "BufferPool",
+    "CorruptIndexError",
+    "IOStats",
+    "PageFile",
+    "PAGE_SIZE",
+    "PersistError",
+    "QueryBudgetExceeded",
+    "ResourceBudget",
+    "SchemaVersionError",
+]

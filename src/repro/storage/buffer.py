@@ -78,11 +78,18 @@ class BufferPool:
         else:
             self._admit(page_id, payload, dirty=True)
 
-    def flush(self) -> None:
-        """Write every dirty page back to the page file."""
+    def flush(self, sync: bool = False) -> None:
+        """Write every dirty page back to the page file.
+
+        With ``sync=True`` the page file is also fsynced, so the pages are
+        durable — the persistence layer uses this before committing a
+        manifest.
+        """
         for page_id in sorted(self._dirty):
             self.pagefile.write_page(page_id, bytes(self._frames[page_id]))
         self._dirty.clear()
+        if sync:
+            self.pagefile.flush()
 
     def clear(self) -> None:
         """Flush then empty the pool (simulates restarting with a cold cache)."""

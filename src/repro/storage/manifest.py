@@ -1,0 +1,200 @@
+"""Persistence manifest: checksums, schema version, typed errors.
+
+A saved engine directory carries a ``MANIFEST.json`` describing every
+artifact file — its byte size, CRC32 checksum and, for array containers,
+the expected shape/dtype of each array.  The manifest is written *last*
+via write-to-temp + ``os.replace``, so it is the commit point of a save:
+a crash at any earlier moment leaves either the previous manifest (whose
+checksums still match the previous files) or a detectable mismatch —
+never a silently-wrong image.
+
+Errors form a small typed hierarchy so callers can tell "this directory
+is not a saved engine / the format is from the future" from "the bytes
+rotted":
+
+* :class:`PersistError` — base; also raised for malformed/missing
+  artifacts and unknown class names.
+* :class:`SchemaVersionError` — the manifest is from a newer schema.
+* :class:`CorruptIndexError` — checksum or structural-invariant failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Optional
+
+from repro.storage import faults
+
+#: bump when the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+
+
+class PersistError(Exception):
+    """A saved-engine directory could not be read (missing/malformed artifact)."""
+
+
+class SchemaVersionError(PersistError):
+    """The saved image uses a schema this build does not understand."""
+
+
+class CorruptIndexError(PersistError):
+    """Checksum mismatch or violated structural invariant in a saved image."""
+
+
+def checksum(data: bytes) -> int:
+    """CRC32 of a byte string (the manifest's checksum function)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def file_checksum(path: str, chunk: int = 1 << 20) -> int:
+    """CRC32 of a file's contents, streamed."""
+    crc = 0
+    with open(path, "rb") as f:
+        while True:
+            block = f.read(chunk)
+            if not block:
+                break
+            crc = zlib.crc32(block, crc)
+    return crc & 0xFFFFFFFF
+
+
+def write_atomic(directory: str, name: str, data: bytes) -> None:
+    """Write ``directory/name`` atomically: temp file, fsync, ``os.replace``.
+
+    Both the write and the replace are failpoint sites
+    (``persist.write:<name>``, ``persist.replace:<name>``) so the crash-
+    safety suite can kill a save at any stage.
+    """
+    path = os.path.join(directory, name)
+    tmp = path + ".tmp"
+    data, after = faults.intercept(f"persist.write:{name}", data)
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    if after is not None:
+        raise after
+    faults.trigger(f"persist.replace:{name}")
+    os.replace(tmp, path)
+
+
+def fsync_dir(directory: str) -> None:
+    """fsync a directory so renames inside it are durable."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - some filesystems refuse dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def file_entry(path: str, arrays: Optional[dict] = None) -> dict:
+    """Manifest entry for an artifact already on disk."""
+    entry = {
+        "size": os.path.getsize(path),
+        "crc32": file_checksum(path),
+    }
+    if arrays is not None:
+        entry["arrays"] = arrays
+    return entry
+
+
+def bytes_entry(data: bytes, arrays: Optional[dict] = None) -> dict:
+    """Manifest entry computed from the serialized bytes before writing."""
+    entry = {"size": len(data), "crc32": checksum(data)}
+    if arrays is not None:
+        entry["arrays"] = arrays
+    return entry
+
+
+def array_specs(arrays: dict) -> dict:
+    """Per-array ``{shape, dtype}`` specs for an npz-style mapping."""
+    return {
+        key: {"shape": list(arr.shape), "dtype": str(arr.dtype)}
+        for key, arr in arrays.items()
+    }
+
+
+def write_manifest(directory: str, files: dict) -> None:
+    """Commit a save: write the manifest atomically, then fsync the dir."""
+    doc = {"schema": SCHEMA_VERSION, "files": files}
+    write_atomic(directory, MANIFEST_NAME, json.dumps(doc, indent=1).encode())
+    fsync_dir(directory)
+
+
+def read_manifest(directory: str) -> Optional[dict]:
+    """Load and sanity-check ``MANIFEST.json``; ``None`` when absent (legacy).
+
+    Raises:
+        SchemaVersionError: the manifest's schema is newer than this build.
+        PersistError: the manifest exists but cannot be parsed.
+    """
+    path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        schema = int(doc["schema"])
+        files = doc["files"]
+        if not isinstance(files, dict):
+            raise TypeError("files must be a mapping")
+    except SchemaVersionError:
+        raise
+    except Exception as exc:
+        raise PersistError(
+            f"unreadable manifest in {directory!r}: {exc}"
+        ) from exc
+    if schema > SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"saved image in {directory!r} uses schema {schema}, "
+            f"this build understands <= {SCHEMA_VERSION}"
+        )
+    return doc
+
+
+def verify_file(directory: str, name: str, entry: dict) -> None:
+    """Check one artifact against its manifest entry.
+
+    Raises:
+        CorruptIndexError: the file is missing, resized or checksum-broken.
+    """
+    path = os.path.join(directory, name)
+    if not os.path.exists(path):
+        raise CorruptIndexError(f"{name!r} missing from saved image {directory!r}")
+    size = os.path.getsize(path)
+    if size != entry["size"]:
+        raise CorruptIndexError(
+            f"{name!r} in {directory!r} is {size} bytes, manifest says "
+            f"{entry['size']}"
+        )
+    crc = file_checksum(path)
+    if crc != entry["crc32"]:
+        raise CorruptIndexError(
+            f"{name!r} in {directory!r} fails its checksum "
+            f"(crc32 {crc:#010x} != manifest {entry['crc32']:#010x})"
+        )
+
+
+def verify_arrays(name: str, arrays, specs: dict) -> None:
+    """Check a loaded array mapping against the manifest's shape/dtype specs.
+
+    Raises:
+        CorruptIndexError: an array is missing or has drifted shape/dtype.
+    """
+    for key, spec in specs.items():
+        if key not in arrays:
+            raise CorruptIndexError(f"array {key!r} missing from {name!r}")
+        arr = arrays[key]
+        if list(arr.shape) != list(spec["shape"]) or str(arr.dtype) != spec["dtype"]:
+            raise CorruptIndexError(
+                f"array {key!r} in {name!r} is {arr.dtype}{list(arr.shape)}, "
+                f"manifest says {spec['dtype']}{list(spec['shape'])}"
+            )

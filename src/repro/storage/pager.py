@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+from repro.storage import faults
 from repro.storage.stats import IOStats
 
 #: Default page size in bytes.  4 KiB matches common filesystem blocks and
@@ -53,6 +54,7 @@ class PageFile:
         self.stats = stats if stats is not None else IOStats()
         self._path = path
         self._free_list: list[int] = []
+        self._free_set: set[int] = set()
         self._next_page_id = 0
         if path is None:
             self._pages: list[bytearray] = []
@@ -89,7 +91,9 @@ class PageFile:
     def allocate(self) -> int:
         """Allocate a page and return its id, reusing freed pages first."""
         if self._free_list:
-            return self._free_list.pop()
+            page_id = self._free_list.pop()
+            self._free_set.discard(page_id)
+            return page_id
         page_id = self._next_page_id
         self._next_page_id += 1
         if self._fd is None:
@@ -97,9 +101,17 @@ class PageFile:
         return page_id
 
     def free(self, page_id: int) -> None:
-        """Return a page to the free list for reuse."""
+        """Return a page to the free list for reuse.
+
+        Freeing a page that is already free is a bookkeeping bug upstream
+        (it would hand the same page to two owners on reuse), so it raises
+        :class:`PageError` instead of corrupting the free list.
+        """
         self._check(page_id)
+        if page_id in self._free_set:
+            raise PageError(f"page id {page_id} is already free")
         self._free_list.append(page_id)
+        self._free_set.add(page_id)
 
     # ------------------------------------------------------------------
     # physical I/O
@@ -119,21 +131,37 @@ class PageFile:
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write one page; counts as a physical page write.
 
-        ``data`` may be shorter than the page (it is zero-padded) but never
-        longer.
+        ``data`` must be exactly one page.  Short payloads used to be
+        zero-padded silently, which let length bugs in callers masquerade
+        as valid pages — the buffer pool pads explicitly, so a wrong-length
+        payload reaching this layer is always a bug and raises
+        :class:`PageError`.
         """
         self._check(page_id)
-        if len(data) > self.page_size:
+        if len(data) != self.page_size:
             raise PageError(
-                f"payload of {len(data)} bytes exceeds page size {self.page_size}"
+                f"payload of {len(data)} bytes does not match page size "
+                f"{self.page_size}"
             )
         self.stats.page_writes += 1
-        padded = bytes(data).ljust(self.page_size, b"\x00")
+        payload, after = faults.intercept("pager.write_page", bytes(data))
         if self._fd is None:
-            self._pages[page_id][:] = padded
+            self._pages[page_id][: len(payload)] = payload
         else:
             os.lseek(self._fd, page_id * self.page_size, os.SEEK_SET)
-            os.write(self._fd, padded)
+            os.write(self._fd, payload)
+        if after is not None:
+            raise after
+
+    def flush(self) -> None:
+        """Force written pages to stable storage (``os.fsync``).
+
+        A no-op for the in-memory backend, which has no volatile cache
+        below it.
+        """
+        faults.trigger("pager.flush")
+        if self._fd is not None:
+            os.fsync(self._fd)
 
     # ------------------------------------------------------------------
     def _check(self, page_id: int) -> None:

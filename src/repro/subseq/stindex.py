@@ -540,6 +540,7 @@ class STIndex:
         eps: float,
         fstats: Optional[FrontierStats] = None,
         probe: Union[str, Sequence[str]] = "auto",
+        budget=None,
     ) -> list[list[SubseqMatch]]:
         """:meth:`range_query` over a batch, sharing one fused index probe.
 
@@ -564,9 +565,11 @@ class STIndex:
         strategies = self._check_probe(probe, len(qs))
         if not qs or not self._subtrails:
             return [[] for _ in qs]
-        candidates = self._probe_batch(qs, eps, strategies, fstats=fstats)
+        candidates = self._probe_batch(
+            qs, eps, strategies, fstats=fstats, budget=budget
+        )
         return [
-            self._refine_arrays(q, eps, series, aligned)
+            self._refine_arrays(q, eps, series, aligned, budget=budget)
             for q, (series, aligned) in zip(qs, candidates)
         ]
 
@@ -594,6 +597,7 @@ class STIndex:
         eps: float,
         strategies: Sequence[str],
         fstats: Optional[FrontierStats] = None,
+        budget=None,
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Fused filter phase: one kernel traversal for all queries' probes.
 
@@ -657,6 +661,7 @@ class STIndex:
         ids_per_row = kernel.range_ids_many(
             kept_feats - radius, kept_feats + radius,
             fstats=fstats, io=self.tree.store.stats,
+            budget=budget,
         )
         # --- expand + dedup, per query
         shifts = np.asarray(row_shift, dtype=np.int64)[keep]
@@ -672,6 +677,10 @@ class STIndex:
                 self._expand_rows(
                     [ids_per_row[r] for r in rows], shifts[rows], q.shape[0]
                 )
+            )
+        if budget is not None:
+            budget.charge_candidates(
+                sum(int(s.shape[0]) for s, _ in out), where="subseq probe"
             )
         return out
 
@@ -748,7 +757,12 @@ class STIndex:
         return keys // self._offset_stride, keys % self._offset_stride
 
     def _refine_arrays(
-        self, q: np.ndarray, eps: float, series: np.ndarray, aligned: np.ndarray
+        self,
+        q: np.ndarray,
+        eps: float,
+        series: np.ndarray,
+        aligned: np.ndarray,
+        budget=None,
     ) -> list[SubseqMatch]:
         """Verify candidates with one matrix pass per candidate series.
 
@@ -765,6 +779,8 @@ class STIndex:
         uniq, first = np.unique(series, return_index=True)
         bounds = np.append(first, series.shape[0])
         for t in range(uniq.shape[0]):
+            if budget is not None:
+                budget.check(where="subseq refine")
             sid = int(uniq[t])
             offs = aligned[bounds[t] : bounds[t + 1]]
             x = self._series[sid]
@@ -800,6 +816,7 @@ class STIndex:
         queries: Sequence[ArrayLike],
         k: int,
         fstats: Optional[FrontierStats] = None,
+        budget=None,
     ) -> list[list[SubseqMatch]]:
         """:meth:`knn_query` over a batch, sharing one fused kernel search.
 
@@ -825,7 +842,7 @@ class STIndex:
             return [[] for _ in qs]
         kernel = self.kernel
         feats = encode_rect(prefix_features(qs, self.window, self.k))
-        pairs = self._knn_kernel_call(kernel, feats, k, qs, fstats)
+        pairs = self._knn_kernel_call(kernel, feats, k, qs, fstats, budget=budget)
         stride = self._offset_stride
         return [
             [
@@ -835,7 +852,7 @@ class STIndex:
             for pr in pairs
         ]
 
-    def _knn_kernel_call(self, kernel, feats, k, qs, fstats):
+    def _knn_kernel_call(self, kernel, feats, k, qs, fstats, budget=None):
         """Drive :meth:`FrozenRTree.knn_batch` with the window verifier.
 
         The MINDIST rows are shrunk by the probe's numerical tolerance:
@@ -858,6 +875,7 @@ class STIndex:
             rect_dist_rows=rect_rows,
             fstats=fstats,
             io=self.tree.store.stats,
+            budget=budget,
         )
 
     def _knn_verifier(self, qs: list[np.ndarray]):

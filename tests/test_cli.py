@@ -96,3 +96,59 @@ class TestCommands:
     def test_query_error_is_graceful(self, csv_path, capsys):
         assert main(["query", csv_path, "RANGE nope IN r EPS 1"]) == 1
         assert "query error" in capsys.readouterr().err
+
+
+class TestGovernanceAndHealth:
+    def test_health_verb_prints_json_report(self, csv_path, capsys):
+        import json
+
+        assert main(["query", csv_path, "HEALTH r"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "ok"
+        assert set(report["components"]) == {
+            "relation", "index", "kernel", "persistence",
+        }
+        assert report["components"]["relation"]["status"] == "ok"
+
+    def test_explain_json_carries_degraded_and_budget_fields(
+        self, csv_path, capsys
+    ):
+        import json
+
+        assert main(
+            ["query", csv_path, "EXPLAIN RANGE s0 IN r EPS 2 BUDGET 250"]
+        ) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["degraded_from"] is None
+        assert info["budget"]["deadline_ms"] == 250
+        assert info["budget"]["truncated"] is False
+
+    def test_explain_without_budget_reports_null(self, csv_path, capsys):
+        import json
+
+        assert main(["query", csv_path, "EXPLAIN KNN s0 IN r K 3"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["budget"] is None
+        assert info["degraded_from"] is None
+
+    def test_budgeted_query_runs(self, csv_path, capsys):
+        # a generous deadline: the query completes normally
+        assert main(
+            ["query", csv_path, "RANGE s0 IN r EPS 2.0 BUDGET 60000"]
+        ) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert any(line.startswith("0,") for line in out)
+
+    def test_blown_budget_is_a_graceful_query_error(self, csv_path, capsys):
+        assert main(
+            ["query", csv_path, "JOIN r EPS 50.0 BUDGET 0.0001"]
+        ) == 1
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_bad_budget_rejected(self, csv_path, capsys):
+        assert main(["query", csv_path, "RANGE s0 IN r EPS 2 BUDGET -1"]) == 1
+        assert "query error" in capsys.readouterr().err
+
+    def test_health_unknown_relation_is_graceful(self, csv_path, capsys):
+        assert main(["query", csv_path, "HEALTH nope"]) == 1
+        assert "query error" in capsys.readouterr().err

@@ -7,6 +7,11 @@ import pytest
 from repro.storage.pager import PAGE_SIZE, PageError, PageFile
 
 
+def page(payload: bytes, size: int = PAGE_SIZE) -> bytes:
+    """Pad a payload to a full page (write_page rejects anything else)."""
+    return payload.ljust(size, b"\x00")
+
+
 class TestAllocation:
     def test_ids_are_sequential(self):
         pf = PageFile()
@@ -30,21 +35,33 @@ class TestAllocation:
         with pytest.raises(PageError):
             pf.free(0)
 
+    def test_double_free_is_typed(self):
+        pf = PageFile()
+        a = pf.allocate()
+        pf.free(a)
+        with pytest.raises(PageError):
+            pf.free(a)
+
+    def test_reallocated_page_can_be_freed_again(self):
+        pf = PageFile()
+        a = pf.allocate()
+        pf.free(a)
+        assert pf.allocate() == a
+        pf.free(a)  # no PageError: the reuse cleared the free mark
+
 
 class TestReadWrite:
     def test_roundtrip(self):
         pf = PageFile()
         pid = pf.allocate()
-        pf.write_page(pid, b"hello")
+        pf.write_page(pid, page(b"hello"))
         assert pf.read_page(pid)[:5] == b"hello"
 
-    def test_short_payload_is_zero_padded(self):
+    def test_short_payload_rejected(self):
         pf = PageFile()
         pid = pf.allocate()
-        pf.write_page(pid, b"x")
-        data = pf.read_page(pid)
-        assert len(data) == PAGE_SIZE
-        assert data[1:] == b"\x00" * (PAGE_SIZE - 1)
+        with pytest.raises(PageError):
+            pf.write_page(pid, b"x")
 
     def test_fresh_page_reads_as_zeros(self):
         pf = PageFile()
@@ -65,8 +82,8 @@ class TestReadWrite:
     def test_writes_do_not_leak_across_pages(self):
         pf = PageFile()
         a, b = pf.allocate(), pf.allocate()
-        pf.write_page(a, b"a" * 100)
-        pf.write_page(b, b"b" * 100)
+        pf.write_page(a, page(b"a" * 100))
+        pf.write_page(b, page(b"b" * 100))
         assert pf.read_page(a)[:100] == b"a" * 100
         assert pf.read_page(b)[:100] == b"b" * 100
 
@@ -75,7 +92,7 @@ class TestStats:
     def test_reads_and_writes_counted(self):
         pf = PageFile()
         pid = pf.allocate()
-        pf.write_page(pid, b"x")
+        pf.write_page(pid, page(b"x"))
         pf.read_page(pid)
         pf.read_page(pid)
         assert pf.stats.page_writes == 1
@@ -83,12 +100,28 @@ class TestStats:
         assert pf.stats.disk_accesses == 3
 
 
+class TestFlush:
+    def test_flush_on_memory_file_is_a_noop(self):
+        pf = PageFile()
+        pf.allocate()
+        pf.flush()  # nothing to sync, must not raise
+
+    def test_flush_on_disk_file_syncs(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        with PageFile(path=path) as pf:
+            pid = pf.allocate()
+            pf.write_page(pid, page(b"durable"))
+            pf.flush()
+        with PageFile(path=path) as pf2:
+            assert pf2.read_page(pid)[:7] == b"durable"
+
+
 class TestDiskBacked:
     def test_roundtrip_on_disk(self, tmp_path):
         path = str(tmp_path / "pages.db")
         with PageFile(path=path) as pf:
             pid = pf.allocate()
-            pf.write_page(pid, b"persistent")
+            pf.write_page(pid, page(b"persistent"))
         with PageFile(path=path) as pf2:
             assert pf2.read_page(pid)[:10] == b"persistent"
 
@@ -97,7 +130,7 @@ class TestDiskBacked:
         with PageFile(path=path) as pf:
             for _ in range(4):
                 pf.allocate()
-            pf.write_page(3, b"tail")
+            pf.write_page(3, page(b"tail"))
         with PageFile(path=path) as pf2:
             assert pf2.num_pages == 4
 

@@ -1,0 +1,33 @@
+"""repro-lint: static certification of the project's kernel contracts.
+
+The engine (:mod:`repro.analysis.engine`) parses each module once and
+runs the registered contract rules (:mod:`repro.analysis.rules`,
+REP001-REP006) over the AST; scoping data lives in
+:mod:`repro.analysis.contracts`.  Run it as::
+
+    python -m repro.analysis src benchmarks
+
+Importing the rules module here is what populates the registry — the
+engine is generic and knows nothing about the project's contracts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
+from repro.analysis.engine import (
+    FileReport,
+    LintEngine,
+    Report,
+    Rule,
+    Violation,
+    all_rules,
+)
+
+__all__ = [
+    "FileReport",
+    "LintEngine",
+    "Report",
+    "Rule",
+    "Violation",
+    "all_rules",
+]

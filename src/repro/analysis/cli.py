@@ -1,0 +1,84 @@
+"""``python -m repro.analysis <paths>`` — run the contract checker.
+
+Exit codes: ``0`` clean, ``1`` violations found, ``2`` usage error
+(unknown rule id, no such path).  ``--format json`` emits one machine-
+readable report object; the default human format prints one
+``path:line:col: REPnnn message`` line per violation, the shape editors
+and CI annotations already understand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.engine import LintEngine, all_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Check project contracts (REP001-REP006) statically.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to check (directories recurse)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="REPnnn[,REPnnn...]",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (and not --list-rules)", file=sys.stderr)
+        return 2
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    selected = None
+    if args.rules is not None:
+        selected = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        engine = LintEngine(rules=selected)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = engine.run(args.paths)
+
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        for violation in report.violations:
+            print(violation.render())
+        count = len(report.violations)
+        checked = len(report.files)
+        status = "clean" if report.ok else f"{count} violation(s)"
+        print(f"repro-lint: {checked} file(s) checked, {status}")
+    return 0 if report.ok else 1

@@ -1,0 +1,307 @@
+"""The lint engine: files → AST → rules → violations, minus pragmas.
+
+One :class:`LintEngine` run parses each file once, hands the tree to
+every registered rule (:mod:`repro.analysis.rules`), and filters the
+raw findings through the pragma layer:
+
+* ``# repro: allow(REP001): <reason>`` on the flagged line or the line
+  directly above suppresses that rule there;
+* the same comment on a ``def``/``class`` line (or its decorators)
+  suppresses the rule for the whole body — how scalar *reference*
+  implementations living inside hot-path modules are exempted;
+* a pragma without a reason, or naming an unknown rule, is itself a
+  violation (``REP000``) — suppressions must say why.
+
+Rules register themselves via :func:`register`; the registry is what
+the CLI's ``--list-rules`` and the README's rule table are generated
+from.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional
+
+#: Rule id of pragma-layer problems (malformed / unknown suppressions).
+META_RULE = "REP000"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*(?P<rules>[A-Za-z0-9_,\s]+?)\s*\)"
+    r"(?::\s*(?P<reason>\S.*))?$"
+)
+
+_RULE_ID_RE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One contract violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named contract with a checker callable.
+
+    The checker receives ``(tree, source, path)`` and yields raw
+    violations; scoping (which modules the contract covers) lives inside
+    the checker via :mod:`repro.analysis.contracts`.
+    """
+
+    rule_id: str
+    summary: str
+    check: Callable[[ast.Module, str, str], Iterable[Violation]]
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_id: str, summary: str) -> Callable[
+    [Callable[[ast.Module, str, str], Iterable[Violation]]],
+    Callable[[ast.Module, str, str], Iterable[Violation]],
+]:
+    """Decorator registering a checker under ``rule_id``."""
+
+    def wrap(
+        fn: Callable[[ast.Module, str, str], Iterable[Violation]]
+    ) -> Callable[[ast.Module, str, str], Iterable[Violation]]:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        _REGISTRY[rule_id] = Rule(rule_id, summary, fn)
+        return fn
+
+    return wrap
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """A parsed ``# repro: allow(...)`` suppression."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+
+
+@dataclass
+class PragmaIndex:
+    """Suppression lookup for one file.
+
+    ``spans`` maps a pragma-carrying line to the ``(start, end)`` line
+    range it governs: the line itself and the one below for statement
+    pragmas, the whole body for pragmas sitting on a ``def``/``class``
+    or one of its decorators.
+    """
+
+    pragmas: list[Pragma] = field(default_factory=list)
+    spans: dict[int, tuple[int, int]] = field(default_factory=dict)
+    problems: list[Violation] = field(default_factory=list)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        for pragma in self.pragmas:
+            if rule_id not in pragma.rules:
+                continue
+            start, end = self.spans.get(
+                pragma.line, (pragma.line, pragma.line + 1)
+            )
+            if start <= line <= end:
+                return True
+        return False
+
+
+def _def_spans(tree: ast.Module) -> dict[int, tuple[int, int]]:
+    """Map every def/class line (and decorator line) to the body span."""
+    spans: dict[int, tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            end = node.end_lineno or node.lineno
+            anchors = [node.lineno]
+            anchors.extend(d.lineno for d in node.decorator_list)
+            for anchor in anchors:
+                spans[anchor] = (anchor, end)
+    return spans
+
+
+def parse_pragmas(tree: ast.Module, source: str, path: str) -> PragmaIndex:
+    """Collect suppressions (and pragma-layer violations) for one file."""
+    index = PragmaIndex()
+    spans = _def_spans(tree)
+    known = set(_REGISTRY) | {META_RULE}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            if "repro: allow" in text:
+                index.problems.append(
+                    Violation(
+                        META_RULE, path, lineno, 0,
+                        "malformed suppression pragma; expected "
+                        "'# repro: allow(REPnnn): <reason>'",
+                    )
+                )
+            continue
+        reason = (match.group("reason") or "").strip()
+        rules = frozenset(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        ok = True
+        if not reason:
+            index.problems.append(
+                Violation(
+                    META_RULE, path, lineno, 0,
+                    "suppression pragma without a reason; every "
+                    "'# repro: allow(...)' must say why",
+                )
+            )
+            ok = False
+        bad = sorted(r for r in rules if not _RULE_ID_RE.match(r) or r not in known)
+        if bad:
+            index.problems.append(
+                Violation(
+                    META_RULE, path, lineno, 0,
+                    f"suppression pragma names unknown rule(s): {', '.join(bad)}",
+                )
+            )
+            ok = False
+        if ok:
+            index.pragmas.append(Pragma(lineno, rules, reason))
+            # Statement scope by default; def/class scope when anchored
+            # on a definition (or decorator) line.
+            if lineno in spans:
+                index.spans[lineno] = spans[lineno]
+            else:
+                index.spans[lineno] = (lineno, lineno + 1)
+    return index
+
+
+@dataclass
+class FileReport:
+    """Result of checking one file."""
+
+    path: str
+    violations: list[Violation]
+    parse_error: Optional[str] = None
+
+
+@dataclass
+class Report:
+    """Result of one engine run over a set of paths."""
+
+    files: list[FileReport] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[Violation]:
+        out: list[Violation] = []
+        for f in self.files:
+            out.extend(f.violations)
+        out.sort(key=lambda v: (v.path, v.line, v.rule))
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "files_checked": len(self.files),
+            "violation_count": len(self.violations),
+            "ok": self.ok,
+            "rules": {r.rule_id: r.summary for r in all_rules()},
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into sorted ``.py`` file paths."""
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for c in candidates:
+            if c not in seen:
+                seen.add(c)
+                yield c
+
+
+class LintEngine:
+    """Run registered rules over files, applying pragma suppressions."""
+
+    def __init__(self, rules: Optional[Iterable[str]] = None) -> None:
+        selected = set(rules) if rules is not None else None
+        self.rules = [
+            r for r in all_rules() if selected is None or r.rule_id in selected
+        ]
+        if selected is not None:
+            missing = selected - {r.rule_id for r in self.rules}
+            if missing:
+                raise ValueError(
+                    f"unknown rule id(s): {', '.join(sorted(missing))}"
+                )
+
+    def check_source(self, source: str, path: str) -> FileReport:
+        """Check one in-memory module (the unit the fixture tests use)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return FileReport(
+                path,
+                [
+                    Violation(
+                        META_RULE, path, exc.lineno or 0, exc.offset or 0,
+                        f"file does not parse: {exc.msg}",
+                    )
+                ],
+                parse_error=str(exc),
+            )
+        pragmas = parse_pragmas(tree, source, path)
+        found: list[Violation] = list(pragmas.problems)
+        for rule in self.rules:
+            for violation in rule.check(tree, source, path):
+                if not pragmas.suppressed(violation.rule, violation.line):
+                    found.append(violation)
+        found.sort(key=lambda v: (v.line, v.rule))
+        return FileReport(path, found)
+
+    def check_file(self, path: Path) -> FileReport:
+        source = path.read_text(encoding="utf-8")
+        return self.check_source(source, str(path))
+
+    def run(self, paths: Iterable[str]) -> Report:
+        # The linter never checks its own package: rule messages and
+        # docstring examples would read as malformed pragmas.
+        from repro.analysis import contracts
+
+        report = Report()
+        for file_path in iter_python_files(paths):
+            if contracts.is_linter_source(str(file_path)):
+                continue
+            report.files.append(self.check_file(file_path))
+        return report

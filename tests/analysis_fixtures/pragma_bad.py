@@ -1,0 +1,16 @@
+"""Must flag REP000: suppressions without reasons or with unknown rules."""
+# repro: module-contract(hot-path)
+
+
+def row_sums(rows):
+    out = []
+    for i in range(rows.shape[0]):  # repro: allow(REP001)
+        out.append(float(rows[i].sum()))
+    return out
+
+
+def other(rows):
+    total = 0.0
+    for i in range(rows.shape[0]):  # repro: allow(REP999): no such rule
+        total += float(rows[i].sum())
+    return total

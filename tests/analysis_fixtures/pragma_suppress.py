@@ -1,0 +1,18 @@
+"""Must pass: reviewed pragmas silence REP001 at statement and def scope."""
+# repro: module-contract(hot-path)
+
+
+def row_sums(rows):
+    out = []
+    for i in range(rows.shape[0]):  # repro: allow(REP001): fixture exercising statement-scope suppression
+        out.append(float(rows[i].sum()))
+    return out
+
+
+def reference_scan(rows, q):  # repro: allow(REP001): reference implementation, scalar by design
+    best = None
+    for i in range(rows.shape[0]):
+        d = abs(float(rows[i].sum()) - q)
+        if best is None or d < best:
+            best = d
+    return best

@@ -1,0 +1,16 @@
+"""Must flag REP001: scalar loop over array rows in a hot-path module."""
+# repro: module-contract(hot-path)
+
+
+def row_sums(rows):
+    out = []
+    for i in range(rows.shape[0]):
+        out.append(float(rows[i].sum()))
+    return out
+
+
+def pairs(lows, highs):
+    acc = 0.0
+    for lo, hi in zip(lows, highs):
+        acc += float(hi - lo)
+    return acc

@@ -1,0 +1,13 @@
+"""Must pass REP001: vectorized reductions and non-array loops only."""
+# repro: module-contract(hot-path)
+
+
+def row_sums(rows):
+    return rows.sum(axis=1)
+
+
+def collect_options(options):
+    chosen = []
+    for key in options:
+        chosen.append(key)
+    return chosen

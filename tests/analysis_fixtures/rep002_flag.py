@@ -1,0 +1,23 @@
+"""Must flag REP002: mutation of frozen kernels outside construction."""
+
+
+class FrozenRTree:
+    def __init__(self, lows):
+        self.entry_lows = lows
+
+    def clobber(self):
+        self.entry_lows = None
+
+
+def smash(kernel: "FrozenRTree") -> None:
+    kernel.size = 0
+
+
+def rebuild(tree):
+    frozen = frozen_kernel(tree)
+    frozen.entry_count[0] = 7
+    return frozen
+
+
+def frozen_kernel(tree):
+    return tree

@@ -1,0 +1,20 @@
+"""Must pass REP002: frozen instances assigned only during construction."""
+
+
+class FrozenRTree:
+    def __init__(self, lows):
+        self.entry_lows = lows
+
+    @classmethod
+    def from_arrays(cls, arrays):
+        obj = cls(arrays["lows"])
+        obj.entry_highs = arrays["highs"]
+        return obj
+
+    def width(self):
+        return self.entry_highs - self.entry_lows
+
+
+def inspect(kernel: "FrozenRTree"):
+    local_copy = kernel.entry_lows
+    return local_copy

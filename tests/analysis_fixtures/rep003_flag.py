@@ -1,0 +1,9 @@
+"""Must flag REP003: direct numpy import in a backend-scoped module."""
+# repro: module-contract(backend)
+
+import numpy as np
+from numpy.linalg import norm
+
+
+def length(v):
+    return norm(np.asarray(v))

@@ -1,0 +1,8 @@
+"""Must pass REP003: the array API arrives through the backend shim."""
+# repro: module-contract(backend)
+
+from repro.rtree.backend import xp
+
+
+def length(v):
+    return xp.linalg.norm(xp.asarray(v))

@@ -1,0 +1,26 @@
+"""Must flag REP004: direct and mutual recursion in a kernel module."""
+# repro: module-contract(kernel)
+
+
+def descend(node):
+    if node.is_leaf:
+        return [node]
+    out = []
+    for child in node.children:
+        out.extend(descend(child))
+    return out
+
+
+def ping(n):
+    return 0 if n == 0 else pong(n - 1)
+
+
+def pong(n):
+    return ping(n)
+
+
+class Walker:
+    def walk(self, node):
+        if node is None:
+            return 0
+        return 1 + self.walk(node.next)

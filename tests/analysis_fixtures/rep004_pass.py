@@ -1,0 +1,22 @@
+"""Must pass REP004: iterative traversal with an explicit worklist."""
+# repro: module-contract(kernel)
+
+
+def descend(root):
+    out = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            out.append(node)
+        else:
+            stack.extend(node.children)
+    return out
+
+
+def helper(x):
+    return shared(x)
+
+
+def shared(x):
+    return x + 1

@@ -1,0 +1,17 @@
+"""Must flag REP005: unbudgeted frontier loop + unvalidated query entry."""
+# repro: module-contract(kernel)
+
+
+def expand_all(root, budget):
+    frontier = [root]
+    seen = []
+    while frontier:
+        node = frontier.pop()
+        seen.append(node)
+        frontier.extend(node.children)
+    return seen
+
+
+# repro: query-entry
+def range_query(index, q, eps):
+    return index.probe(q, eps)

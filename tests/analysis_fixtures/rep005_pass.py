@@ -1,0 +1,23 @@
+"""Must pass REP005: budget-checked frontier + validated query entry."""
+# repro: module-contract(kernel)
+
+
+def expand_all(root, budget):
+    frontier = [root]
+    seen = []
+    while frontier:
+        budget.check(len(frontier), where="expand_all")
+        node = frontier.pop()
+        seen.append(node)
+        frontier.extend(node.children)
+    return seen
+
+
+# repro: query-entry
+def range_query(index, q, eps):
+    q = require_finite(q, "query")
+    return index.probe(q, eps)
+
+
+def require_finite(values, what):
+    return values

@@ -1,0 +1,17 @@
+"""Must flag REP006: bare and swallowed broad excepts in storage code."""
+# repro: module-contract(storage)
+
+
+def read_page(path):
+    try:
+        with open(path, "rb") as fh:
+            return fh.read()
+    except:  # noqa: E722
+        return None
+
+
+def load_manifest(path):
+    try:
+        return open(path).read()
+    except Exception:
+        return None

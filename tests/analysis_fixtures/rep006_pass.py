@@ -1,0 +1,21 @@
+"""Must pass REP006: typed catches, and broad catches that wrap-and-raise."""
+# repro: module-contract(storage)
+
+
+class PersistError(RuntimeError):
+    pass
+
+
+def read_page(path):
+    try:
+        with open(path, "rb") as fh:
+            return fh.read()
+    except FileNotFoundError:
+        return None
+
+
+def load_manifest(path):
+    try:
+        return open(path).read()
+    except Exception as exc:
+        raise PersistError(f"unreadable manifest {path!r}") from exc

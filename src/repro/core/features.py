@@ -47,7 +47,7 @@ import math
 from abc import ABC, abstractmethod
 from typing import Optional, Sequence, Union
 
-import numpy as np
+from repro.rtree.backend import xp
 
 from repro.core.normal_form import mean_std, mean_std_many, normal_form, normal_form_many
 from repro.core.transforms import SAFETY_TOL, Transformation
@@ -55,7 +55,7 @@ from repro.dft import dft, dft_many
 from repro.rtree.geometry import Rect
 from repro.rtree.transformed import AffineMap
 
-ArrayLike = Union[Sequence[float], np.ndarray]
+ArrayLike = Union[Sequence[float], xp.ndarray]
 
 #: Pseudo-infinite bound for unconstrained auxiliary dimensions.
 AUX_RANGE = 1e18
@@ -106,7 +106,7 @@ class FeatureSpace(ABC):
                 f"retained frequency {max(self.freqs)} out of range for n={n}"
             )
         # Energy weight per retained coefficient (1, or 2 with symmetry).
-        self.weights = np.ones(self.k)
+        self.weights = xp.ones(self.k)
         if exploit_symmetry:
             for i, f in enumerate(self.freqs):
                 if 0 < f < n / 2:
@@ -114,9 +114,9 @@ class FeatureSpace(ABC):
         # Cache the wrap-around-dimension mask: it is immutable once the
         # layout is fixed, and views are built once per query.
         if self.coord == "polar":
-            mask = np.zeros(self.dim, dtype=bool)
+            mask = xp.zeros(self.dim, dtype=bool)
             mask[self.aux_dims + 1 :: 2] = True
-            self._circular_mask: Optional[np.ndarray] = mask
+            self._circular_mask: Optional[xp.ndarray] = mask
         else:
             self._circular_mask = None
 
@@ -128,30 +128,30 @@ class FeatureSpace(ABC):
         """Frequencies of the retained coefficients."""
 
     @abstractmethod
-    def series_spectrum(self, series: ArrayLike) -> np.ndarray:
+    def series_spectrum(self, series: ArrayLike) -> xp.ndarray:
         """Full unitary spectrum the ground-truth distance is taken over."""
 
     @abstractmethod
-    def aux_values(self, series: ArrayLike) -> np.ndarray:
+    def aux_values(self, series: ArrayLike) -> xp.ndarray:
         """Values of the auxiliary dimensions for this series."""
 
-    def series_spectrum_many(self, matrix: ArrayLike) -> np.ndarray:
+    def series_spectrum_many(self, matrix: ArrayLike) -> xp.ndarray:
         """Row-wise :meth:`series_spectrum` of an ``(m, n)`` matrix.
 
         The base implementation loops over rows; both concrete spaces
         override it with a single-FFT-call pipeline.
         """
-        rows = np.asarray(matrix, dtype=np.float64)
+        rows = xp.asarray(matrix, dtype=xp.float64)
         if rows.shape[0] == 0:
-            return np.empty((0, self.n), dtype=np.complex128)
-        return np.stack([self.series_spectrum(row) for row in rows])
+            return xp.empty((0, self.n), dtype=xp.complex128)
+        return xp.stack([self.series_spectrum(row) for row in rows])
 
-    def aux_values_many(self, matrix: ArrayLike) -> np.ndarray:
+    def aux_values_many(self, matrix: ArrayLike) -> xp.ndarray:
         """Row-wise :meth:`aux_values` as an ``(m, aux_dims)`` matrix."""
-        rows = np.asarray(matrix, dtype=np.float64)
+        rows = xp.asarray(matrix, dtype=xp.float64)
         if rows.shape[0] == 0:
-            return np.empty((0, self.aux_dims))
-        return np.stack([self.aux_values(row) for row in rows])
+            return xp.empty((0, self.aux_dims))
+        return xp.stack([self.aux_values(row) for row in rows])
 
     # ------------------------------------------------------------------
     # derived layout
@@ -162,28 +162,28 @@ class FeatureSpace(ABC):
         return self.aux_dims + 2 * self.k
 
     @property
-    def circular_mask(self) -> Optional[np.ndarray]:
+    def circular_mask(self) -> Optional[xp.ndarray]:
         """Boolean mask of wrap-around (phase angle) dimensions (cached)."""
         return self._circular_mask
 
-    def coeff_slice(self, point: ArrayLike) -> np.ndarray:
+    def coeff_slice(self, point: ArrayLike) -> xp.ndarray:
         """The coefficient-encoding part of an index point."""
-        return np.asarray(point, dtype=np.float64)[self.aux_dims :]
+        return xp.asarray(point, dtype=xp.float64)[self.aux_dims :]
 
     # ------------------------------------------------------------------
     # extraction
     # ------------------------------------------------------------------
-    def extract(self, series: ArrayLike) -> np.ndarray:
+    def extract(self, series: ArrayLike) -> xp.ndarray:
         """Map a series to its index point."""
-        x = np.asarray(series, dtype=np.float64)
+        x = xp.asarray(series, dtype=xp.float64)
         if x.shape != (self.n,):
             raise ValueError(f"series must have length {self.n}, got {x.shape}")
         spec = self.series_spectrum(x)
-        return np.concatenate(
+        return xp.concatenate(
             [self.aux_values(x), self.encode_coefficients(spec[self.freqs])]
         )
 
-    def extract_many(self, matrix: ArrayLike) -> np.ndarray:
+    def extract_many(self, matrix: ArrayLike) -> xp.ndarray:
         """Vectorised :meth:`extract` over the rows of ``matrix``.
 
         One numpy pipeline for the whole relation: batched spectra, batched
@@ -194,18 +194,18 @@ class FeatureSpace(ABC):
 
     def extract_many_with_spectra(
         self, matrix: ArrayLike
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[xp.ndarray, xp.ndarray]:
         """Both the index points and the full ground spectra of a relation.
 
         One shared batched pipeline — the engine needs both at build time,
         and the spectra computation (normal form + FFT) dominates, so
         computing it once roughly halves index-construction cost.
         """
-        rows = np.asarray(matrix, dtype=np.float64)
+        rows = xp.asarray(matrix, dtype=xp.float64)
         if rows.ndim != 2 or rows.shape[1] != self.n:
             raise ValueError(f"matrix must be (m, {self.n}), got {rows.shape}")
         spec = self.series_spectrum_many(rows)
-        points = np.concatenate(
+        points = xp.concatenate(
             [
                 self.aux_values_many(rows),
                 self.encode_coefficients_many(spec[:, self.freqs]),
@@ -214,50 +214,50 @@ class FeatureSpace(ABC):
         )
         return points, spec
 
-    def encode_coefficients(self, coeffs: ArrayLike) -> np.ndarray:
+    def encode_coefficients(self, coeffs: ArrayLike) -> xp.ndarray:
         """Encode complex coefficients as index coordinates (pairs)."""
-        c = np.asarray(coeffs, dtype=np.complex128)
-        out = np.empty(2 * c.shape[0])
+        c = xp.asarray(coeffs, dtype=xp.complex128)
+        out = xp.empty(2 * c.shape[0])
         if self.coord == "rect":
             out[0::2] = c.real
             out[1::2] = c.imag
         else:
-            out[0::2] = np.abs(c)
-            out[1::2] = np.angle(c)
+            out[0::2] = xp.abs(c)
+            out[1::2] = xp.angle(c)
         return out
 
-    def encode_coefficients_many(self, coeffs: ArrayLike) -> np.ndarray:
+    def encode_coefficients_many(self, coeffs: ArrayLike) -> xp.ndarray:
         """Row-wise :meth:`encode_coefficients` of an ``(m, k)`` matrix."""
-        c = np.asarray(coeffs, dtype=np.complex128)
-        out = np.empty((c.shape[0], 2 * c.shape[1]))
+        c = xp.asarray(coeffs, dtype=xp.complex128)
+        out = xp.empty((c.shape[0], 2 * c.shape[1]))
         if self.coord == "rect":
             out[:, 0::2] = c.real
             out[:, 1::2] = c.imag
         else:
-            out[:, 0::2] = np.abs(c)
-            out[:, 1::2] = np.angle(c)
+            out[:, 0::2] = xp.abs(c)
+            out[:, 1::2] = xp.angle(c)
         return out
 
-    def decode_coefficients(self, encoded: ArrayLike) -> np.ndarray:
+    def decode_coefficients(self, encoded: ArrayLike) -> xp.ndarray:
         """Inverse of :meth:`encode_coefficients`."""
-        e = np.asarray(encoded, dtype=np.float64)
+        e = xp.asarray(encoded, dtype=xp.float64)
         if self.coord == "rect":
             return e[0::2] + 1j * e[1::2]
-        return e[0::2] * np.exp(1j * e[1::2])
+        return e[0::2] * xp.exp(1j * e[1::2])
 
     def point_from_spectrum(
         self, spectrum: ArrayLike, aux: Optional[ArrayLike] = None
-    ) -> np.ndarray:
+    ) -> xp.ndarray:
         """Index point from a full spectrum plus optional aux values."""
-        spec = np.asarray(spectrum, dtype=np.complex128)
+        spec = xp.asarray(spectrum, dtype=xp.complex128)
         aux_arr = (
-            np.zeros(self.aux_dims)
+            xp.zeros(self.aux_dims)
             if aux is None
-            else np.asarray(aux, dtype=np.float64)
+            else xp.asarray(aux, dtype=xp.float64)
         )
         if aux_arr.shape != (self.aux_dims,):
             raise ValueError(f"aux must have length {self.aux_dims}")
-        return np.concatenate([aux_arr, self.encode_coefficients(spec[self.freqs])])
+        return xp.concatenate([aux_arr, self.encode_coefficients(spec[self.freqs])])
 
     # ------------------------------------------------------------------
     # search rectangles (Algorithm 2 preprocessing; Fig. 7)
@@ -277,11 +277,11 @@ class FeatureSpace(ABC):
         """
         if eps < 0:
             raise ValueError(f"eps must be non-negative, got {eps}")
-        p = np.asarray(point, dtype=np.float64)
+        p = xp.asarray(point, dtype=xp.float64)
         if p.shape != (self.dim,):
             raise ValueError(f"point must have dim {self.dim}, got {p.shape}")
-        lows = np.empty(self.dim)
-        highs = np.empty(self.dim)
+        lows = xp.empty(self.dim)
+        highs = xp.empty(self.dim)
         if aux_bounds is None:
             lows[: self.aux_dims] = -AUX_RANGE
             highs[: self.aux_dims] = AUX_RANGE
@@ -315,10 +315,10 @@ class FeatureSpace(ABC):
 
     def search_rect_many(
         self,
-        points: np.ndarray,
+        points: xp.ndarray,
         eps: float,
         aux_bounds: Optional[Sequence[tuple[float, float]]] = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[xp.ndarray, xp.ndarray]:
         """Vectorised :meth:`search_rect` over ``(m, dim)`` query points.
 
         One numpy pipeline builds every query's minimum bounding search
@@ -332,12 +332,12 @@ class FeatureSpace(ABC):
         """
         if eps < 0:
             raise ValueError(f"eps must be non-negative, got {eps}")
-        p = np.asarray(points, dtype=np.float64)
+        p = xp.asarray(points, dtype=xp.float64)
         if p.ndim != 2 or p.shape[1] != self.dim:
             raise ValueError(f"points must be (m, {self.dim}), got {p.shape}")
         m = p.shape[0]
-        lows = np.empty((m, self.dim))
-        highs = np.empty((m, self.dim))
+        lows = xp.empty((m, self.dim))
+        highs = xp.empty((m, self.dim))
         if aux_bounds is None:
             lows[:, : self.aux_dims] = -AUX_RANGE
             highs[:, : self.aux_dims] = AUX_RANGE
@@ -359,16 +359,16 @@ class FeatureSpace(ABC):
             else:
                 mag = p[:, base]
                 alpha = p[:, base + 1]
-                lows[:, base] = np.maximum(0.0, mag - e)
+                lows[:, base] = xp.maximum(0.0, mag - e)
                 highs[:, base] = mag + e
                 # Fig. 7: the angular half-width is asin(eps/m) when the
                 # magnitude box stays away from the origin; otherwise the
                 # whole circle is admissible.
                 safe = mag > e
-                ratio = np.minimum(np.divide(e, np.where(safe, mag, 1.0)), 1.0)
-                half = np.where(safe, np.arcsin(ratio), 0.0)
-                lows[:, base + 1] = np.where(safe, alpha - half, -math.pi)
-                highs[:, base + 1] = np.where(safe, alpha + half, math.pi)
+                ratio = xp.minimum(xp.divide(e, xp.where(safe, mag, 1.0)), 1.0)
+                half = xp.where(safe, xp.arcsin(ratio), 0.0)
+                lows[:, base + 1] = xp.where(safe, alpha - half, -math.pi)
+                highs[:, base + 1] = xp.where(safe, alpha + half, math.pi)
         return lows, highs
 
     def expand_rect(self, rect: Rect, eps: float) -> Rect:
@@ -406,8 +406,8 @@ class FeatureSpace(ABC):
         return Rect(lows, highs)
 
     def expand_rect_many(
-        self, lows: np.ndarray, highs: np.ndarray, eps: float
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self, lows: xp.ndarray, highs: xp.ndarray, eps: float
+    ) -> tuple[xp.ndarray, xp.ndarray]:
         """Vectorised :meth:`expand_rect` over stacked ``(m, dim)`` boxes.
 
         One numpy pipeline grows every rectangle by the join radius — the
@@ -423,8 +423,8 @@ class FeatureSpace(ABC):
         """
         if eps < 0:
             raise ValueError(f"eps must be non-negative, got {eps}")
-        lo = np.array(lows, dtype=np.float64, copy=True)
-        hi = np.array(highs, dtype=np.float64, copy=True)
+        lo = xp.array(lows, dtype=xp.float64, copy=True)
+        hi = xp.array(highs, dtype=xp.float64, copy=True)
         if lo.ndim != 2 or lo.shape != hi.shape or lo.shape[1] != self.dim:
             raise ValueError(
                 f"lows/highs must be matching (m, {self.dim}), got "
@@ -442,13 +442,13 @@ class FeatureSpace(ABC):
                 hi[:, base + 1] += e
             else:
                 m_lo = lo[:, base].copy()
-                lo[:, base] = np.maximum(0.0, m_lo - e)
+                lo[:, base] = xp.maximum(0.0, m_lo - e)
                 hi[:, base] += e
                 safe = m_lo > e
-                ratio = np.minimum(np.divide(e, np.where(safe, m_lo, 1.0)), 1.0)
-                half = np.where(safe, np.arcsin(ratio), 0.0)
-                lo[:, base + 1] = np.where(safe, lo[:, base + 1] - half, -math.pi)
-                hi[:, base + 1] = np.where(safe, hi[:, base + 1] + half, math.pi)
+                ratio = xp.minimum(xp.divide(e, xp.where(safe, m_lo, 1.0)), 1.0)
+                half = xp.where(safe, xp.arcsin(ratio), 0.0)
+                lo[:, base + 1] = xp.where(safe, lo[:, base + 1] - half, -math.pi)
+                hi[:, base + 1] = xp.where(safe, hi[:, base + 1] + half, math.pi)
         return lo, hi
 
     # ------------------------------------------------------------------
@@ -464,8 +464,8 @@ class FeatureSpace(ABC):
         """
         if t.n != self.n:
             raise ValueError(f"transformation length {t.n} != space length {self.n}")
-        scale = np.ones(self.dim)
-        offset = np.zeros(self.dim)
+        scale = xp.ones(self.dim)
+        offset = xp.zeros(self.dim)
         self._aux_affine(t, scale, offset)
         if self.coord == "rect":
             if not t.is_safe_rect():
@@ -499,7 +499,7 @@ class FeatureSpace(ABC):
         return AffineMap(scale, offset)
 
     def _aux_affine(
-        self, t: Transformation, scale: np.ndarray, offset: np.ndarray
+        self, t: Transformation, scale: xp.ndarray, offset: xp.ndarray
     ) -> None:
         """Fill the aux-dimension part of the affine map (default: none)."""
 
@@ -513,8 +513,8 @@ class FeatureSpace(ABC):
         the full-spectrum energy, so this is the k-index bound of Lemma 1
         expressed in the space's coordinates.
         """
-        a = np.asarray(p, dtype=np.float64)[self.aux_dims :]
-        b = np.asarray(q, dtype=np.float64)[self.aux_dims :]
+        a = xp.asarray(p, dtype=xp.float64)[self.aux_dims :]
+        b = xp.asarray(q, dtype=xp.float64)[self.aux_dims :]
         if self.coord == "rect":
             d2 = (a[0::2] - b[0::2]) ** 2 + (a[1::2] - b[1::2]) ** 2
         else:
@@ -522,29 +522,29 @@ class FeatureSpace(ABC):
             d2 = (
                 a[0::2] ** 2
                 + b[0::2] ** 2
-                - 2.0 * a[0::2] * b[0::2] * np.cos(a[1::2] - b[1::2])
+                - 2.0 * a[0::2] * b[0::2] * xp.cos(a[1::2] - b[1::2])
             )
-            d2 = np.maximum(d2, 0.0)
-        return float(math.sqrt(float(np.sum(self.weights * d2))))
+            d2 = xp.maximum(d2, 0.0)
+        return float(math.sqrt(float(xp.sum(self.weights * d2))))
 
-    def point_dist_many(self, points: np.ndarray, q: ArrayLike) -> np.ndarray:
+    def point_dist_many(self, points: xp.ndarray, q: ArrayLike) -> xp.ndarray:
         """Row-wise :meth:`point_dist` of an ``(m, dim)`` matrix of points.
 
         One law-of-cosines (or squared-difference) evaluation over the whole
         matrix; agrees with the scalar path to float tolerance.
         """
-        pts = np.asarray(points, dtype=np.float64)[:, self.aux_dims :]
-        b = np.asarray(q, dtype=np.float64)[self.aux_dims :]
+        pts = xp.asarray(points, dtype=xp.float64)[:, self.aux_dims :]
+        b = xp.asarray(q, dtype=xp.float64)[self.aux_dims :]
         if self.coord == "rect":
             d2 = (pts[:, 0::2] - b[0::2]) ** 2 + (pts[:, 1::2] - b[1::2]) ** 2
         else:
             d2 = (
                 pts[:, 0::2] ** 2
                 + b[0::2] ** 2
-                - 2.0 * pts[:, 0::2] * b[0::2] * np.cos(pts[:, 1::2] - b[1::2])
+                - 2.0 * pts[:, 0::2] * b[0::2] * xp.cos(pts[:, 1::2] - b[1::2])
             )
-            d2 = np.maximum(d2, 0.0)
-        return np.sqrt(d2 @ self.weights)
+            d2 = xp.maximum(d2, 0.0)
+        return xp.sqrt(d2 @ self.weights)
 
     def rect_mindist(self, rect: Rect, q: ArrayLike) -> float:
         """Lower bound on :meth:`point_dist` over every point in ``rect``.
@@ -555,7 +555,7 @@ class FeatureSpace(ABC):
         Auxiliary dimensions contribute nothing (they are not part of the
         ground distance).
         """
-        point = np.asarray(q, dtype=np.float64)
+        point = xp.asarray(q, dtype=xp.float64)
         total = 0.0
         for i in range(self.k):
             base = self.aux_dims + 2 * i
@@ -578,19 +578,19 @@ class FeatureSpace(ABC):
         return float(math.sqrt(total))
 
     def rect_mindist_many(
-        self, lows: np.ndarray, highs: np.ndarray, q: ArrayLike
-    ) -> np.ndarray:
+        self, lows: xp.ndarray, highs: xp.ndarray, q: ArrayLike
+    ) -> xp.ndarray:
         """Row-wise :meth:`rect_mindist` over stacked ``(m, dim)`` bounds.
 
         This is the per-node lower bound the k-NN traversal evaluates for a
         whole node's child MBRs in one numpy call.
         """
-        point = np.asarray(q, dtype=np.float64)
-        lo = np.asarray(lows, dtype=np.float64)[:, self.aux_dims :]
-        hi = np.asarray(highs, dtype=np.float64)[:, self.aux_dims :]
+        point = xp.asarray(q, dtype=xp.float64)
+        lo = xp.asarray(lows, dtype=xp.float64)[:, self.aux_dims :]
+        hi = xp.asarray(highs, dtype=xp.float64)[:, self.aux_dims :]
         if self.coord == "rect":
             v = point[self.aux_dims :]
-            gap = np.maximum(lo - v, 0.0) + np.maximum(v - hi, 0.0)
+            gap = xp.maximum(lo - v, 0.0) + xp.maximum(v - hi, 0.0)
             d2 = gap[:, 0::2] ** 2 + gap[:, 1::2] ** 2
         else:
             d2 = self._polar_box_dist2_many(
@@ -601,9 +601,9 @@ class FeatureSpace(ABC):
                 lo[:, 1::2],
                 hi[:, 1::2],
             )
-        return np.sqrt(d2 @ self.weights)
+        return xp.sqrt(d2 @ self.weights)
 
-    def point_dist_rows(self, points: np.ndarray, qs: np.ndarray) -> np.ndarray:
+    def point_dist_rows(self, points: xp.ndarray, qs: xp.ndarray) -> xp.ndarray:
         """Row-aligned :meth:`point_dist`: point ``i`` against query ``i``.
 
         Unlike :meth:`point_dist_many` (one query for every row), each row
@@ -611,33 +611,33 @@ class FeatureSpace(ABC):
         frontier scores, where gathered leaf entries are already expanded
         against the query that reached them.
         """
-        pts = np.asarray(points, dtype=np.float64)[:, self.aux_dims :]
-        qb = np.asarray(qs, dtype=np.float64)[:, self.aux_dims :]
+        pts = xp.asarray(points, dtype=xp.float64)[:, self.aux_dims :]
+        qb = xp.asarray(qs, dtype=xp.float64)[:, self.aux_dims :]
         if self.coord == "rect":
             d2 = (pts[:, 0::2] - qb[:, 0::2]) ** 2 + (pts[:, 1::2] - qb[:, 1::2]) ** 2
         else:
             d2 = (
                 pts[:, 0::2] ** 2
                 + qb[:, 0::2] ** 2
-                - 2.0 * pts[:, 0::2] * qb[:, 0::2] * np.cos(pts[:, 1::2] - qb[:, 1::2])
+                - 2.0 * pts[:, 0::2] * qb[:, 0::2] * xp.cos(pts[:, 1::2] - qb[:, 1::2])
             )
-            d2 = np.maximum(d2, 0.0)
-        return np.sqrt(d2 @ self.weights)
+            d2 = xp.maximum(d2, 0.0)
+        return xp.sqrt(d2 @ self.weights)
 
     def rect_mindist_rows(
-        self, lows: np.ndarray, highs: np.ndarray, qs: np.ndarray
-    ) -> np.ndarray:
+        self, lows: xp.ndarray, highs: xp.ndarray, qs: xp.ndarray
+    ) -> xp.ndarray:
         """Row-aligned :meth:`rect_mindist`: rectangle ``i`` vs query ``i``.
 
         The internal-node counterpart of :meth:`point_dist_rows`; the
         polar helper broadcasts unchanged because the box bounds and the
         per-row query magnitudes/angles share the ``(m, k)`` shape.
         """
-        q = np.asarray(qs, dtype=np.float64)[:, self.aux_dims :]
-        lo = np.asarray(lows, dtype=np.float64)[:, self.aux_dims :]
-        hi = np.asarray(highs, dtype=np.float64)[:, self.aux_dims :]
+        q = xp.asarray(qs, dtype=xp.float64)[:, self.aux_dims :]
+        lo = xp.asarray(lows, dtype=xp.float64)[:, self.aux_dims :]
+        hi = xp.asarray(highs, dtype=xp.float64)[:, self.aux_dims :]
         if self.coord == "rect":
-            gap = np.maximum(lo - q, 0.0) + np.maximum(q - hi, 0.0)
+            gap = xp.maximum(lo - q, 0.0) + xp.maximum(q - hi, 0.0)
             d2 = gap[:, 0::2] ** 2 + gap[:, 1::2] ** 2
         else:
             d2 = self._polar_box_dist2_many(
@@ -645,7 +645,7 @@ class FeatureSpace(ABC):
                 lo[:, 0::2], hi[:, 0::2],
                 lo[:, 1::2], hi[:, 1::2],
             )
-        return np.sqrt(d2 @ self.weights)
+        return xp.sqrt(d2 @ self.weights)
 
     @staticmethod
     def _polar_box_dist2(
@@ -673,13 +673,13 @@ class FeatureSpace(ABC):
 
     @staticmethod
     def _polar_box_dist2_many(
-        mq: np.ndarray,
-        tq: np.ndarray,
-        m_lo: np.ndarray,
-        m_hi: np.ndarray,
-        t_lo: np.ndarray,
-        t_hi: np.ndarray,
-    ) -> np.ndarray:
+        mq: xp.ndarray,
+        tq: xp.ndarray,
+        m_lo: xp.ndarray,
+        m_hi: xp.ndarray,
+        t_lo: xp.ndarray,
+        t_hi: xp.ndarray,
+    ) -> xp.ndarray:
         """Vectorised :meth:`_polar_box_dist2` over ``(m, k)`` boxes.
 
         ``mq``/``tq`` are the query's ``(k,)`` magnitudes and angles; the
@@ -688,33 +688,33 @@ class FeatureSpace(ABC):
         width = t_hi - t_lo
         rel = (tq - t_lo) % TWO_PI
         gap = rel - width
-        dtheta = np.where(
+        dtheta = xp.where(
             (width >= TWO_PI) | (rel <= width),
             0.0,
-            np.minimum(gap, TWO_PI - rel),
+            xp.minimum(gap, TWO_PI - rel),
         )
-        cos_d = np.cos(dtheta)
-        m_star = np.where(cos_d > 0, np.clip(mq * cos_d, m_lo, m_hi), m_lo)
+        cos_d = xp.cos(dtheta)
+        m_star = xp.where(cos_d > 0, xp.clip(mq * cos_d, m_lo, m_hi), m_lo)
         d2 = mq * mq + m_star * m_star - 2.0 * m_star * mq * cos_d
-        return np.maximum(d2, 0.0)
+        return xp.maximum(d2, 0.0)
 
     # ------------------------------------------------------------------
     # ground truth
     # ------------------------------------------------------------------
     def ground_distance(
         self,
-        spec_x: np.ndarray,
-        spec_q: np.ndarray,
+        spec_x: xp.ndarray,
+        spec_q: xp.ndarray,
         t: Optional[Transformation] = None,
     ) -> float:
         """Exact distance ``D(T(X), Q)`` over full spectra (Eq. 12)."""
         tx = spec_x if t is None else t.apply_spectrum(spec_x)
-        return float(np.linalg.norm(tx - spec_q))
+        return float(xp.linalg.norm(tx - spec_q))
 
     def ground_distance_within(
         self,
-        spec_x: np.ndarray,
-        spec_q: np.ndarray,
+        spec_x: xp.ndarray,
+        spec_q: xp.ndarray,
         eps: float,
         t: Optional[Transformation] = None,
     ) -> Optional[float]:
@@ -731,11 +731,11 @@ class FeatureSpace(ABC):
 
     def ground_distances_within_many(
         self,
-        spectra: np.ndarray,
-        spec_q: np.ndarray,
+        spectra: xp.ndarray,
+        spec_q: xp.ndarray,
         eps: float,
         t: Optional[Transformation] = None,
-    ) -> tuple[np.ndarray, np.ndarray, int]:
+    ) -> tuple[xp.ndarray, xp.ndarray, int]:
         """Batched :meth:`ground_distance_within` over ``(m, n)`` spectra.
 
         The transformation is applied to the whole candidate matrix at once
@@ -765,20 +765,20 @@ class PlainDFTSpace(FeatureSpace):
             raise ValueError(f"k must be >= 1, got {k}")
         return list(range(k))
 
-    def series_spectrum(self, series: ArrayLike) -> np.ndarray:
-        return dft(np.asarray(series, dtype=np.float64))
+    def series_spectrum(self, series: ArrayLike) -> xp.ndarray:
+        return dft(xp.asarray(series, dtype=xp.float64))
 
-    def series_spectrum_many(self, matrix: ArrayLike) -> np.ndarray:
-        rows = np.asarray(matrix, dtype=np.float64)
+    def series_spectrum_many(self, matrix: ArrayLike) -> xp.ndarray:
+        rows = xp.asarray(matrix, dtype=xp.float64)
         if rows.shape[0] == 0:
-            return np.empty((0, self.n), dtype=np.complex128)
+            return xp.empty((0, self.n), dtype=xp.complex128)
         return dft_many(rows)
 
-    def aux_values(self, series: ArrayLike) -> np.ndarray:
-        return np.empty(0)
+    def aux_values(self, series: ArrayLike) -> xp.ndarray:
+        return xp.empty(0)
 
-    def aux_values_many(self, matrix: ArrayLike) -> np.ndarray:
-        return np.empty((np.asarray(matrix).shape[0], 0))
+    def aux_values_many(self, matrix: ArrayLike) -> xp.ndarray:
+        return xp.empty((xp.asarray(matrix).shape[0], 0))
 
 
 class NormalFormSpace(FeatureSpace):
@@ -801,23 +801,23 @@ class NormalFormSpace(FeatureSpace):
             raise ValueError(f"k must be >= 1, got {k}")
         return list(range(1, k + 1))
 
-    def series_spectrum(self, series: ArrayLike) -> np.ndarray:
-        return dft(normal_form(np.asarray(series, dtype=np.float64)))
+    def series_spectrum(self, series: ArrayLike) -> xp.ndarray:
+        return dft(normal_form(xp.asarray(series, dtype=xp.float64)))
 
-    def series_spectrum_many(self, matrix: ArrayLike) -> np.ndarray:
-        rows = np.asarray(matrix, dtype=np.float64)
+    def series_spectrum_many(self, matrix: ArrayLike) -> xp.ndarray:
+        rows = xp.asarray(matrix, dtype=xp.float64)
         if rows.shape[0] == 0:
-            return np.empty((0, self.n), dtype=np.complex128)
+            return xp.empty((0, self.n), dtype=xp.complex128)
         return dft_many(normal_form_many(rows))
 
-    def aux_values(self, series: ArrayLike) -> np.ndarray:
-        return np.asarray(mean_std(series), dtype=np.float64)
+    def aux_values(self, series: ArrayLike) -> xp.ndarray:
+        return xp.asarray(mean_std(series), dtype=xp.float64)
 
-    def aux_values_many(self, matrix: ArrayLike) -> np.ndarray:
+    def aux_values_many(self, matrix: ArrayLike) -> xp.ndarray:
         return mean_std_many(matrix)
 
     def _aux_affine(
-        self, t: Transformation, scale: np.ndarray, offset: np.ndarray
+        self, t: Transformation, scale: xp.ndarray, offset: xp.ndarray
     ) -> None:
         scale[0], offset[0] = t.mean_map
         scale[1], offset[1] = t.std_map

@@ -36,7 +36,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Optional, Sequence
 
-import numpy as np
+from repro.rtree.backend import xp
 
 from repro.core import queries as q
 from repro.core.transforms import Transformation
@@ -130,7 +130,7 @@ class IndexProbe(Operator):
 
     def __init__(
         self,
-        q_point: np.ndarray,
+        q_point: xp.ndarray,
         eps: float,
         transformation: Optional[Transformation] = None,
         aux_bounds: Optional[Sequence[tuple[float, float]]] = None,
@@ -141,7 +141,7 @@ class IndexProbe(Operator):
         self.transformation = transformation
         self.aux_bounds = aux_bounds
 
-    def _execute(self, ctx: ExecContext) -> np.ndarray:
+    def _execute(self, ctx: ExecContext) -> xp.ndarray:
         engine = ctx.engine
         view = q._make_view(engine.tree, engine.space, self.transformation)
         qrect = engine.space.search_rect(
@@ -180,7 +180,7 @@ class BatchIndexProbe(Operator):
 
     def __init__(
         self,
-        q_points: np.ndarray,
+        q_points: xp.ndarray,
         eps: float,
         transformation: Optional[Transformation] = None,
         aux_bounds: Optional[Sequence[tuple[float, float]]] = None,
@@ -191,7 +191,7 @@ class BatchIndexProbe(Operator):
         self.transformation = transformation
         self.aux_bounds = aux_bounds
 
-    def _execute(self, ctx: ExecContext) -> list[np.ndarray]:
+    def _execute(self, ctx: ExecContext) -> list[xp.ndarray]:
         engine = ctx.engine
         space = engine.space
         view = q._make_view(engine.tree, space, self.transformation)
@@ -202,7 +202,7 @@ class BatchIndexProbe(Operator):
         id_lists = view.search_many(
             qlows, qhighs, fstats=self.frontier, budget=ctx.budget
         )
-        out = [np.asarray(ids, dtype=np.intp) for ids in id_lists]
+        out = [xp.asarray(ids, dtype=xp.intp) for ids in id_lists]
         if ctx.budget is not None:
             ctx.budget.charge_candidates(
                 sum(int(a.shape[0]) for a in out), where="batch index probe"
@@ -233,7 +233,7 @@ class SeqScan(Operator):
     def __init__(
         self,
         kind: str,
-        query_spectra: np.ndarray,
+        query_spectra: xp.ndarray,
         eps: Optional[float] = None,
         k: Optional[int] = None,
         transformation: Optional[Transformation] = None,
@@ -308,7 +308,7 @@ class Verify(Operator):
     def __init__(
         self,
         child: Operator,
-        query_spectra: np.ndarray,
+        query_spectra: xp.ndarray,
         eps: float,
         transformation: Optional[Transformation] = None,
     ) -> None:
@@ -319,7 +319,7 @@ class Verify(Operator):
         self.transformation = transformation
 
     def _verify_one(
-        self, ctx: ExecContext, ids: np.ndarray, q_spec: np.ndarray
+        self, ctx: ExecContext, ids: xp.ndarray, q_spec: xp.ndarray
     ) -> list[Match]:
         engine = ctx.engine
         if ctx.budget is not None:
@@ -367,8 +367,8 @@ class KnnSearch(Operator):
 
     def __init__(
         self,
-        query_spectra: np.ndarray,
-        q_points: np.ndarray,
+        query_spectra: xp.ndarray,
+        q_points: xp.ndarray,
         k: int,
         transformation: Optional[Transformation] = None,
         batch: bool = False,
@@ -485,7 +485,7 @@ class SubseqRangeSearch(Operator):
 
     def __init__(
         self,
-        queries: Sequence[np.ndarray],
+        queries: Sequence[xp.ndarray],
         eps: float,
         strategies: Sequence[str],
         window: int,
@@ -532,7 +532,7 @@ class SubseqKnnSearch(Operator):
 
     def __init__(
         self,
-        queries: Sequence[np.ndarray],
+        queries: Sequence[xp.ndarray],
         k: int,
         window: int,
         batch: bool = False,
@@ -576,26 +576,26 @@ class DistCompute(Operator):
 
     def __init__(
         self,
-        series_a: np.ndarray,
-        series_b: np.ndarray,
+        series_a: xp.ndarray,
+        series_b: xp.ndarray,
         transformation: Optional[Transformation] = None,
         symmetric: bool = True,
     ) -> None:
         super().__init__()
-        self.series_a = np.asarray(series_a, dtype=np.float64)
-        self.series_b = np.asarray(series_b, dtype=np.float64)
+        self.series_a = xp.asarray(series_a, dtype=xp.float64)
+        self.series_b = xp.asarray(series_b, dtype=xp.float64)
         self.transformation = transformation
         self.symmetric = symmetric
 
     def _execute(self, ctx: ExecContext) -> float:
         a, b = self.series_a, self.series_b
         if self.transformation is not None:
-            a = np.asarray(self.transformation.apply_series(a), dtype=np.float64)
+            a = xp.asarray(self.transformation.apply_series(a), dtype=xp.float64)
             if self.symmetric:
-                b = np.asarray(
-                    self.transformation.apply_series(b), dtype=np.float64
+                b = xp.asarray(
+                    self.transformation.apply_series(b), dtype=xp.float64
                 )
-        return float(np.linalg.norm(a - b))
+        return float(xp.linalg.norm(a - b))
 
     def _describe(self) -> dict:
         return {

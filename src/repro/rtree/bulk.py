@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from typing import Optional, Sequence
 
-import numpy as np
+from repro.rtree.backend import xp
 
 from repro.rtree.base import RTreeBase
 from repro.rtree.geometry import Rect, union_all
@@ -40,7 +40,7 @@ def str_pack(
     Returns:
         a tree of ``tree_cls`` whose leaves are filled tile-by-tile.
     """
-    pts = np.asarray(points, dtype=np.float64)
+    pts = xp.asarray(points, dtype=xp.float64)
     if pts.ndim != 2:
         raise ValueError(f"points must be 2-D (n, dim), got shape {pts.shape}")
     return str_pack_rects(
@@ -75,14 +75,14 @@ def str_pack_rects(
     Returns:
         a tree of ``tree_cls`` whose leaves are filled tile-by-tile.
     """
-    los = np.asarray(lows, dtype=np.float64)
-    his = np.asarray(highs, dtype=np.float64)
+    los = xp.asarray(lows, dtype=xp.float64)
+    his = xp.asarray(highs, dtype=xp.float64)
     if los.ndim != 2 or los.shape != his.shape:
         raise ValueError(
             f"lows/highs must be matching 2-D (n, dim), got {los.shape} vs {his.shape}"
         )
     n, dim = los.shape
-    ids = np.arange(n) if record_ids is None else np.asarray(record_ids)
+    ids = xp.arange(n) if record_ids is None else xp.asarray(record_ids)
     if len(ids) != n:
         raise ValueError(f"{n} rectangles but {len(ids)} record ids")
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, Optional, Sequence
 
-import numpy as np
+from repro.rtree.backend import xp
 
 __all__ = [
     "Rect",
@@ -46,14 +46,14 @@ class Rect:
     __slots__ = ("lows", "highs")
 
     def __init__(self, lows: Sequence[float], highs: Sequence[float]) -> None:
-        self.lows = np.asarray(lows, dtype=np.float64).copy()
-        self.highs = np.asarray(highs, dtype=np.float64).copy()
+        self.lows = xp.asarray(lows, dtype=xp.float64).copy()
+        self.highs = xp.asarray(highs, dtype=xp.float64).copy()
         if self.lows.shape != self.highs.shape or self.lows.ndim != 1:
             raise ValueError(
                 f"lows/highs must be 1-D and equal length, got {self.lows.shape} "
                 f"and {self.highs.shape}"
             )
-        if np.any(self.lows > self.highs):
+        if xp.any(self.lows > self.highs):
             raise ValueError(f"lows must not exceed highs: {self.lows} > {self.highs}")
 
     # ------------------------------------------------------------------
@@ -62,7 +62,7 @@ class Rect:
     @classmethod
     def from_point(cls, point: Sequence[float]) -> "Rect":
         """A degenerate rectangle at ``point``."""
-        arr = np.asarray(point, dtype=np.float64)
+        arr = xp.asarray(point, dtype=xp.float64)
         return cls(arr, arr)
 
     @classmethod
@@ -73,7 +73,7 @@ class Rect:
         ``radius``-ball used to build search rectangles in the rectangular
         coordinate system (Section 3.1).
         """
-        c = np.asarray(center, dtype=np.float64)
+        c = xp.asarray(center, dtype=xp.float64)
         return cls(c - radius, c + radius)
 
     # ------------------------------------------------------------------
@@ -85,26 +85,26 @@ class Rect:
         return self.lows.shape[0]
 
     @property
-    def center(self) -> np.ndarray:
+    def center(self) -> xp.ndarray:
         """Geometric centre of the rectangle."""
         return (self.lows + self.highs) / 2.0
 
     @property
-    def extents(self) -> np.ndarray:
+    def extents(self) -> xp.ndarray:
         """Per-dimension side lengths."""
         return self.highs - self.lows
 
     def is_point(self, tol: float = 0.0) -> bool:
         """True when every side is no longer than ``tol``."""
-        return bool(np.all(self.extents <= tol))
+        return bool(xp.all(self.extents <= tol))
 
     def area(self) -> float:
         """Product of side lengths (volume in d dimensions)."""
-        return float(np.prod(self.extents))
+        return float(xp.prod(self.extents))
 
     def margin(self) -> float:
         """Sum of side lengths — the R* split's perimeter surrogate."""
-        return float(np.sum(self.extents))
+        return float(xp.sum(self.extents))
 
     # ------------------------------------------------------------------
     # relations
@@ -112,24 +112,24 @@ class Rect:
     def intersects(self, other: "Rect") -> bool:
         """True when the closed rectangles share at least one point."""
         return bool(
-            np.all(self.lows <= other.highs) and np.all(other.lows <= self.highs)
+            xp.all(self.lows <= other.highs) and xp.all(other.lows <= self.highs)
         )
 
     def contains(self, other: "Rect") -> bool:
         """True when ``other`` lies entirely inside ``self`` (closed)."""
         return bool(
-            np.all(self.lows <= other.lows) and np.all(other.highs <= self.highs)
+            xp.all(self.lows <= other.lows) and xp.all(other.highs <= self.highs)
         )
 
     def contains_point(self, point: Sequence[float]) -> bool:
         """True when ``point`` lies inside the closed rectangle."""
-        p = np.asarray(point, dtype=np.float64)
-        return bool(np.all(self.lows <= p) and np.all(p <= self.highs))
+        p = xp.asarray(point, dtype=xp.float64)
+        return bool(xp.all(self.lows <= p) and xp.all(p <= self.highs))
 
     def strictly_contains_point(self, point: Sequence[float]) -> bool:
         """True when ``point`` lies in the open interior."""
-        p = np.asarray(point, dtype=np.float64)
-        return bool(np.all(self.lows < p) and np.all(p < self.highs))
+        p = xp.asarray(point, dtype=xp.float64)
+        return bool(xp.all(self.lows < p) and xp.all(p < self.highs))
 
     # ------------------------------------------------------------------
     # combination
@@ -137,25 +137,25 @@ class Rect:
     def union(self, other: "Rect") -> "Rect":
         """Minimum bounding rectangle of both rectangles."""
         return Rect(
-            np.minimum(self.lows, other.lows), np.maximum(self.highs, other.highs)
+            xp.minimum(self.lows, other.lows), xp.maximum(self.highs, other.highs)
         )
 
     def intersection(self, other: "Rect") -> Optional["Rect"]:
         """Overlapping region, or ``None`` when disjoint."""
-        lows = np.maximum(self.lows, other.lows)
-        highs = np.minimum(self.highs, other.highs)
-        if np.any(lows > highs):
+        lows = xp.maximum(self.lows, other.lows)
+        highs = xp.minimum(self.highs, other.highs)
+        if xp.any(lows > highs):
             return None
         return Rect(lows, highs)
 
     def overlap_area(self, other: "Rect") -> float:
         """Volume of the intersection (0 when disjoint)."""
-        sides = np.minimum(self.highs, other.highs) - np.maximum(
+        sides = xp.minimum(self.highs, other.highs) - xp.maximum(
             self.lows, other.lows
         )
-        if np.any(sides < 0):
+        if xp.any(sides < 0):
             return 0.0
-        return float(np.prod(sides))
+        return float(xp.prod(sides))
 
     def enlargement(self, other: "Rect") -> float:
         """Area increase needed to absorb ``other`` (Guttman's criterion)."""
@@ -170,14 +170,14 @@ class Rect:
         Zero when the point is inside.  This is an optimistic bound: no
         object in the subtree rooted at this MBR can be closer.
         """
-        p = np.asarray(point, dtype=np.float64)
-        clamped = np.clip(p, self.lows, self.highs)
-        return float(np.linalg.norm(p - clamped))
+        p = xp.asarray(point, dtype=xp.float64)
+        clamped = xp.clip(p, self.lows, self.highs)
+        return float(xp.linalg.norm(p - clamped))
 
     @staticmethod
     def mindist_many(
-        lows: np.ndarray, highs: np.ndarray, point: Sequence[float]
-    ) -> np.ndarray:
+        lows: xp.ndarray, highs: xp.ndarray, point: Sequence[float]
+    ) -> xp.ndarray:
         """MINDIST from ``point`` to many rectangles at once.
 
         ``lows``/``highs`` are stacked ``(m, d)`` bounds (one row per
@@ -185,25 +185,25 @@ class Rect:
         returns the ``(m,)`` distances — one numpy call per node instead
         of one :meth:`mindist` call per entry.
         """
-        p = np.asarray(point, dtype=np.float64)
-        clamped = np.clip(p, lows, highs)
-        return np.linalg.norm(p - clamped, axis=1)
+        p = xp.asarray(point, dtype=xp.float64)
+        clamped = xp.clip(p, lows, highs)
+        return xp.linalg.norm(p - clamped, axis=1)
 
     @staticmethod
     def intersects_many(
-        lows: np.ndarray,
-        highs: np.ndarray,
+        lows: xp.ndarray,
+        highs: xp.ndarray,
         qlo: Sequence[float],
         qhi: Sequence[float],
-    ) -> np.ndarray:
+    ) -> xp.ndarray:
         """Closed-rectangle intersection of many rectangles with one query.
 
         The plain (non-circular) counterpart of
         :func:`intersects_circular_many`; returns a boolean ``(m,)`` mask.
         """
-        qlo = np.asarray(qlo, dtype=np.float64)
-        qhi = np.asarray(qhi, dtype=np.float64)
-        return np.all(lows <= qhi, axis=1) & np.all(qlo <= highs, axis=1)
+        qlo = xp.asarray(qlo, dtype=xp.float64)
+        qhi = xp.asarray(qhi, dtype=xp.float64)
+        return xp.all(lows <= qhi, axis=1) & xp.all(qlo <= highs, axis=1)
 
     def minmaxdist(self, point: Sequence[float]) -> float:
         """MINMAXDIST of Roussopoulos et al. (1995).
@@ -212,11 +212,11 @@ class Rect:
         nearest in dimension k; an upper bound on the distance to the
         closest object *guaranteed* to exist inside the MBR.
         """
-        p = np.asarray(point, dtype=np.float64)
+        p = xp.asarray(point, dtype=xp.float64)
         # rm: nearer edge per dimension; rM: farther edge per dimension.
         mid = (self.lows + self.highs) / 2.0
-        rm = np.where(p <= mid, self.lows, self.highs)
-        rM = np.where(p >= mid, self.lows, self.highs)
+        rm = xp.where(p <= mid, self.lows, self.highs)
+        rM = xp.where(p >= mid, self.lows, self.highs)
         far_sq = (p - rM) ** 2
         near_sq = (p - rm) ** 2
         # For each k: swap the k-th farther-edge term for the nearer edge.
@@ -225,15 +225,15 @@ class Rect:
         # catastrophically when one dimension's extent dwarfs the others,
         # which could push MINMAXDIST (an upper bound) below MINDIST.
         d = p.shape[0]
-        candidates = np.tile(far_sq, (d, 1))
-        np.fill_diagonal(candidates, near_sq)
-        return float(math.sqrt(float(np.min(candidates.sum(axis=1)))))
+        candidates = xp.tile(far_sq, (d, 1))
+        xp.fill_diagonal(candidates, near_sq)
+        return float(math.sqrt(float(xp.min(candidates.sum(axis=1)))))
 
     def max_dist(self, point: Sequence[float]) -> float:
         """Largest possible distance from ``point`` to anywhere in the MBR."""
-        p = np.asarray(point, dtype=np.float64)
-        far = np.maximum(np.abs(p - self.lows), np.abs(p - self.highs))
-        return float(np.linalg.norm(far))
+        p = xp.asarray(point, dtype=xp.float64)
+        far = xp.maximum(xp.abs(p - self.lows), xp.abs(p - self.highs))
+        return float(xp.linalg.norm(far))
 
     # ------------------------------------------------------------------
     # dunder
@@ -242,8 +242,8 @@ class Rect:
         if not isinstance(other, Rect):
             return NotImplemented
         return bool(
-            np.array_equal(self.lows, other.lows)
-            and np.array_equal(self.highs, other.highs)
+            xp.array_equal(self.lows, other.lows)
+            and xp.array_equal(self.highs, other.highs)
         )
 
     def __hash__(self) -> int:
@@ -252,8 +252,8 @@ class Rect:
     def approx_equal(self, other: "Rect", tol: float = 1e-9) -> bool:
         """Equality up to ``tol`` per coordinate."""
         return bool(
-            np.allclose(self.lows, other.lows, atol=tol)
-            and np.allclose(self.highs, other.highs, atol=tol)
+            xp.allclose(self.lows, other.lows, atol=tol)
+            and xp.allclose(self.highs, other.highs, atol=tol)
         )
 
     def __repr__(self) -> str:
@@ -270,8 +270,8 @@ def union_all(rects: Iterable[Rect]) -> Rect:
     lows = first.lows.copy()
     highs = first.highs.copy()
     for r in it:
-        np.minimum(lows, r.lows, out=lows)
-        np.maximum(highs, r.highs, out=highs)
+        xp.minimum(lows, r.lows, out=lows)
+        xp.maximum(highs, r.highs, out=highs)
     return Rect(lows, highs)
 
 
@@ -299,13 +299,13 @@ def _interval_intersects_circular(
 
 
 def intersects_circular_many(
-    lows: np.ndarray,
-    highs: np.ndarray,
-    qlo: np.ndarray,
-    qhi: np.ndarray,
-    circular_mask: Optional[np.ndarray] = None,
+    lows: xp.ndarray,
+    highs: xp.ndarray,
+    qlo: xp.ndarray,
+    qhi: xp.ndarray,
+    circular_mask: Optional[xp.ndarray] = None,
     period: float = TWO_PI,
-) -> np.ndarray:
+) -> xp.ndarray:
     """Vectorised rectangle-vs-query intersection with circular dimensions.
 
     Args:
@@ -324,14 +324,14 @@ def intersects_circular_many(
     cross-checks it in the property tests.
     """
     m = lows.shape[0]
-    out = np.ones(m, dtype=bool)
+    out = xp.ones(m, dtype=bool)
     if circular_mask is None:
-        circular_mask = np.zeros(lows.shape[1], dtype=bool)
+        circular_mask = xp.zeros(lows.shape[1], dtype=bool)
     linear = ~circular_mask
-    if np.any(linear):
-        out &= np.all(lows[:, linear] <= qhi[linear], axis=1)
-        out &= np.all(qlo[linear] <= highs[:, linear], axis=1)
-    for d in np.nonzero(circular_mask)[0]:
+    if xp.any(linear):
+        out &= xp.all(lows[:, linear] <= qhi[linear], axis=1)
+        out &= xp.all(qlo[linear] <= highs[:, linear], axis=1)
+    for d in xp.nonzero(circular_mask)[0]:
         wa = highs[:, d] - lows[:, d]
         wb = qhi[d] - qlo[d]
         hit = _circular_offsets_hit(lows[:, d], qlo[d], wa, wb, period)
@@ -359,13 +359,13 @@ def _circular_offsets_hit(a0, b0, wa, wb, period):
 
 
 def intersects_circular_pairwise(
-    lows: np.ndarray,
-    highs: np.ndarray,
-    qlows: np.ndarray,
-    qhighs: np.ndarray,
-    circular_mask: Optional[np.ndarray] = None,
+    lows: xp.ndarray,
+    highs: xp.ndarray,
+    qlows: xp.ndarray,
+    qhighs: xp.ndarray,
+    circular_mask: Optional[xp.ndarray] = None,
     period: float = TWO_PI,
-) -> np.ndarray:
+) -> xp.ndarray:
     """All-pairs rectangle intersection: many rectangles × many queries.
 
     The two-sided generalisation of :func:`intersects_circular_many`, used
@@ -385,16 +385,16 @@ def intersects_circular_pairwise(
         ``intersects_circular_many(lows, highs, qlows[j], qhighs[j], mask)``.
     """
     f, m = lows.shape[0], qlows.shape[0]
-    out = np.ones((f, m), dtype=bool)
+    out = xp.ones((f, m), dtype=bool)
     if circular_mask is None:
-        circular_mask = np.zeros(lows.shape[1], dtype=bool)
+        circular_mask = xp.zeros(lows.shape[1], dtype=bool)
     linear = ~circular_mask
-    if np.any(linear):
+    if xp.any(linear):
         lo, hi = lows[:, linear], highs[:, linear]
         qlo, qhi = qlows[:, linear], qhighs[:, linear]
-        out &= np.all(lo[:, None, :] <= qhi[None, :, :], axis=2)
-        out &= np.all(qlo[None, :, :] <= hi[:, None, :], axis=2)
-    for d in np.nonzero(circular_mask)[0]:
+        out &= xp.all(lo[:, None, :] <= qhi[None, :, :], axis=2)
+        out &= xp.all(qlo[None, :, :] <= hi[:, None, :], axis=2)
+    for d in xp.nonzero(circular_mask)[0]:
         wa = (highs[:, d] - lows[:, d])[:, None]
         wb = (qhighs[:, d] - qlows[:, d])[None, :]
         a0 = lows[:, d][:, None]
@@ -404,13 +404,13 @@ def intersects_circular_pairwise(
 
 
 def intersects_circular_rows(
-    lows: np.ndarray,
-    highs: np.ndarray,
-    qlows: np.ndarray,
-    qhighs: np.ndarray,
-    circular_mask: Optional[np.ndarray] = None,
+    lows: xp.ndarray,
+    highs: xp.ndarray,
+    qlows: xp.ndarray,
+    qhighs: xp.ndarray,
+    circular_mask: Optional[xp.ndarray] = None,
     period: float = TWO_PI,
-) -> np.ndarray:
+) -> xp.ndarray:
     """Row-aligned rectangle intersection: rectangle ``i`` vs query ``i``.
 
     The aligned counterpart of :func:`intersects_circular_many` (one query
@@ -432,14 +432,14 @@ def intersects_circular_rows(
         Rect(qlows[i], qhighs[i]), mask)``.
     """
     m = lows.shape[0]
-    out = np.ones(m, dtype=bool)
+    out = xp.ones(m, dtype=bool)
     if circular_mask is None:
-        circular_mask = np.zeros(lows.shape[1], dtype=bool)
+        circular_mask = xp.zeros(lows.shape[1], dtype=bool)
     linear = ~circular_mask
-    if np.any(linear):
-        out &= np.all(lows[:, linear] <= qhighs[:, linear], axis=1)
-        out &= np.all(qlows[:, linear] <= highs[:, linear], axis=1)
-    for d in np.nonzero(circular_mask)[0]:
+    if xp.any(linear):
+        out &= xp.all(lows[:, linear] <= qhighs[:, linear], axis=1)
+        out &= xp.all(qlows[:, linear] <= highs[:, linear], axis=1)
+    for d in xp.nonzero(circular_mask)[0]:
         wa = highs[:, d] - lows[:, d]
         wb = qhighs[:, d] - qlows[:, d]
         out &= _circular_offsets_hit(lows[:, d], qlows[:, d], wa, wb, period)
@@ -449,7 +449,7 @@ def intersects_circular_rows(
 def intersects_circular(
     a: Rect,
     b: Rect,
-    circular_mask: Optional[np.ndarray] = None,
+    circular_mask: Optional[xp.ndarray] = None,
     period: float = TWO_PI,
 ) -> bool:
     """Rectangle intersection with selected dimensions treated circularly.
@@ -460,7 +460,7 @@ def intersects_circular(
             (e.g. a phase angle).  ``None`` means plain intersection.
         period: circumference of the circular dimensions.
     """
-    if circular_mask is None or not np.any(circular_mask):
+    if circular_mask is None or not xp.any(circular_mask):
         return a.intersects(b)
     if a.dim != b.dim:
         raise ValueError(f"dimension mismatch: {a.dim} vs {b.dim}")

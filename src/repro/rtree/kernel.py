@@ -66,7 +66,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
-import numpy as np
+from repro.rtree.backend import xp
 
 from repro.rtree.geometry import (
     Rect,
@@ -78,22 +78,22 @@ from repro.storage.manifest import CorruptIndexError
 from repro.storage.stats import IOStats
 
 #: batched rect lower bound: (m, d) lows, (m, d) highs, (d,) query -> (m,)
-RectDistManyFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+RectDistManyFn = Callable[[xp.ndarray, xp.ndarray, xp.ndarray], xp.ndarray]
 #: batched point distance: (m, d) points, (d,) query -> (m,)
-PointDistManyFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+PointDistManyFn = Callable[[xp.ndarray, xp.ndarray], xp.ndarray]
 #: row-aligned rect lower bound: (m, d) lows/highs, (m, d) queries -> (m,)
-RectDistRowsFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+RectDistRowsFn = Callable[[xp.ndarray, xp.ndarray, xp.ndarray], xp.ndarray]
 #: row-aligned point distance: (m, d) points, (m, d) queries -> (m,)
-PointDistRowsFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+PointDistRowsFn = Callable[[xp.ndarray, xp.ndarray], xp.ndarray]
 #: exact verification: (query indices, record ids) -> exact distances
-VerifyManyFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+VerifyManyFn = Callable[[xp.ndarray, xp.ndarray], xp.ndarray]
 #: expanding verification: (query indices, leaf payload ids, per-row pruning
 #: radii) -> (query indices, item keys, exact distances), any number of rows
 #: per input pair — the box-leaf seam where one leaf id (e.g. a sub-trail)
 #: fans out into many verifiable items (its windows).
 ExpandVerifyFn = Callable[
-    [np.ndarray, np.ndarray, np.ndarray],
-    tuple[np.ndarray, np.ndarray, np.ndarray],
+    [xp.ndarray, xp.ndarray, xp.ndarray],
+    tuple[xp.ndarray, xp.ndarray, xp.ndarray],
 ]
 
 # Heap item kinds for the best-first traversals.
@@ -144,12 +144,12 @@ class FrozenRTree:
         self,
         dim: int,
         size: int,
-        node_level: np.ndarray,
-        entry_start: np.ndarray,
-        entry_count: np.ndarray,
-        entry_lows: np.ndarray,
-        entry_highs: np.ndarray,
-        entry_child: np.ndarray,
+        node_level: xp.ndarray,
+        entry_start: xp.ndarray,
+        entry_count: xp.ndarray,
+        entry_lows: xp.ndarray,
+        entry_highs: xp.ndarray,
+        entry_child: xp.ndarray,
     ) -> None:
         self.dim = int(dim)
         self.size = int(size)
@@ -185,16 +185,16 @@ class FrozenRTree:
 
         n = len(nodes)
         dim = tree.dim
-        node_level = np.empty(n, dtype=np.int32)
-        entry_count = np.empty(n, dtype=np.int64)
+        node_level = xp.empty(n, dtype=xp.int32)
+        entry_count = xp.empty(n, dtype=xp.int64)
         for i, node in enumerate(nodes):
             node_level[i] = node.level
             entry_count[i] = len(node.entries)
-        entry_start = np.concatenate(([0], np.cumsum(entry_count)[:-1]))
+        entry_start = xp.concatenate(([0], xp.cumsum(entry_count)[:-1]))
         total = int(entry_count.sum())
-        entry_lows = np.empty((total, dim))
-        entry_highs = np.empty((total, dim))
-        entry_child = np.empty(total, dtype=np.int64)
+        entry_lows = xp.empty((total, dim))
+        entry_highs = xp.empty((total, dim))
+        entry_child = xp.empty(total, dtype=xp.int64)
         pos = 0
         for node in nodes:
             for e in node.entries:
@@ -208,9 +208,9 @@ class FrozenRTree:
         )
 
     def to_arrays(self) -> dict:
-        """The frozen image as plain arrays (``np.savez``-ready)."""
+        """The frozen image as plain arrays (``xp.savez``-ready)."""
         return {
-            "meta": np.array([self.dim, self.size], dtype=np.int64),
+            "meta": xp.array([self.dim, self.size], dtype=xp.int64),
             "node_level": self.node_level,
             "entry_start": self.entry_start,
             "entry_count": self.entry_count,
@@ -230,7 +230,7 @@ class FrozenRTree:
         producing garbage traversals.
         """
         try:
-            meta = np.asarray(arrays["meta"], dtype=np.int64)
+            meta = xp.asarray(arrays["meta"], dtype=xp.int64)
             if meta.shape != (2,):
                 raise CorruptIndexError(
                     f"kernel meta must have shape (2,), got {meta.shape}"
@@ -238,12 +238,12 @@ class FrozenRTree:
             tree = cls(
                 int(meta[0]),
                 int(meta[1]),
-                np.asarray(arrays["node_level"], dtype=np.int32),
-                np.asarray(arrays["entry_start"], dtype=np.int64),
-                np.asarray(arrays["entry_count"], dtype=np.int64),
-                np.asarray(arrays["entry_lows"], dtype=np.float64),
-                np.asarray(arrays["entry_highs"], dtype=np.float64),
-                np.asarray(arrays["entry_child"], dtype=np.int64),
+                xp.asarray(arrays["node_level"], dtype=xp.int32),
+                xp.asarray(arrays["entry_start"], dtype=xp.int64),
+                xp.asarray(arrays["entry_count"], dtype=xp.int64),
+                xp.asarray(arrays["entry_lows"], dtype=xp.float64),
+                xp.asarray(arrays["entry_highs"], dtype=xp.float64),
+                xp.asarray(arrays["entry_child"], dtype=xp.int64),
             )
         except CorruptIndexError:
             raise
@@ -284,48 +284,48 @@ class FrozenRTree:
             or self.entry_highs.shape != (total, self.dim)
         ):
             raise bad("entry box arrays disagree with entry_child/dim")
-        if np.any(self.entry_count < 0):
+        if xp.any(self.entry_count < 0):
             raise bad("negative entry_count")
-        expected_start = np.concatenate(
-            ([0], np.cumsum(self.entry_count)[:-1])
+        expected_start = xp.concatenate(
+            ([0], xp.cumsum(self.entry_count)[:-1])
         )
-        if not np.array_equal(self.entry_start, expected_start):
+        if not xp.array_equal(self.entry_start, expected_start):
             raise bad("entry_start is not the cumulative sum of entry_count")
         if int(self.entry_count.sum()) != total:
             raise bad("entry_count does not sum to the number of entries")
-        if total and not np.all(np.isfinite(self.entry_lows)):
+        if total and not xp.all(xp.isfinite(self.entry_lows)):
             raise bad("non-finite coordinates in entry_lows")
-        if total and not np.all(np.isfinite(self.entry_highs)):
+        if total and not xp.all(xp.isfinite(self.entry_highs)):
             raise bad("non-finite coordinates in entry_highs")
-        if total and np.any(self.entry_lows > self.entry_highs + tol):
+        if total and xp.any(self.entry_lows > self.entry_highs + tol):
             raise bad("entry has lows > highs")
-        if np.any(self.node_level < 0):
+        if xp.any(self.node_level < 0):
             raise bad("negative node level")
 
-        owner_level = np.repeat(self.node_level, self.entry_count)
+        owner_level = xp.repeat(self.node_level, self.entry_count)
         internal = owner_level > 0
         children = self.entry_child[internal]
         if children.size:
-            if np.any((children < 0) | (children >= n)):
+            if xp.any((children < 0) | (children >= n)):
                 raise bad("internal entry child id out of node range")
-            if np.any(
+            if xp.any(
                 self.node_level[children] != owner_level[internal] - 1
             ):
                 raise bad("child node level is not parent level - 1")
         leaf_ids = self.entry_child[~internal]
-        if leaf_ids.size and np.any((leaf_ids < 0) | (leaf_ids >= self.size)):
+        if leaf_ids.size and xp.any((leaf_ids < 0) | (leaf_ids >= self.size)):
             raise bad("leaf entry id outside [0, size)")
 
         if children.size:
             # Per-node MBRs via reduceat over each node's entry range, then
             # containment of each child's MBR in its parent entry's box.
-            nonempty = np.nonzero(self.entry_count > 0)[0]
-            node_low = np.full((n, self.dim), np.inf)
-            node_high = np.full((n, self.dim), -np.inf)
+            nonempty = xp.nonzero(self.entry_count > 0)[0]
+            node_low = xp.full((n, self.dim), xp.inf)
+            node_high = xp.full((n, self.dim), -xp.inf)
             if nonempty.size:
-                starts = self.entry_start[nonempty].astype(np.intp)
-                node_low[nonempty] = np.minimum.reduceat(self.entry_lows, starts)
-                node_high[nonempty] = np.maximum.reduceat(
+                starts = self.entry_start[nonempty].astype(xp.intp)
+                node_low[nonempty] = xp.minimum.reduceat(self.entry_lows, starts)
+                node_high[nonempty] = xp.maximum.reduceat(
                     self.entry_highs, starts
                 )
                 # reduceat folds to the array end for the last start; nodes
@@ -335,8 +335,8 @@ class FrozenRTree:
             plo = self.entry_lows[internal][has_entries]
             phi = self.entry_highs[internal][has_entries]
             if kids.size and (
-                np.any(node_low[kids] < plo - tol)
-                or np.any(node_high[kids] > phi + tol)
+                xp.any(node_low[kids] < plo - tol)
+                or xp.any(node_high[kids] > phi + tol)
             ):
                 raise bad("parent entry MBR does not contain its child's MBR")
 
@@ -350,7 +350,7 @@ class FrozenRTree:
     # ------------------------------------------------------------------
     # shared machinery
     # ------------------------------------------------------------------
-    def _gather(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _gather(self, nodes: xp.ndarray) -> tuple[xp.ndarray, xp.ndarray]:
         """Entry indices of ``nodes`` as one flat index array.
 
         Returns ``(idx, counts)``: ``idx`` concatenates each node's entry
@@ -360,15 +360,15 @@ class FrozenRTree:
         counts = self.entry_count[nodes]
         total = int(counts.sum())
         if total == 0:
-            return np.empty(0, dtype=np.int64), counts
+            return xp.empty(0, dtype=xp.int64), counts
         starts = self.entry_start[nodes]
-        offsets = np.cumsum(counts) - counts
-        idx = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, counts)
+        offsets = xp.cumsum(counts) - counts
+        idx = xp.arange(total, dtype=xp.int64) + xp.repeat(starts - offsets, counts)
         return idx, counts
 
     def _transformed(
-        self, idx: np.ndarray, scale: Optional[np.ndarray], offset: Optional[np.ndarray]
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self, idx: xp.ndarray, scale: Optional[xp.ndarray], offset: Optional[xp.ndarray]
+    ) -> tuple[xp.ndarray, xp.ndarray]:
         """Gathered entry MBRs mapped through the affine transformation."""
         lows = self.entry_lows[idx]
         highs = self.entry_highs[idx]
@@ -376,27 +376,27 @@ class FrozenRTree:
             return lows, highs
         a = lows * scale + offset
         b = highs * scale + offset
-        return np.minimum(a, b), np.maximum(a, b)
+        return xp.minimum(a, b), xp.maximum(a, b)
 
     @staticmethod
-    def _affine(scale, offset) -> tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    def _affine(scale, offset) -> tuple[Optional[xp.ndarray], Optional[xp.ndarray]]:
         """Normalise the affine vectors; ``None`` scale marks the identity."""
         if scale is None:
             return None, None
-        scale = np.asarray(scale, dtype=np.float64)
-        offset = np.asarray(offset, dtype=np.float64)
-        if np.all(scale == 1.0) and np.all(offset == 0.0):
+        scale = xp.asarray(scale, dtype=xp.float64)
+        offset = xp.asarray(offset, dtype=xp.float64)
+        if xp.all(scale == 1.0) and xp.all(offset == 0.0):
             return None, None
         return scale, offset
 
-    def leaf_entries(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def leaf_entries(self) -> tuple[xp.ndarray, xp.ndarray, xp.ndarray]:
         """All leaf entry boxes and their id payloads, in BFS leaf order.
 
         Returns ``(lows, highs, ids)`` — the flat leaf relation a
         two-kernel join uses as its outer side (see
         :func:`repro.rtree.join.tree_matching_join_pairs`).
         """
-        leaves = np.nonzero(self.node_level == 0)[0].astype(np.int64)
+        leaves = xp.nonzero(self.node_level == 0)[0].astype(xp.int64)
         idx, _ = self._gather(leaves)
         return self.entry_lows[idx], self.entry_highs[idx], self.entry_child[idx]
 
@@ -405,15 +405,15 @@ class FrozenRTree:
     # ------------------------------------------------------------------
     def range_ids(
         self,
-        qlo: np.ndarray,
-        qhi: np.ndarray,
-        scale: Optional[np.ndarray] = None,
-        offset: Optional[np.ndarray] = None,
-        circular_mask: Optional[np.ndarray] = None,
+        qlo: xp.ndarray,
+        qhi: xp.ndarray,
+        scale: Optional[xp.ndarray] = None,
+        offset: Optional[xp.ndarray] = None,
+        circular_mask: Optional[xp.ndarray] = None,
         fstats: Optional[FrontierStats] = None,
         io: Optional[IOStats] = None,
         budget: Optional[ResourceBudget] = None,
-    ) -> np.ndarray:
+    ) -> xp.ndarray:
         """Record ids whose transformed point intersects ``[qlo, qhi]``.
 
         Level-at-a-time: the whole frontier of surviving nodes is expanded
@@ -423,12 +423,12 @@ class FrozenRTree:
         :class:`~repro.storage.budget.QueryBudgetExceeded` when the
         deadline passes or the frontier outgrows its cap.
         """
-        qlo = np.asarray(qlo, dtype=np.float64)
-        qhi = np.asarray(qhi, dtype=np.float64)
+        qlo = xp.asarray(qlo, dtype=xp.float64)
+        qhi = xp.asarray(qhi, dtype=xp.float64)
         if self.entry_count[self.root] == 0:
-            return np.empty(0, dtype=np.int64)
+            return xp.empty(0, dtype=xp.int64)
         scale, offset = self._affine(scale, offset)
-        frontier = np.array([self.root], dtype=np.int64)
+        frontier = xp.array([self.root], dtype=xp.int64)
         level = int(self.node_level[self.root])
         while frontier.size:
             if budget is not None:
@@ -451,22 +451,22 @@ class FrozenRTree:
                 return self.entry_child[sel]
             frontier = self.entry_child[sel]
             level -= 1
-        return np.empty(0, dtype=np.int64)
+        return xp.empty(0, dtype=xp.int64)
 
     # ------------------------------------------------------------------
     # fused multi-query range + frontier-pair join
     # ------------------------------------------------------------------
     def _pair_frontier(
         self,
-        qlows: np.ndarray,
-        qhighs: np.ndarray,
-        scale: Optional[np.ndarray],
-        offset: Optional[np.ndarray],
-        circular_mask: Optional[np.ndarray],
+        qlows: xp.ndarray,
+        qhighs: xp.ndarray,
+        scale: Optional[xp.ndarray],
+        offset: Optional[xp.ndarray],
+        circular_mask: Optional[xp.ndarray],
         fstats: Optional[FrontierStats],
         io: Optional[IOStats],
         budget: Optional[ResourceBudget] = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[xp.ndarray, xp.ndarray]:
         """Drive a ``(node, query)`` pair frontier down to the leaves.
 
         Returns the surviving ``(record ids, query indices)`` arrays — the
@@ -474,11 +474,11 @@ class FrozenRTree:
         """
         m = qlows.shape[0]
         if m == 0 or self.entry_count[self.root] == 0:
-            empty = np.empty(0, dtype=np.int64)
+            empty = xp.empty(0, dtype=xp.int64)
             return empty, empty
         scale, offset = self._affine(scale, offset)
-        fnodes = np.full(m, self.root, dtype=np.int64)
-        fquery = np.arange(m, dtype=np.int64)
+        fnodes = xp.full(m, self.root, dtype=xp.int64)
+        fquery = xp.arange(m, dtype=xp.int64)
         level = int(self.node_level[self.root])
         while fnodes.size:
             if budget is not None:
@@ -489,12 +489,12 @@ class FrozenRTree:
             if io is not None:
                 io.node_reads += int(fnodes.size)
             idx, counts = self._gather(fnodes)
-            equery = np.repeat(fquery, counts)
+            equery = xp.repeat(fquery, counts)
             t_lo, t_hi = self._transformed(idx, scale, offset)
             if circular_mask is None:
                 hits = (
-                    np.all(t_lo <= qhighs[equery], axis=1)
-                    & np.all(qlows[equery] <= t_hi, axis=1)
+                    xp.all(t_lo <= qhighs[equery], axis=1)
+                    & xp.all(qlows[equery] <= t_hi, axis=1)
                 )
             else:
                 hits = intersects_circular_rows(
@@ -502,26 +502,26 @@ class FrozenRTree:
                 )
             if fstats is not None:
                 fstats.entries_scanned += int(idx.size)
-            sel = np.nonzero(hits)[0]
+            sel = xp.nonzero(hits)[0]
             if level == 0:
                 return self.entry_child[idx[sel]], equery[sel]
             fnodes = self.entry_child[idx[sel]]
             fquery = equery[sel]
             level -= 1
-        empty = np.empty(0, dtype=np.int64)
+        empty = xp.empty(0, dtype=xp.int64)
         return empty, empty
 
     def range_ids_many(
         self,
-        qlows: np.ndarray,
-        qhighs: np.ndarray,
-        scale: Optional[np.ndarray] = None,
-        offset: Optional[np.ndarray] = None,
-        circular_mask: Optional[np.ndarray] = None,
+        qlows: xp.ndarray,
+        qhighs: xp.ndarray,
+        scale: Optional[xp.ndarray] = None,
+        offset: Optional[xp.ndarray] = None,
+        circular_mask: Optional[xp.ndarray] = None,
         fstats: Optional[FrontierStats] = None,
         io: Optional[IOStats] = None,
         budget: Optional[ResourceBudget] = None,
-    ) -> list[np.ndarray]:
+    ) -> list[xp.ndarray]:
         """Fused multi-query range search: one id array per query row.
 
         All queries descend together as a pair frontier; per-query results
@@ -532,24 +532,24 @@ class FrozenRTree:
         recs, qidx = self._pair_frontier(
             qlows, qhighs, scale, offset, circular_mask, fstats, io, budget
         )
-        order = np.argsort(qidx, kind="stable")
+        order = xp.argsort(qidx, kind="stable")
         recs = recs[order]
-        bounds = np.searchsorted(qidx[order], np.arange(m + 1, dtype=np.int64))
+        bounds = xp.searchsorted(qidx[order], xp.arange(m + 1, dtype=xp.int64))
         return [recs[bounds[i]:bounds[i + 1]] for i in range(m)]
 
     def join_pairs(
         self,
-        qlows: np.ndarray,
-        qhighs: np.ndarray,
-        outer_ids: np.ndarray,
-        scale: Optional[np.ndarray] = None,
-        offset: Optional[np.ndarray] = None,
-        circular_mask: Optional[np.ndarray] = None,
+        qlows: xp.ndarray,
+        qhighs: xp.ndarray,
+        outer_ids: xp.ndarray,
+        scale: Optional[xp.ndarray] = None,
+        offset: Optional[xp.ndarray] = None,
+        circular_mask: Optional[xp.ndarray] = None,
         self_join: bool = True,
         fstats: Optional[FrontierStats] = None,
         io: Optional[IOStats] = None,
         budget: Optional[ResourceBudget] = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[xp.ndarray, xp.ndarray]:
         """Index nested-loop join as one frontier-pair traversal.
 
         Query row ``i`` is the search rectangle of outer record
@@ -564,11 +564,11 @@ class FrozenRTree:
         recs, qidx = self._pair_frontier(
             qlows, qhighs, scale, offset, circular_mask, fstats, io, budget
         )
-        outer = np.asarray(outer_ids, dtype=np.int64)[qidx]
+        outer = xp.asarray(outer_ids, dtype=xp.int64)[qidx]
         if self_join:
             keep = recs > outer
             outer, recs = outer[keep], recs[keep]
-        order = np.lexsort((recs, outer))
+        order = xp.lexsort((recs, outer))
         return outer[order], recs[order]
 
     # ------------------------------------------------------------------
@@ -576,14 +576,14 @@ class FrozenRTree:
     # ------------------------------------------------------------------
     def nearest_stream(
         self,
-        query: np.ndarray,
-        scale: Optional[np.ndarray] = None,
-        offset: Optional[np.ndarray] = None,
+        query: xp.ndarray,
+        scale: Optional[xp.ndarray] = None,
+        offset: Optional[xp.ndarray] = None,
         rect_dist_many: Optional[RectDistManyFn] = None,
         point_dist_many: Optional[PointDistManyFn] = None,
         fstats: Optional[FrontierStats] = None,
         io: Optional[IOStats] = None,
-    ) -> Iterator[tuple[float, int, np.ndarray]]:
+    ) -> Iterator[tuple[float, int, xp.ndarray]]:
         """Yield ``(distance, record id, transformed point)`` in order.
 
         Best-first over the columnar arrays: popping a node scores all its
@@ -592,14 +592,14 @@ class FrozenRTree:
         entry, so the heap holds one item per visited node/block rather
         than one per entry.
         """
-        q = np.asarray(query, dtype=np.float64)
+        q = xp.asarray(query, dtype=xp.float64)
         if self.entry_count[self.root] == 0:
             return
         scale, offset = self._affine(scale, offset)
         if rect_dist_many is None:
             rect_dist_many = Rect.mindist_many
         if point_dist_many is None:
-            point_dist_many = lambda pts, qq: np.linalg.norm(pts - qq, axis=1)
+            point_dist_many = lambda pts, qq: xp.linalg.norm(pts - qq, axis=1)
         counter = itertools.count()
         heap: list = [(0.0, next(counter), _NODE, self.root, 0)]
         while heap:
@@ -636,19 +636,19 @@ class FrozenRTree:
                 fstats.entries_scanned += count
             if io is not None:
                 io.node_reads += 1
-            idx = np.arange(start, start + count, dtype=np.int64)
+            idx = xp.arange(start, start + count, dtype=xp.int64)
             t_lo, t_hi = self._transformed(idx, scale, offset)
             children = self.entry_child[idx]
             if self.node_level[node] == 0:
                 ds = point_dist_many(t_lo, q)
-                order = np.argsort(ds, kind="stable")
+                order = xp.argsort(ds, kind="stable")
                 block = (ds[order], children[order], t_lo[order])
                 heapq.heappush(
                     heap, (float(block[0][0]), next(counter), _ENTRY_BLOCK, block, 0)
                 )
             else:
                 ds = rect_dist_many(t_lo, t_hi, q)
-                order = np.argsort(ds, kind="stable")
+                order = xp.argsort(ds, kind="stable")
                 block = (ds[order], children[order])
                 heapq.heappush(
                     heap, (float(block[0][0]), next(counter), _NODE_BLOCK, block, 0)
@@ -656,11 +656,11 @@ class FrozenRTree:
 
     def knn_batch(
         self,
-        qpoints: np.ndarray,
+        qpoints: xp.ndarray,
         k: int,
         verify_many: Optional[VerifyManyFn] = None,
-        scale: Optional[np.ndarray] = None,
-        offset: Optional[np.ndarray] = None,
+        scale: Optional[xp.ndarray] = None,
+        offset: Optional[xp.ndarray] = None,
         rect_dist_rows: Optional[RectDistRowsFn] = None,
         point_dist_rows: Optional[PointDistRowsFn] = None,
         box_leaves: bool = False,
@@ -720,7 +720,7 @@ class FrozenRTree:
             exact distance)`` under ``verify_expand`` — sorted by
             ``(distance, id)``, the same contract as ``knn_query``.
         """
-        qpoints = np.asarray(qpoints, dtype=np.float64)
+        qpoints = xp.asarray(qpoints, dtype=xp.float64)
         m = qpoints.shape[0]
         out: list[list[tuple[int, float]]] = [[] for _ in range(m)]
         if k <= 0 or m == 0 or self.size == 0 or self.entry_count[self.root] == 0:
@@ -731,7 +731,7 @@ class FrozenRTree:
         if rect_dist_rows is None:
             rect_dist_rows = _euclid_rect_rows
         if point_dist_rows is None:
-            point_dist_rows = lambda pts, qs: np.linalg.norm(pts - qs, axis=1)
+            point_dist_rows = lambda pts, qs: xp.linalg.norm(pts - qs, axis=1)
         counter = itertools.count()
         heaps: list[list] = [
             [(0.0, next(counter), _NODE, self.root, 0)] for _ in range(m)
@@ -757,12 +757,12 @@ class FrozenRTree:
             expand_n: list[int] = []
             verify_q: list[int] = []
             verify_rad: list[float] = []
-            verify_r: list[np.ndarray] = []
+            verify_r: list[xp.ndarray] = []
             next_active: list[int] = []
             for qi in active:
                 h = heaps[qi]
                 b = best[qi]
-                radius = -b[0][0] if len(b) == k else np.inf
+                radius = -b[0][0] if len(b) == k else xp.inf
                 node = -1
                 while h:
                     bound = h[0][0]
@@ -787,7 +787,7 @@ class FrozenRTree:
                     # radius; the sorted tail beyond it is dead (radii only
                     # shrink, so those entries can never re-qualify).
                     bounds, rids = payload
-                    hi = int(np.searchsorted(bounds, radius, side="right"))
+                    hi = int(xp.searchsorted(bounds, radius, side="right"))
                     if hi > pos:
                         verify_q.append(qi)
                         verify_rad.append(radius)
@@ -798,16 +798,16 @@ class FrozenRTree:
                     next_active.append(qi)
             if verify_r:
                 seg_lens = [seg.shape[0] for seg in verify_r]
-                rid_arr = np.concatenate(verify_r)
+                rid_arr = xp.concatenate(verify_r)
                 if budget is not None:
                     # Soft accounting: the cap is enforced at the next
                     # round boundary by truncating, never by raising.
                     budget.consume(int(rid_arr.shape[0]))
-                qidx_arr = np.repeat(
-                    np.asarray(verify_q, dtype=np.int64), seg_lens
+                qidx_arr = xp.repeat(
+                    xp.asarray(verify_q, dtype=xp.int64), seg_lens
                 )
                 if verify_expand is not None:
-                    rad_arr = np.repeat(np.asarray(verify_rad), seg_lens)
+                    rad_arr = xp.repeat(xp.asarray(verify_rad), seg_lens)
                     eq, keys, dists = verify_expand(qidx_arr, rid_arr, rad_arr)
                     for j in range(keys.shape[0]):
                         qi = int(eq[j])
@@ -829,30 +829,30 @@ class FrozenRTree:
                         elif d < -b[0][0]:
                             heapq.heapreplace(b, (-d, int(rid_arr[j])))
             if expand_n:
-                nodes = np.asarray(expand_n, dtype=np.int64)
-                qidx = np.asarray(expand_q, dtype=np.int64)
+                nodes = xp.asarray(expand_n, dtype=xp.int64)
+                qidx = xp.asarray(expand_q, dtype=xp.int64)
                 idx, counts = self._gather(nodes)
-                equery = np.repeat(qidx, counts)
+                equery = xp.repeat(qidx, counts)
                 t_lo, t_hi = self._transformed(idx, scale, offset)
                 levels = self.node_level[nodes]
-                leaf_rows = np.repeat(levels == 0, counts)
-                bounds = np.empty(idx.shape[0])
+                leaf_rows = xp.repeat(levels == 0, counts)
+                bounds = xp.empty(idx.shape[0])
                 if box_leaves:
                     # Leaf entries are true boxes: MINDIST bounds for
                     # internal and leaf rows alike.
                     bounds[:] = rect_dist_rows(t_lo, t_hi, qpoints[equery])
                 else:
-                    if np.any(~leaf_rows):
+                    if xp.any(~leaf_rows):
                         bounds[~leaf_rows] = rect_dist_rows(
                             t_lo[~leaf_rows], t_hi[~leaf_rows],
                             qpoints[equery[~leaf_rows]],
                         )
-                    if np.any(leaf_rows):
+                    if xp.any(leaf_rows):
                         bounds[leaf_rows] = point_dist_rows(
                             t_lo[leaf_rows], qpoints[equery[leaf_rows]]
                         )
                 children = self.entry_child[idx]
-                offsets = np.cumsum(counts) - counts
+                offsets = xp.cumsum(counts) - counts
                 if fstats is not None:
                     fstats.nodes_expanded += int(nodes.shape[0])
                     fstats.entries_scanned += int(idx.shape[0])
@@ -863,7 +863,7 @@ class FrozenRTree:
                     if c == 0:
                         continue
                     seg = slice(s, s + c)
-                    order = np.argsort(bounds[seg], kind="stable")
+                    order = xp.argsort(bounds[seg], kind="stable")
                     blk = (bounds[seg][order], children[seg][order])
                     kind = _ENTRY_BLOCK if levels[i] == 0 else _NODE_BLOCK
                     heapq.heappush(
@@ -886,11 +886,11 @@ class FrozenRTree:
 
 
 def _euclid_rect_rows(
-    lows: np.ndarray, highs: np.ndarray, qs: np.ndarray
-) -> np.ndarray:
+    lows: xp.ndarray, highs: xp.ndarray, qs: xp.ndarray
+) -> xp.ndarray:
     """Row-aligned Euclidean MINDIST (default metric for raw trees)."""
-    clamped = np.clip(qs, lows, highs)
-    return np.linalg.norm(qs - clamped, axis=1)
+    clamped = xp.clip(qs, lows, highs)
+    return xp.linalg.norm(qs - clamped, axis=1)
 
 
 # ----------------------------------------------------------------------

@@ -48,8 +48,8 @@ passes, and the rectangles are STR bulk-loaded and frozen into a
 :class:`~repro.rtree.kernel.FrozenRTree` on first query.  Probing fuses
 all pieces of all queries of a batch into **one**
 :meth:`~repro.rtree.kernel.FrozenRTree.range_ids_many` call; candidate
-offsets are expanded with ``np.repeat``/``np.arange`` arithmetic and
-deduplicated with ``np.unique`` over packed ``(series, offset)`` keys;
+offsets are expanded with ``xp.repeat``/``xp.arange`` arithmetic and
+deduplicated with ``xp.unique`` over packed ``(series, offset)`` keys;
 refinement gathers each series' candidate windows into a strided
 sliding-window matrix and verifies them with one
 :func:`~repro.core.similarity.batch_euclidean_within` pass.  The original
@@ -64,7 +64,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
-import numpy as np
+from repro.rtree.backend import xp
 
 from repro.core.planner import (
     PROBE_STRATEGIES,
@@ -85,7 +85,7 @@ from repro.subseq.window import (
 #: window feature points sampled per series for the probe planner.
 _PLANNER_SAMPLE_PER_SERIES = 16
 
-ArrayLike = Union[Sequence[float], np.ndarray]
+ArrayLike = Union[Sequence[float], xp.ndarray]
 
 
 @dataclass(frozen=True)
@@ -149,11 +149,11 @@ class STIndex:
         self.max_entries = max_entries
         self.build = build
         self.dim = 2 * k
-        self._series: list[np.ndarray] = []
+        self._series: list[xp.ndarray] = []
         self._subtrails: list[_SubTrail] = []
         # Per-add_series stacks of sub-trail MBRs, concatenated at seal time.
-        self._mbr_lows: list[np.ndarray] = []
-        self._mbr_highs: list[np.ndarray] = []
+        self._mbr_lows: list[xp.ndarray] = []
+        self._mbr_highs: list[xp.ndarray] = []
         self._tree = (
             RStarTree(self.dim, max_entries=max_entries)
             if build == "insert"
@@ -163,15 +163,15 @@ class STIndex:
         # lazily whenever series were added since the last seal.
         self._sealed_count = -1
         self._kernel: Optional[FrozenRTree] = None
-        self._sub_series = np.empty(0, dtype=np.int64)
-        self._sub_start = np.empty(0, dtype=np.int64)
-        self._sub_end = np.empty(0, dtype=np.int64)
-        self._series_lens = np.empty(0, dtype=np.int64)
+        self._sub_series = xp.empty(0, dtype=xp.int64)
+        self._sub_start = xp.empty(0, dtype=xp.int64)
+        self._sub_end = xp.empty(0, dtype=xp.int64)
+        self._series_lens = xp.empty(0, dtype=xp.int64)
         self._offset_stride = 1
         # Per-series subsamples of window feature points, feeding the
         # probe planner's selectivity sample.
-        self._feat_samples: list[np.ndarray] = []
-        self._window_sample = np.empty((0, self.dim))
+        self._feat_samples: list[xp.ndarray] = []
+        self._window_sample = xp.empty((0, self.dim))
         self._total_windows = 0
         self._planner: Optional[SubseqProbePlanner] = None
 
@@ -181,7 +181,7 @@ class STIndex:
     def add_series(self, series: ArrayLike) -> int:
         """Index a series; returns its id.  Series shorter than the window
         are rejected."""
-        x = np.asarray(series, dtype=np.float64).copy()
+        x = xp.asarray(series, dtype=xp.float64).copy()
         if x.ndim != 1 or x.shape[0] < self.window:
             raise ValueError(
                 f"series must be 1-D with length >= {self.window}, got {x.shape}"
@@ -192,20 +192,20 @@ class STIndex:
         # Evenly-spaced subsample of the trail for the probe planner's
         # selectivity estimates (deterministic, a handful of rows per
         # series).
-        sel = np.unique(
-            np.linspace(
+        sel = xp.unique(
+            xp.linspace(
                 0, points.shape[0] - 1,
                 num=min(points.shape[0], _PLANNER_SAMPLE_PER_SERIES),
-            ).astype(np.int64)
+            ).astype(xp.int64)
         )
         self._feat_samples.append(points[sel])
         starts = self._group_starts(points)
-        ends = np.append(starts[1:] - 1, points.shape[0] - 1)
+        ends = xp.append(starts[1:] - 1, points.shape[0] - 1)
         # All sub-trail MBRs of the series in two cumulative passes: the
         # groups tile the trail contiguously, so reduceat over the start
         # indices is exactly the per-group min/max.
-        lows = np.minimum.reduceat(points, starts, axis=0)
-        highs = np.maximum.reduceat(points, starts, axis=0)
+        lows = xp.minimum.reduceat(points, starts, axis=0)
+        highs = xp.maximum.reduceat(points, starts, axis=0)
         base = len(self._subtrails)
         for i in range(starts.shape[0]):
             self._subtrails.append(
@@ -222,14 +222,14 @@ class STIndex:
         """Index a batch of series; returns their ids."""
         return [self.add_series(x) for x in seriess]
 
-    def _group_starts(self, points: np.ndarray) -> np.ndarray:
+    def _group_starts(self, points: xp.ndarray) -> xp.ndarray:
         """Sub-trail start offsets for one trail (vectorized policies)."""
         m = points.shape[0]
         if self.grouping == "fixed":
-            return np.arange(0, m, self.chunk, dtype=np.int64)
+            return xp.arange(0, m, self.chunk, dtype=xp.int64)
         return self._adaptive_starts(points)
 
-    def _adaptive_starts(self, points: np.ndarray) -> np.ndarray:
+    def _adaptive_starts(self, points: xp.ndarray) -> xp.ndarray:
         """Greedy adaptive cuts, evaluated over prefix extents per segment.
 
         Same rule as the scalar :meth:`_group` reference: extend while the
@@ -251,23 +251,23 @@ class STIndex:
             nw = stop - s
             if nw <= 1:
                 break
-            cmin = np.minimum.accumulate(win, axis=0)
-            cmax = np.maximum.accumulate(win, axis=0)
-            margins = np.sum(cmax - cmin, axis=1)  # margins[t]: prefix t+1
-            j = np.arange(1, nw)  # group size when point s+j is considered
+            cmin = xp.minimum.accumulate(win, axis=0)
+            cmax = xp.maximum.accumulate(win, axis=0)
+            margins = xp.sum(cmax - cmin, axis=1)  # margins[t]: prefix t+1
+            j = xp.arange(1, nw)  # group size when point s+j is considered
             old_cost = margins[j - 1] / j
             grown_cost = margins[j] / (j + 1)
             cut = (j >= chunk) | (
                 (j >= 4) & (old_cost > 0) & (grown_cost > 1.3 * old_cost)
             )
-            hits = np.nonzero(cut)[0]
+            hits = xp.nonzero(cut)[0]
             if hits.size == 0:
                 break  # the segment runs to the end of the trail
             s += int(j[hits[0]])
             starts.append(s)
-        return np.asarray(starts, dtype=np.int64)
+        return xp.asarray(starts, dtype=xp.int64)
 
-    def _group(self, points: np.ndarray) -> list[tuple[int, int]]:
+    def _group(self, points: xp.ndarray) -> list[tuple[int, int]]:
         """Scalar reference grouping (one Python step per trail point).
 
         Kept verbatim as the tested reference for
@@ -292,9 +292,9 @@ class STIndex:
         margin = 0.0
         count = 1
         for i in range(1, m):
-            new_lo = np.minimum(lo, points[i])
-            new_hi = np.maximum(hi, points[i])
-            new_margin = float(np.sum(new_hi - new_lo))
+            new_lo = xp.minimum(lo, points[i])
+            new_hi = xp.maximum(hi, points[i])
+            new_margin = float(xp.sum(new_hi - new_lo))
             grown_cost = new_margin / (count + 1)
             old_cost = margin / count if count else 0.0
             if count >= self.chunk or (
@@ -321,17 +321,17 @@ class STIndex:
         n = len(self._subtrails)
         if self._sealed_count == n:
             return
-        self._sub_series = np.fromiter(
-            (s.series_id for s in self._subtrails), dtype=np.int64, count=n
+        self._sub_series = xp.fromiter(
+            (s.series_id for s in self._subtrails), dtype=xp.int64, count=n
         )
-        self._sub_start = np.fromiter(
-            (s.start for s in self._subtrails), dtype=np.int64, count=n
+        self._sub_start = xp.fromiter(
+            (s.start for s in self._subtrails), dtype=xp.int64, count=n
         )
-        self._sub_end = np.fromiter(
-            (s.end for s in self._subtrails), dtype=np.int64, count=n
+        self._sub_end = xp.fromiter(
+            (s.end for s in self._subtrails), dtype=xp.int64, count=n
         )
-        self._series_lens = np.fromiter(
-            (x.shape[0] for x in self._series), dtype=np.int64,
+        self._series_lens = xp.fromiter(
+            (x.shape[0] for x in self._series), dtype=xp.int64,
             count=len(self._series),
         )
         # Packing stride for (series, offset) dedup keys.
@@ -339,12 +339,12 @@ class STIndex:
             int(self._series_lens.max()) + 1 if self._series_lens.size else 1
         )
         self._window_sample = (
-            np.concatenate(self._feat_samples)
+            xp.concatenate(self._feat_samples)
             if self._feat_samples
-            else np.empty((0, self.dim))
+            else xp.empty((0, self.dim))
         )
         self._total_windows = int(
-            np.sum(self._series_lens - self.window + 1)
+            xp.sum(self._series_lens - self.window + 1)
         )
         self._planner = None
         if self.build == "bulk":
@@ -364,18 +364,18 @@ class STIndex:
         self._seal()
         if self._tree is None:
             lows = (
-                np.concatenate(self._mbr_lows)
+                xp.concatenate(self._mbr_lows)
                 if self._mbr_lows
-                else np.empty((0, self.dim))
+                else xp.empty((0, self.dim))
             )
             highs = (
-                np.concatenate(self._mbr_highs)
+                xp.concatenate(self._mbr_highs)
                 if self._mbr_highs
-                else np.empty((0, self.dim))
+                else xp.empty((0, self.dim))
             )
             self._tree = str_pack_rects(
                 lows, highs,
-                record_ids=np.arange(lows.shape[0], dtype=np.int64),
+                record_ids=xp.arange(lows.shape[0], dtype=xp.int64),
                 max_entries=self.max_entries,
             )
         return self._tree
@@ -401,7 +401,7 @@ class STIndex:
     def num_subtrails(self) -> int:
         return len(self._subtrails)
 
-    def series(self, series_id: int) -> np.ndarray:
+    def series(self, series_id: int) -> xp.ndarray:
         """The raw series stored under ``series_id``."""
         return self._series[series_id]
 
@@ -427,15 +427,15 @@ class STIndex:
     # ------------------------------------------------------------------
     # querying — the columnar fast path
     # ------------------------------------------------------------------
-    def _check_query(self, query: ArrayLike, eps: float = 0.0) -> np.ndarray:
-        q = np.asarray(query, dtype=np.float64)
+    def _check_query(self, query: ArrayLike, eps: float = 0.0) -> xp.ndarray:
+        q = xp.asarray(query, dtype=xp.float64)
         if eps < 0:
             raise ValueError(f"eps must be non-negative, got {eps}")
         if q.ndim != 1 or q.shape[0] < self.window:
             raise ValueError(
                 f"query must be 1-D with length >= {self.window}, got {q.shape}"
             )
-        if not np.all(np.isfinite(q)):
+        if not xp.all(xp.isfinite(q)):
             # A NaN would silently empty the probe rectangles (every
             # comparison false) and an inf would blow them up; fail the
             # query cleanly instead of returning a wrong answer.
@@ -483,8 +483,8 @@ class STIndex:
         return self._planner
 
     def _query_rects(
-        self, q: np.ndarray, eps: float
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        self, q: xp.ndarray, eps: float
+    ) -> tuple[xp.ndarray, xp.ndarray, xp.ndarray, xp.ndarray]:
         """Both reductions' search rectangles for one query.
 
         Returns ``(piece_lows, piece_highs, prefix_lo, prefix_hi)`` — the
@@ -575,7 +575,7 @@ class STIndex:
 
     def candidate_offsets(
         self, query: ArrayLike, eps: float, probe: str = "multipiece"
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[xp.ndarray, xp.ndarray]:
         """Deduplicated candidate ``(series ids, offsets)`` for one query.
 
         The filter phase of the pipeline (fused kernel probe + array
@@ -587,18 +587,18 @@ class STIndex:
         q = self._check_query(query, eps)
         strategies = self._check_probe(probe, 1)
         if not self._subtrails:
-            empty = np.empty(0, dtype=np.int64)
+            empty = xp.empty(0, dtype=xp.int64)
             return empty, empty
         return self._probe_batch([q], eps, strategies)[0]
 
     def _probe_batch(
         self,
-        qs: list[np.ndarray],
+        qs: list[xp.ndarray],
         eps: float,
         strategies: Sequence[str],
         fstats: Optional[FrontierStats] = None,
         budget=None,
-    ) -> list[tuple[np.ndarray, np.ndarray]]:
+    ) -> list[tuple[xp.ndarray, xp.ndarray]]:
         """Fused filter phase: one kernel traversal for all queries' probes.
 
         ``strategies`` holds one reduction hint per query —
@@ -617,7 +617,7 @@ class STIndex:
         # point featurizing pieces the keep-mask would discard); "auto"
         # and "multipiece" emit every piece — "auto" needs them all for
         # the planner's estimates anyway.
-        pieces: list[np.ndarray] = []
+        pieces: list[xp.ndarray] = []
         row_query: list[int] = []
         row_shift: list[int] = []
         counts: list[int] = []
@@ -628,12 +628,12 @@ class STIndex:
                 pieces.append(q[j * w : (j + 1) * w])
                 row_query.append(i)
                 row_shift.append(j * w)
-        feats = encode_rect(piece_features(np.stack(pieces), self.k))
+        feats = encode_rect(piece_features(xp.stack(pieces), self.k))
         pad = self._feat_pad(feats)
         # --- resolve strategies + per-row radii; prefix keeps row 0 only
-        bounds = np.cumsum([0] + counts)
-        keep = np.ones(len(pieces), dtype=bool)
-        row_eps = np.empty(len(pieces))
+        bounds = xp.cumsum([0] + counts)
+        keep = xp.ones(len(pieces), dtype=bool)
+        row_eps = xp.empty(len(pieces))
         planner: Optional[SubseqProbePlanner] = None
         for i, q in enumerate(qs):
             s, e = int(bounds[i]), int(bounds[i + 1])
@@ -664,9 +664,9 @@ class STIndex:
             budget=budget,
         )
         # --- expand + dedup, per query
-        shifts = np.asarray(row_shift, dtype=np.int64)[keep]
-        kept_query = np.asarray(row_query, dtype=np.int64)[keep]
-        out: list[tuple[np.ndarray, np.ndarray]] = []
+        shifts = xp.asarray(row_shift, dtype=xp.int64)[keep]
+        kept_query = xp.asarray(row_query, dtype=xp.int64)[keep]
+        out: list[tuple[xp.ndarray, xp.ndarray]] = []
         row = 0
         for i, q in enumerate(qs):
             rows = []
@@ -685,11 +685,11 @@ class STIndex:
         return out
 
     def _expand_subtrails(
-        self, ids: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self, ids: xp.ndarray
+    ) -> tuple[xp.ndarray, xp.ndarray]:
         """Sub-trail ids -> their full ``(series, window offset)`` runs.
 
-        The ``np.repeat``/``np.arange`` expansion shared by the range
+        The ``xp.repeat``/``xp.arange`` expansion shared by the range
         pipeline (:meth:`_expand_rows`, which then shifts, bounds-checks
         and dedups) and the k-NN verifier (which then drops offsets that
         cannot host the full query) — the index arithmetic lives once.
@@ -697,17 +697,17 @@ class STIndex:
         starts = self._sub_start[ids]
         counts = self._sub_end[ids] - starts + 1
         total = int(counts.sum())
-        csum = np.cumsum(counts)
-        intra = np.arange(total, dtype=np.int64) - np.repeat(
+        csum = xp.cumsum(counts)
+        intra = xp.arange(total, dtype=xp.int64) - xp.repeat(
             csum - counts, counts
         )
         return (
-            np.repeat(self._sub_series[ids], counts),
-            np.repeat(starts, counts) + intra,
+            xp.repeat(self._sub_series[ids], counts),
+            xp.repeat(starts, counts) + intra,
         )
 
     @staticmethod
-    def _feat_pad(feats: np.ndarray) -> np.ndarray:
+    def _feat_pad(feats: xp.ndarray) -> xp.ndarray:
         """Numerical-tolerance pad, one value per feature row.
 
         Trail features come from the O(k) incremental recurrence, query
@@ -717,30 +717,30 @@ class STIndex:
         same rule (widening only — Lemma 1 safe), including the planner's
         compile-time rectangles, which must match the execute-time probe.
         """
-        return 1e-7 * (1.0 + np.max(np.abs(np.atleast_2d(feats)), axis=1))
+        return 1e-7 * (1.0 + xp.max(xp.abs(xp.atleast_2d(feats)), axis=1))
 
     def _expand_rows(
         self,
-        ids_per_row: list[np.ndarray],
-        shifts: np.ndarray,
+        ids_per_row: list[xp.ndarray],
+        shifts: xp.ndarray,
         qlen: int,
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[xp.ndarray, xp.ndarray]:
         """Sub-trail id arrays -> deduplicated (series, aligned offset).
 
         Each sub-trail ``(start, end)`` range becomes its run of offsets
-        via ``np.repeat``/``np.arange`` arithmetic; alignments that run
+        via ``xp.repeat``/``xp.arange`` arithmetic; alignments that run
         off either end of their series (``aligned < 0`` or
         ``aligned + qlen > len(series)``) are dropped here, at expansion
         time, and duplicates across overlapping sub-trails and query
-        pieces collapse with one ``np.unique`` over packed keys — no
+        pieces collapse with one ``xp.unique`` over packed keys — no
         Python sets anywhere.
 
         Returns:
             ``(series ids, aligned offsets)``, sorted by the packed key
             (series-major, offset-minor).
         """
-        ser_parts: list[np.ndarray] = []
-        ali_parts: list[np.ndarray] = []
+        ser_parts: list[xp.ndarray] = []
+        ali_parts: list[xp.ndarray] = []
         for ids, shift in zip(ids_per_row, shifts):
             if ids.size == 0:
                 continue
@@ -748,20 +748,20 @@ class STIndex:
             ali_parts.append(offs - int(shift))
             ser_parts.append(sids)
         if not ser_parts:
-            empty = np.empty(0, dtype=np.int64)
+            empty = xp.empty(0, dtype=xp.int64)
             return empty, empty
-        series = np.concatenate(ser_parts)
-        aligned = np.concatenate(ali_parts)
+        series = xp.concatenate(ser_parts)
+        aligned = xp.concatenate(ali_parts)
         ok = (aligned >= 0) & (aligned <= self._series_lens[series] - qlen)
-        keys = np.unique(series[ok] * self._offset_stride + aligned[ok])
+        keys = xp.unique(series[ok] * self._offset_stride + aligned[ok])
         return keys // self._offset_stride, keys % self._offset_stride
 
     def _refine_arrays(
         self,
-        q: np.ndarray,
+        q: xp.ndarray,
         eps: float,
-        series: np.ndarray,
-        aligned: np.ndarray,
+        series: xp.ndarray,
+        aligned: xp.ndarray,
         budget=None,
     ) -> list[SubseqMatch]:
         """Verify candidates with one matrix pass per candidate series.
@@ -776,15 +776,15 @@ class STIndex:
 
         L = q.shape[0]
         out: list[SubseqMatch] = []
-        uniq, first = np.unique(series, return_index=True)
-        bounds = np.append(first, series.shape[0])
+        uniq, first = xp.unique(series, return_index=True)
+        bounds = xp.append(first, series.shape[0])
         for t in range(uniq.shape[0]):
             if budget is not None:
                 budget.check(where="subseq refine")
             sid = int(uniq[t])
             offs = aligned[bounds[t] : bounds[t + 1]]
             x = self._series[sid]
-            windows = np.lib.stride_tricks.sliding_window_view(x, L)[offs]
+            windows = xp.lib.stride_tricks.sliding_window_view(x, L)[offs]
             kept, dists, _ = batch_euclidean_within(windows, q, eps)
             for a, d in zip(kept, dists):
                 out.append(SubseqMatch(sid, int(offs[a]), float(d)))
@@ -863,9 +863,9 @@ class STIndex:
         """
 
         def rect_rows(lows, highs, qrows):
-            clamped = np.clip(qrows, lows, highs)
-            d = np.linalg.norm(qrows - clamped, axis=1)
-            return np.maximum(d - self._feat_pad(qrows), 0.0)
+            clamped = xp.clip(qrows, lows, highs)
+            d = xp.linalg.norm(qrows - clamped, axis=1)
+            return xp.maximum(d - self._feat_pad(qrows), 0.0)
 
         return kernel.knn_batch(
             feats,
@@ -878,7 +878,7 @@ class STIndex:
             budget=budget,
         )
 
-    def _knn_verifier(self, qs: list[np.ndarray]):
+    def _knn_verifier(self, qs: list[xp.ndarray]):
         """The expanding verify callback :meth:`knn_query_batch` hands the
         kernel: sub-trail ids -> exact full-length window distances.
 
@@ -897,17 +897,17 @@ class STIndex:
         stride = self._offset_stride
 
         def verify(
-            qidx: np.ndarray, rids: np.ndarray, radii: np.ndarray
-        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-            out_q: list[np.ndarray] = []
-            out_key: list[np.ndarray] = []
-            out_d: list[np.ndarray] = []
-            order = np.argsort(qidx, kind="stable")
+            qidx: xp.ndarray, rids: xp.ndarray, radii: xp.ndarray
+        ) -> tuple[xp.ndarray, xp.ndarray, xp.ndarray]:
+            out_q: list[xp.ndarray] = []
+            out_key: list[xp.ndarray] = []
+            out_d: list[xp.ndarray] = []
+            order = xp.argsort(qidx, kind="stable")
             qidx_s, rids_s, rad_s = qidx[order], rids[order], radii[order]
-            starts = np.nonzero(
-                np.diff(qidx_s, prepend=qidx_s[0] - 1 if qidx_s.size else 0)
+            starts = xp.nonzero(
+                xp.diff(qidx_s, prepend=qidx_s[0] - 1 if qidx_s.size else 0)
             )[0]
-            bounds = np.append(starts, qidx_s.shape[0])
+            bounds = xp.append(starts, qidx_s.shape[0])
             for g in range(starts.shape[0]):
                 qi = int(qidx_s[bounds[g]])
                 radius = float(rad_s[bounds[g]])
@@ -920,29 +920,29 @@ class STIndex:
                 if offs.size == 0:
                     continue
                 keys = sids * stride + offs
-                ks = np.argsort(keys)
+                ks = xp.argsort(keys)
                 keys, offs, sids = keys[ks], offs[ks], sids[ks]
-                uniq, first = np.unique(sids, return_index=True)
-                sb = np.append(first, sids.shape[0])
+                uniq, first = xp.unique(sids, return_index=True)
+                sb = xp.append(first, sids.shape[0])
                 for t in range(uniq.shape[0]):
                     offs_t = offs[sb[t] : sb[t + 1]]
                     x = self._series[int(uniq[t])]
-                    windows = np.lib.stride_tricks.sliding_window_view(x, L)[
+                    windows = xp.lib.stride_tricks.sliding_window_view(x, L)[
                         offs_t
                     ]
                     kept, dists, _ = batch_euclidean_within(windows, q, radius)
                     if kept.size == 0:
                         continue
-                    out_q.append(np.full(kept.shape[0], qi, dtype=np.int64))
+                    out_q.append(xp.full(kept.shape[0], qi, dtype=xp.int64))
                     out_key.append(keys[sb[t] : sb[t + 1]][kept])
                     out_d.append(dists)
             if not out_key:
-                empty = np.empty(0, dtype=np.int64)
-                return empty, empty, np.empty(0)
+                empty = xp.empty(0, dtype=xp.int64)
+                return empty, empty, xp.empty(0)
             return (
-                np.concatenate(out_q),
-                np.concatenate(out_key),
-                np.concatenate(out_d),
+                xp.concatenate(out_q),
+                xp.concatenate(out_key),
+                xp.concatenate(out_d),
             )
 
         return verify
@@ -961,8 +961,8 @@ class STIndex:
         for sid, x in enumerate(self._series):
             if x.shape[0] < L:
                 continue
-            windows = np.lib.stride_tricks.sliding_window_view(x, L)
-            dists = np.linalg.norm(windows - q, axis=1)
+            windows = xp.lib.stride_tricks.sliding_window_view(x, L)
+            dists = xp.linalg.norm(windows - q, axis=1)
             out.extend(
                 SubseqMatch(sid, off, float(d)) for off, d in enumerate(dists)
             )
@@ -989,7 +989,7 @@ class STIndex:
         return self._refine(q, eps, self._multipiece_candidates(q, eps))
 
     def _window_candidates(
-        self, piece: np.ndarray, eps: float, shift: int, qlen: int
+        self, piece: xp.ndarray, eps: float, shift: int, qlen: int
     ) -> set[tuple[int, int]]:
         """Candidate (series, query-start offset) pairs from one piece.
 
@@ -1013,7 +1013,7 @@ class STIndex:
         return out
 
     def _prefix_candidates(
-        self, q: np.ndarray, eps: float
+        self, q: xp.ndarray, eps: float
     ) -> set[tuple[int, int]]:
         """Scalar longest-prefix reduction: one probe at the full radius.
 
@@ -1025,7 +1025,7 @@ class STIndex:
         return self._window_candidates(q[: self.window], eps, 0, q.shape[0])
 
     def _multipiece_candidates(
-        self, q: np.ndarray, eps: float
+        self, q: xp.ndarray, eps: float
     ) -> set[tuple[int, int]]:
         pieces = q.shape[0] // self.window
         piece_eps = eps / math.sqrt(pieces)
@@ -1037,7 +1037,7 @@ class STIndex:
         return out
 
     def _refine(
-        self, q: np.ndarray, eps: float, candidates: set[tuple[int, int]]
+        self, q: xp.ndarray, eps: float, candidates: set[tuple[int, int]]
     ) -> list[SubseqMatch]:
         from repro.core.similarity import euclidean_early_abandon
 
@@ -1054,12 +1054,12 @@ class STIndex:
     # ------------------------------------------------------------------
     def brute_force(self, query: ArrayLike, eps: float) -> list[SubseqMatch]:
         """Reference scan over every offset of every series (for tests)."""
-        q = np.asarray(query, dtype=np.float64)
+        q = xp.asarray(query, dtype=xp.float64)
         L = q.shape[0]
         out: list[SubseqMatch] = []
         for sid, x in enumerate(self._series):
             for offset in range(0, x.shape[0] - L + 1):
-                d = float(np.linalg.norm(x[offset : offset + L] - q))
+                d = float(xp.linalg.norm(x[offset : offset + L] - q))
                 if d <= eps:
                     out.append(SubseqMatch(sid, offset, d))
         out.sort(key=lambda m: (m.distance, m.series_id, m.offset))

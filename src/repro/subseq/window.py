@@ -16,25 +16,25 @@ from __future__ import annotations
 
 from typing import Union, Sequence
 
-import numpy as np
+from repro.rtree.backend import xp
 
-ArrayLike = Union[Sequence[float], np.ndarray]
+ArrayLike = Union[Sequence[float], xp.ndarray]
 
 
-def sliding_windows(series: ArrayLike, w: int) -> np.ndarray:
+def sliding_windows(series: ArrayLike, w: int) -> xp.ndarray:
     """All length-``w`` windows of ``series`` as an ``(n-w+1, w)`` matrix."""
-    x = np.asarray(series, dtype=np.float64)
+    x = xp.asarray(series, dtype=xp.float64)
     if x.ndim != 1:
         raise ValueError(f"series must be 1-D, got shape {x.shape}")
     n = x.shape[0]
     if not 1 <= w <= n:
         raise ValueError(f"window must be in [1, {n}], got {w}")
-    return np.lib.stride_tricks.sliding_window_view(x, w).copy()
+    return xp.lib.stride_tricks.sliding_window_view(x, w).copy()
 
 
 def sliding_features(
     series: ArrayLike, w: int, k: int, method: str = "incremental"
-) -> np.ndarray:
+) -> xp.ndarray:
     """First ``k`` unitary DFT coefficients of every window.
 
     Args:
@@ -47,24 +47,24 @@ def sliding_features(
     Returns:
         complex array of shape ``(n - w + 1, k)``.
     """
-    x = np.asarray(series, dtype=np.float64)
+    x = xp.asarray(series, dtype=xp.float64)
     n = x.shape[0]
     if not 1 <= w <= n:
         raise ValueError(f"window must be in [1, {n}], got {w}")
     if not 1 <= k <= w:
         raise ValueError(f"k must be in [1, {w}], got {k}")
     if method == "fft":
-        return np.fft.fft(sliding_windows(x, w), axis=1)[:, :k] / np.sqrt(w)
+        return xp.fft.fft(sliding_windows(x, w), axis=1)[:, :k] / xp.sqrt(w)
     if method != "incremental":
         raise ValueError(f"method must be 'incremental' or 'fft', got {method!r}")
     num = n - w + 1
-    out = np.empty((num, k), dtype=np.complex128)
-    current = np.fft.fft(x[:w])[:k] / np.sqrt(w)
+    out = xp.empty((num, k), dtype=xp.complex128)
+    current = xp.fft.fft(x[:w])[:k] / xp.sqrt(w)
     out[0] = current
     if num == 1:
         return out
-    twiddle = np.exp(2j * np.pi * np.arange(k) / w)
-    scale = 1.0 / np.sqrt(w)
+    twiddle = xp.exp(2j * xp.pi * xp.arange(k) / w)
+    scale = 1.0 / xp.sqrt(w)
     for p in range(1, num):
         delta = (x[p + w - 1] - x[p - 1]) * scale
         current = twiddle * (current + delta)
@@ -72,7 +72,7 @@ def sliding_features(
     return out
 
 
-def piece_features(pieces: ArrayLike, k: int) -> np.ndarray:
+def piece_features(pieces: ArrayLike, k: int) -> xp.ndarray:
     """First ``k`` unitary DFT coefficients of every *row* of ``pieces``.
 
     The batched form of the single-window case of :func:`sliding_features`
@@ -87,16 +87,16 @@ def piece_features(pieces: ArrayLike, k: int) -> np.ndarray:
     Returns:
         complex array of shape ``(m, k)``.
     """
-    p = np.asarray(pieces, dtype=np.float64)
+    p = xp.asarray(pieces, dtype=xp.float64)
     if p.ndim != 2:
         raise ValueError(f"pieces must be 2-D (m, w), got shape {p.shape}")
     w = p.shape[1]
     if not 1 <= k <= w:
         raise ValueError(f"k must be in [1, {w}], got {k}")
-    return np.fft.fft(p, axis=1)[:, :k] / np.sqrt(w)
+    return xp.fft.fft(p, axis=1)[:, :k] / xp.sqrt(w)
 
 
-def prefix_features(queries: Sequence[ArrayLike], w: int, k: int) -> np.ndarray:
+def prefix_features(queries: Sequence[ArrayLike], w: int, k: int) -> xp.ndarray:
     """First ``k`` DFT coefficients of each query's length-``w`` prefix.
 
     The probe side of FRM94's longest-prefix search and of subsequence
@@ -112,23 +112,23 @@ def prefix_features(queries: Sequence[ArrayLike], w: int, k: int) -> np.ndarray:
     Returns:
         complex array of shape ``(m, k)``.
     """
-    rows = [np.asarray(q, dtype=np.float64) for q in queries]
+    rows = [xp.asarray(q, dtype=xp.float64) for q in queries]
     for q in rows:
         if q.ndim != 1 or q.shape[0] < w:
             raise ValueError(
                 f"every query must be 1-D with length >= {w}, got {q.shape}"
             )
-    return piece_features(np.stack([q[:w] for q in rows]), k)
+    return piece_features(xp.stack([q[:w] for q in rows]), k)
 
 
-def encode_rect(features: np.ndarray) -> np.ndarray:
+def encode_rect(features: xp.ndarray) -> xp.ndarray:
     """Interleave complex window features into real index coordinates.
 
     Coefficient ``i`` occupies dimensions ``2i`` (real) and ``2i+1``
     (imaginary), matching ``S_rect`` of :mod:`repro.core.features`.
     """
     m, k = features.shape
-    out = np.empty((m, 2 * k))
+    out = xp.empty((m, 2 * k))
     out[:, 0::2] = features.real
     out[:, 1::2] = features.imag
     return out

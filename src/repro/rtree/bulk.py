@@ -16,7 +16,7 @@ from repro.rtree.backend import xp
 
 from repro.rtree.base import RTreeBase
 from repro.rtree.geometry import Rect, union_all
-from repro.rtree.node import Entry, MemoryNodeStore, Node, NodeStore, PagedNodeStore
+from repro.rtree.node import Entry, Node, NodeStore
 from repro.rtree.rstar import RStarTree
 
 
@@ -163,19 +163,31 @@ def _fixup_groups(
 def _str_tile(
     entries: list[Entry], cap: int, dim: int, axis: int
 ) -> list[list[Entry]]:
-    """Recursively sort-and-tile entries into groups of at most ``cap``."""
-    n = len(entries)
-    if n <= cap:
-        return [entries]
-    num_leaves = math.ceil(n / cap)
-    ordered = sorted(entries, key=lambda e: float(e.rect.center[axis]))
-    if axis == dim - 1:
-        return [ordered[i : i + cap] for i in range(0, n, cap)]
-    # Number of slabs along this axis: ceil((#leaves)^(1/(remaining dims))).
-    remaining = dim - axis
-    slabs = math.ceil(num_leaves ** (1.0 / remaining))
-    slab_size = math.ceil(n / slabs)
+    """Sort-and-tile entries into groups of at most ``cap``.
+
+    Iterative over an explicit worklist (one frame per slab, ordered so
+    output matches the textbook depth-first formulation) — kernel-scoped
+    modules never recurse (REP004).
+    """
     out: list[list[Entry]] = []
-    for i in range(0, n, slab_size):
-        out.extend(_str_tile(ordered[i : i + slab_size], cap, dim, axis + 1))
+    work: list[tuple[list[Entry], int]] = [(entries, axis)]
+    while work:
+        chunk, ax = work.pop()
+        n = len(chunk)
+        if n <= cap:
+            out.append(chunk)
+            continue
+        num_leaves = math.ceil(n / cap)
+        ordered = sorted(chunk, key=lambda e: float(e.rect.center[ax]))
+        if ax == dim - 1:
+            out.extend(ordered[i : i + cap] for i in range(0, n, cap))
+            continue
+        # Number of slabs along this axis: ceil((#leaves)^(1/(remaining dims))).
+        remaining = dim - ax
+        slabs = math.ceil(num_leaves ** (1.0 / remaining))
+        slab_size = math.ceil(n / slabs)
+        work.extend(
+            (ordered[i : i + slab_size], ax + 1)
+            for i in reversed(range(0, n, slab_size))
+        )
     return out

@@ -40,7 +40,7 @@ affect latency, never correctness), which the parity tests assert.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 import numpy as np
 
@@ -52,6 +52,20 @@ from repro.storage.budget import ResourceBudget
 from repro.storage.manifest import CorruptIndexError
 
 ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def require_finite(values: ArrayLike, what: str) -> np.ndarray:
+    """Admission check (REP005): reject NaN/inf query payloads.
+
+    A NaN coordinate silently empties every probe rectangle it touches
+    (all comparisons are false), turning a malformed query into a wrong
+    — not failed — answer, so every public entry validates here before
+    any I/O.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{what} must be finite; got NaN or inf")
+    return arr
 
 #: Valid spec kinds.
 KINDS = ("range", "knn", "join", "dist", "subseq_range", "subseq_knn")
@@ -151,7 +165,7 @@ class PhysicalPlan:
         self.logical = logical
         self.spec = spec
 
-    def execute(self):
+    def execute(self) -> Any:
         """Run the plan; the result type matches the spec kind."""
         if self.ctx.budget is not None:
             self.ctx.budget.start()
@@ -297,7 +311,7 @@ def compile_spec(engine, spec: QuerySpec, estimator=None) -> PhysicalPlan:
         return _compile_join(spec, ctx)
     if spec.series is None:
         raise ValueError(f"a {spec.kind!r} spec requires a query series")
-    rows = np.asarray(spec.series, dtype=np.float64)
+    rows = require_finite(spec.series, "query series")
     batch = rows.ndim == 2
     if batch:
         q_specs, q_points = engine._query_reps_batch(
@@ -310,6 +324,8 @@ def compile_spec(engine, spec: QuerySpec, estimator=None) -> PhysicalPlan:
     if spec.kind == "range":
         if spec.eps is None:
             raise ValueError("a 'range' spec requires eps")
+        if not np.isfinite(spec.eps):
+            raise ValueError(f"eps must be finite, got {spec.eps}")
         if spec.method not in ACCESS_HINTS:
             raise ValueError(
                 f"unknown method {spec.method!r}; expected one of {ACCESS_HINTS}"
@@ -390,6 +406,8 @@ def _note_kernel_degradation(engine, logical: LogicalPlan) -> None:
 def _compile_join(spec: QuerySpec, ctx: ops.ExecContext) -> PhysicalPlan:
     if spec.eps is None:
         raise ValueError("a 'join' spec requires eps")
+    if not np.isfinite(spec.eps):
+        raise ValueError(f"eps must be finite, got {spec.eps}")
     method = "index" if spec.method == "auto" else spec.method
     if method not in JOIN_METHODS:
         raise ValueError(
@@ -419,8 +437,8 @@ def _compile_join(spec: QuerySpec, ctx: ops.ExecContext) -> PhysicalPlan:
 def _compile_dist(spec: QuerySpec, ctx: ops.ExecContext) -> PhysicalPlan:
     if spec.series is None or spec.other is None:
         raise ValueError("a 'dist' spec requires both series and other")
-    a = np.asarray(spec.series, dtype=np.float64)
-    b = np.asarray(spec.other, dtype=np.float64)
+    a = require_finite(spec.series, "series")
+    b = require_finite(spec.other, "other")
     if a.shape != b.shape:
         raise ValueError(f"dist requires equal lengths, got {a.shape} and {b.shape}")
     logical = LogicalPlan(

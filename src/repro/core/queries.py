@@ -210,13 +210,16 @@ def knn_query(
         q,
         rect_dist=space.rect_mindist,
         point_dist=space.point_dist,
+        budget=budget,
         **many_kwargs,
     ):
         if len(best) == k and bound > -best[0][0]:
             break
         if budget is not None and budget.exceeded(0) is not None:
             # k-NN truncates instead of raising: results so far are exact,
-            # just possibly incomplete.
+            # just possibly incomplete.  The stream also enforces the
+            # budget inside its frontier loop (with the real heap size);
+            # this outer check covers the per-candidate verify cost.
             budget.truncated = True
             break
         d = space.ground_distance(

@@ -583,6 +583,7 @@ class FrozenRTree:
         point_dist_many: Optional[PointDistManyFn] = None,
         fstats: Optional[FrontierStats] = None,
         io: Optional[IOStats] = None,
+        budget: Optional[ResourceBudget] = None,
     ) -> Iterator[tuple[float, int, xp.ndarray]]:
         """Yield ``(distance, record id, transformed point)`` in order.
 
@@ -591,6 +592,10 @@ class FrozenRTree:
         (advanced by position on each yield) instead of one heap item per
         entry, so the heap holds one item per visited node/block rather
         than one per entry.
+
+        Under a ``budget`` the stream follows k-NN truncation semantics:
+        when a limit fires the generator stops yielding and sets
+        ``budget.truncated`` instead of raising (REP005).
         """
         q = xp.asarray(query, dtype=xp.float64)
         if self.entry_count[self.root] == 0:
@@ -603,6 +608,9 @@ class FrozenRTree:
         counter = itertools.count()
         heap: list = [(0.0, next(counter), _NODE, self.root, 0)]
         while heap:
+            if budget is not None and budget.exceeded(len(heap)) is not None:
+                budget.truncated = True
+                return
             if fstats is not None:
                 fstats.observe(len(heap))
             bound, _, kind, payload, pos = heapq.heappop(heap)

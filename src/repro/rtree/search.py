@@ -26,6 +26,7 @@ import numpy as np
 from repro.rtree.geometry import Rect
 from repro.rtree.node import Entry
 from repro.rtree.transformed import TransformedIndexView
+from repro.storage.budget import ResourceBudget
 
 #: distance from a query point to a rectangle (a lower bound for pruning)
 RectDistFn = Callable[[Rect, np.ndarray], float]
@@ -74,6 +75,7 @@ def incremental_nearest(
     point_dist: Optional[PointDistFn] = None,
     rect_dist_many: Optional[RectDistManyFn] = None,
     point_dist_many: Optional[PointDistManyFn] = None,
+    budget: Optional[ResourceBudget] = None,
 ) -> Iterator[tuple[float, Entry]]:
     """Yield transformed leaf entries in non-decreasing distance order.
 
@@ -94,6 +96,9 @@ def incremental_nearest(
             lows/highs stacks; vectorised MINDIST by default.
         point_dist_many: batched form of ``point_dist`` over an ``(m, d)``
             point matrix; vectorised Euclidean by default.
+        budget: optional per-query :class:`ResourceBudget`; when a limit
+            fires the stream stops yielding and sets ``budget.truncated``
+            (k-NN truncation semantics) instead of raising.
 
     Yields:
         ``(distance, entry)`` pairs; ``entry.rect`` is the transformed
@@ -117,6 +122,7 @@ def incremental_nearest(
             rect_dist_many=rect_dist_many,
             point_dist_many=point_dist_many,
             io=view.tree.store.stats,
+            budget=budget,
         ):
             yield dist, Entry(Rect(point, point), rid)
         return
@@ -132,6 +138,9 @@ def incremental_nearest(
     heap: list[tuple[float, int, bool, object]] = []
     heapq.heappush(heap, (0.0, next(counter), False, view.root_id))
     while heap:
+        if budget is not None and budget.exceeded(len(heap)) is not None:
+            budget.truncated = True
+            return
         dist, _, is_entry, item = heapq.heappop(heap)
         if is_entry:
             yield dist, item  # type: ignore[misc]

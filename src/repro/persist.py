@@ -414,7 +414,7 @@ def _attach_saved_kernel(
         if strict:
             raise
         return str(exc)
-    except Exception as exc:
+    except Exception as exc:  # repro: allow(REP006): non-strict verify reports corruption as a string
         detail = f"unreadable 'index_columnar.npz' in {directory!r}: {exc}"
         if strict:
             raise CorruptIndexError(detail) from exc

@@ -187,7 +187,7 @@ class FrozenRTree:
         dim = tree.dim
         node_level = xp.empty(n, dtype=xp.int32)
         entry_count = xp.empty(n, dtype=xp.int64)
-        for i, node in enumerate(nodes):
+        for i, node in enumerate(nodes):  # repro: allow(REP001): construction walk in freeze, one iteration per tree node
             node_level[i] = node.level
             entry_count[i] = len(node.entries)
         entry_start = xp.concatenate(([0], xp.cumsum(entry_count)[:-1]))
@@ -817,7 +817,7 @@ class FrozenRTree:
                 if verify_expand is not None:
                     rad_arr = xp.repeat(xp.asarray(verify_rad), seg_lens)
                     eq, keys, dists = verify_expand(qidx_arr, rid_arr, rad_arr)
-                    for j in range(keys.shape[0]):
+                    for j in range(keys.shape[0]):  # repro: allow(REP001): k-bounded per-candidate heap update, no vectorized form
                         qi = int(eq[j])
                         item = (-float(dists[j]), -int(keys[j]))
                         b = best[qi]
@@ -828,7 +828,7 @@ class FrozenRTree:
                             heapq.heapreplace(b, item)
                 else:
                     dists = verify_many(qidx_arr, rid_arr)
-                    for j in range(rid_arr.shape[0]):
+                    for j in range(rid_arr.shape[0]):  # repro: allow(REP001): k-bounded per-candidate heap update, no vectorized form
                         qi = int(qidx_arr[j])
                         d = float(dists[j])
                         b = best[qi]
@@ -866,7 +866,7 @@ class FrozenRTree:
                     fstats.entries_scanned += int(idx.shape[0])
                 if io is not None:
                     io.node_reads += int(nodes.shape[0])
-                for i in range(nodes.shape[0]):
+                for i in range(nodes.shape[0]):  # repro: allow(REP001): one iteration per expanded node, pushing its sorted block
                     s, c = int(offsets[i]), int(counts[i])
                     if c == 0:
                         continue

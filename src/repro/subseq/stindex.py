@@ -62,7 +62,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # plan imports stindex for spec compilation
+    from repro.core.plan import PhysicalPlan, QuerySpec
 
 from repro.rtree.backend import xp
 
@@ -71,6 +74,7 @@ from repro.core.planner import (
     ProbeChoice,
     SubseqProbePlanner,
 )
+from repro.rtree.base import RTreeBase
 from repro.rtree.bulk import str_pack_rects
 from repro.rtree.geometry import Rect
 from repro.rtree.kernel import FrontierStats, FrozenRTree, frozen_kernel
@@ -207,14 +211,14 @@ class STIndex:
         lows = xp.minimum.reduceat(points, starts, axis=0)
         highs = xp.maximum.reduceat(points, starts, axis=0)
         base = len(self._subtrails)
-        for i in range(starts.shape[0]):
+        for i in range(starts.shape[0]):  # repro: allow(REP001): construction, registers one sub-trail per group
             self._subtrails.append(
                 _SubTrail(series_id, int(starts[i]), int(ends[i]))
             )
         self._mbr_lows.append(lows)
         self._mbr_highs.append(highs)
         if self.build == "insert":
-            for i in range(starts.shape[0]):
+            for i in range(starts.shape[0]):  # repro: allow(REP001): insert-build adds one sub-trail rect at a time by design
                 self._tree.insert(Rect(lows[i], highs[i]), base + i)
         return series_id
 
@@ -353,7 +357,7 @@ class STIndex:
         self._sealed_count = n
 
     @property
-    def tree(self):
+    def tree(self) -> RTreeBase:
         """The node-object R-tree over sub-trail MBRs.
 
         In ``"insert"`` mode this is the incrementally built R*-tree; in
@@ -389,7 +393,7 @@ class STIndex:
         return self._kernel
 
     @property
-    def stats(self):
+    def stats(self) -> IOStats:
         """The backing store's :class:`~repro.storage.stats.IOStats`."""
         return self.tree.store.stats
 
@@ -408,7 +412,7 @@ class STIndex:
     # ------------------------------------------------------------------
     # the unified plan API (mirrors SimilarityEngine.plan)
     # ------------------------------------------------------------------
-    def plan(self, spec):
+    def plan(self, spec: "QuerySpec") -> "PhysicalPlan":
         """Compile a ``subseq_range``/``subseq_knn`` spec into a plan.
 
         The subsequence entry point of the unified plan API: probe
@@ -420,7 +424,7 @@ class STIndex:
 
         return compile_subseq_spec(self, spec)
 
-    def explain(self, spec) -> dict:
+    def explain(self, spec: "QuerySpec") -> dict:
         """``EXPLAIN`` for a subsequence spec: compile only, describe."""
         return self.plan(spec).explain()
 
@@ -516,7 +520,7 @@ class STIndex:
         q = self._check_query(query, eps)
         return self.probe_planner.choose(*self._query_rects(q, eps))
 
-    def range_query(
+    def range_query(  # repro: allow(REP005): thin wrapper, range_query_batch runs _check_query
         self,
         query: ArrayLike,
         eps: float,
@@ -621,7 +625,7 @@ class STIndex:
         row_query: list[int] = []
         row_shift: list[int] = []
         counts: list[int] = []
-        for i, q in enumerate(qs):
+        for i, q in enumerate(qs):  # repro: allow(REP001): per-query piece bookkeeping, O(queries) not O(rows)
             p = 1 if strategies[i] == "prefix" else q.shape[0] // w
             counts.append(p)
             for j in range(p):
@@ -635,7 +639,7 @@ class STIndex:
         keep = xp.ones(len(pieces), dtype=bool)
         row_eps = xp.empty(len(pieces))
         planner: Optional[SubseqProbePlanner] = None
-        for i, q in enumerate(qs):
+        for i, q in enumerate(qs):  # repro: allow(REP001): per-query rect assembly, O(queries) not O(rows)
             s, e = int(bounds[i]), int(bounds[i + 1])
             p = q.shape[0] // w
             strategy = strategies[i]
@@ -668,7 +672,7 @@ class STIndex:
         kept_query = xp.asarray(row_query, dtype=xp.int64)[keep]
         out: list[tuple[xp.ndarray, xp.ndarray]] = []
         row = 0
-        for i, q in enumerate(qs):
+        for i, q in enumerate(qs):  # repro: allow(REP001): per-query gather of its candidate rows
             rows = []
             while row < kept_query.shape[0] and kept_query[row] == i:
                 rows.append(row)
@@ -741,7 +745,7 @@ class STIndex:
         """
         ser_parts: list[xp.ndarray] = []
         ali_parts: list[xp.ndarray] = []
-        for ids, shift in zip(ids_per_row, shifts):
+        for ids, shift in zip(ids_per_row, shifts):  # repro: allow(REP001): per-query-row concat of variable-length id lists
             if ids.size == 0:
                 continue
             sids, offs = self._expand_subtrails(ids)
@@ -778,7 +782,7 @@ class STIndex:
         out: list[SubseqMatch] = []
         uniq, first = xp.unique(series, return_index=True)
         bounds = xp.append(first, series.shape[0])
-        for t in range(uniq.shape[0]):
+        for t in range(uniq.shape[0]):  # repro: allow(REP001): per-series verify round, window distances batched inside
             if budget is not None:
                 budget.check(where="subseq refine")
             sid = int(uniq[t])
@@ -786,7 +790,7 @@ class STIndex:
             x = self._series[sid]
             windows = xp.lib.stride_tricks.sliding_window_view(x, L)[offs]
             kept, dists, _ = batch_euclidean_within(windows, q, eps)
-            for a, d in zip(kept, dists):
+            for a, d in zip(kept, dists):  # repro: allow(REP001): one append per surviving match
                 out.append(SubseqMatch(sid, int(offs[a]), float(d)))
         out.sort(key=lambda m: (m.distance, m.series_id, m.offset))
         return out
@@ -794,7 +798,7 @@ class STIndex:
     # ------------------------------------------------------------------
     # querying — subsequence k-NN (the k closest windows)
     # ------------------------------------------------------------------
-    def knn_query(
+    def knn_query(  # repro: allow(REP005): thin wrapper, knn_query_batch runs _check_query
         self, query: ArrayLike, k: int, fstats: Optional[FrontierStats] = None
     ) -> list[SubseqMatch]:
         """The ``k`` subsequences closest to ``query`` (exact).
@@ -908,7 +912,7 @@ class STIndex:
                 xp.diff(qidx_s, prepend=qidx_s[0] - 1 if qidx_s.size else 0)
             )[0]
             bounds = xp.append(starts, qidx_s.shape[0])
-            for g in range(starts.shape[0]):
+            for g in range(starts.shape[0]):  # repro: allow(REP001): per-query fan-out, verification below is batched
                 qi = int(qidx_s[bounds[g]])
                 radius = float(rad_s[bounds[g]])
                 ids = rids_s[bounds[g] : bounds[g + 1]]
@@ -924,7 +928,7 @@ class STIndex:
                 keys, offs, sids = keys[ks], offs[ks], sids[ks]
                 uniq, first = xp.unique(sids, return_index=True)
                 sb = xp.append(first, sids.shape[0])
-                for t in range(uniq.shape[0]):
+                for t in range(uniq.shape[0]):  # repro: allow(REP001): per-series window grouping, distances batched per series
                     offs_t = offs[sb[t] : sb[t + 1]]
                     x = self._series[int(uniq[t])]
                     windows = xp.lib.stride_tricks.sliding_window_view(x, L)[
@@ -947,7 +951,7 @@ class STIndex:
 
         return verify
 
-    def brute_force_knn(self, query: ArrayLike, k: int) -> list[SubseqMatch]:
+    def brute_force_knn(self, query: ArrayLike, k: int) -> list[SubseqMatch]:  # repro: allow(REP001): reference brute-force path, scalar by design
         """Reference k-NN: scan every alignable window of every series.
 
         Sorted by ``(distance, series, offset)`` — the deterministic tie
@@ -1052,7 +1056,7 @@ class STIndex:
         return out
 
     # ------------------------------------------------------------------
-    def brute_force(self, query: ArrayLike, eps: float) -> list[SubseqMatch]:
+    def brute_force(self, query: ArrayLike, eps: float) -> list[SubseqMatch]:  # repro: allow(REP001): reference brute-force path, scalar by design
         """Reference scan over every offset of every series (for tests)."""
         q = xp.asarray(query, dtype=xp.float64)
         L = q.shape[0]

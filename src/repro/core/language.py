@@ -67,7 +67,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -564,7 +564,7 @@ class QuerySession:
         return self._subseq_indexes[key]
 
     # -- execution --------------------------------------------------------
-    def execute(self, text: str):
+    def execute(self, text: str) -> Any:
         """Parse and run one query; the result type depends on the verb.
 
         * ``RANGE`` / ``KNN`` → list of ``(record id, distance)``,
@@ -659,7 +659,7 @@ class QuerySession:
             return dist_plan(a, b, transformation=t, symmetric=True)
         raise QueryError(f"unsupported query node {type(query).__name__}")
 
-    def run(self, query: Query):
+    def run(self, query: Query) -> Any:
         """Execute a pre-parsed query AST through the plan API."""
         if isinstance(query, HealthQuery):
             return self.engine(query.relation).health().as_dict()

@@ -34,7 +34,11 @@ spent.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.storage.budget import ResourceBudget
+    from repro.storage.stats import IOStats
 
 from repro.rtree.backend import xp
 
@@ -58,12 +62,16 @@ class ExecContext:
             frontier loops and charge verified candidates against it.
     """
 
-    def __init__(self, engine=None, budget=None) -> None:
+    def __init__(
+        self,
+        engine: Optional[Any] = None,
+        budget: Optional["ResourceBudget"] = None,
+    ) -> None:
         self.engine = engine
         self.budget = budget
 
     @property
-    def stats(self):
+    def stats(self) -> Optional["IOStats"]:
         return None if self.engine is None else self.engine.stats
 
 
@@ -80,7 +88,7 @@ class Operator(ABC):
         #: ``None`` until a kernel-backed operator has run.
         self.frontier: Optional[FrontierStats] = None
 
-    def execute(self, ctx: ExecContext):
+    def execute(self, ctx: ExecContext) -> Any:
         """Run the operator, capturing its (inclusive) IOStats delta."""
         before = None if ctx.stats is None else ctx.stats.snapshot()
         result = self._execute(ctx)

@@ -28,7 +28,7 @@ import numpy as np
 from repro.rtree.base import RTreeBase
 from repro.rtree.geometry import Rect, intersects_circular
 from repro.rtree.kernel import FrontierStats, FrozenRTree, cached_kernel
-from repro.rtree.node import Entry, Node
+from repro.rtree.node import Entry, Node, NodeStore
 
 
 class AffineMap:
@@ -339,5 +339,5 @@ class TransformedIndexView:
         return self.tree.root_id
 
     @property
-    def store(self):
+    def store(self) -> NodeStore:
         return self.tree.store

@@ -137,7 +137,7 @@ class ResourceBudget:
                 + (f" at {where}" if where else ""),
             )
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         return {
             "deadline_ms": self.deadline_ms,
             "max_candidates": self.max_candidates,

@@ -44,7 +44,7 @@ class IOStats:
     candidate_count: int = 0
     verifications_completed: int = 0
     verifications_abandoned: int = 0
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, int] = field(default_factory=dict)
 
     def reset(self) -> None:
         """Zero every counter (including the free-form ``extra`` map)."""
@@ -73,7 +73,7 @@ class IOStats:
         """Increment a free-form named counter in :attr:`extra`."""
         self.extra[key] = self.extra.get(key, 0) + amount
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, int]:
         """Return a plain-dict copy of every counter, for reporting."""
         out = {
             "page_reads": self.page_reads,
@@ -90,7 +90,7 @@ class IOStats:
         out.update(self.extra)
         return out
 
-    def __sub__(self, other: "IOStats") -> dict:
+    def __sub__(self, other: "IOStats") -> dict[str, int]:
         """Difference of two snapshots taken from the same counter object."""
         mine, theirs = self.snapshot(), other.snapshot()
         return {k: mine.get(k, 0) - theirs.get(k, 0) for k in mine}

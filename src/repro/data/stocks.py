@@ -24,7 +24,7 @@ seed, so experiments are reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+
 
 import numpy as np
 

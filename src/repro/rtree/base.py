@@ -19,7 +19,7 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from repro.rtree.geometry import Rect, union_all
+from repro.rtree.geometry import Rect
 from repro.rtree.node import Entry, MemoryNodeStore, Node, NodeStore, PagedNodeStore
 
 

@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.rtree.base import RTreeBase, RTreeError
-from repro.rtree.geometry import Rect, union_all
+from repro.rtree.geometry import Rect
 from repro.rtree.node import Entry, Node
 
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import errno
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 MODES = ("error", "enospc", "crash", "torn", "truncate", "bitflip")

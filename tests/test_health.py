@@ -1,6 +1,6 @@
 """Engine health reports and planner-level graceful degradation."""
 
-import numpy as np
+
 import pytest
 
 from repro.core.engine import SimilarityEngine

@@ -1,6 +1,5 @@
 """Unit tests for the fixed-size page file."""
 
-import os
 
 import pytest
 

@@ -1,9 +1,10 @@
-"""Setup shim.
+"""Setup shim kept for legacy editable installs.
 
-The offline environment lacks the ``wheel`` package, so PEP 660 editable
-installs (``pip install -e .``) cannot build; ``python setup.py develop``
-installs the same editable package through the legacy path.  All project
-metadata lives in pyproject.toml.
+All project metadata and tool configuration live in ``pyproject.toml``;
+``pip install -e .`` uses it directly.  This shim exists only for
+environments without the ``wheel`` package, where PEP 660 editable
+installs cannot build and ``python setup.py develop`` installs the same
+editable package through the legacy path.
 """
 
 from setuptools import setup

@@ -169,17 +169,27 @@ def verify_file(directory: str, name: str, entry: dict) -> None:
     path = os.path.join(directory, name)
     if not os.path.exists(path):
         raise CorruptIndexError(f"{name!r} missing from saved image {directory!r}")
+    # Corruption inside MANIFEST.json itself can leave JSON that still
+    # parses but whose entry lost or mangled a key; that is corruption,
+    # not a programming error.
+    try:
+        want_size = int(entry["size"])
+        want_crc = int(entry["crc32"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CorruptIndexError(
+            f"manifest entry for {name!r} in {directory!r} is malformed: {exc!r}"
+        ) from exc
     size = os.path.getsize(path)
-    if size != entry["size"]:
+    if size != want_size:
         raise CorruptIndexError(
             f"{name!r} in {directory!r} is {size} bytes, manifest says "
-            f"{entry['size']}"
+            f"{want_size}"
         )
     crc = file_checksum(path)
-    if crc != entry["crc32"]:
+    if crc != want_crc:
         raise CorruptIndexError(
             f"{name!r} in {directory!r} fails its checksum "
-            f"(crc32 {crc:#010x} != manifest {entry['crc32']:#010x})"
+            f"(crc32 {crc:#010x} != manifest {want_crc:#010x})"
         )
 
 
@@ -189,12 +199,25 @@ def verify_arrays(name: str, arrays, specs: dict) -> None:
     Raises:
         CorruptIndexError: an array is missing or has drifted shape/dtype.
     """
-    for key, spec in specs.items():
+    try:
+        items = list(specs.items())
+    except AttributeError as exc:
+        raise CorruptIndexError(
+            f"array specs for {name!r} are malformed: {exc!r}"
+        ) from exc
+    for key, spec in items:
         if key not in arrays:
             raise CorruptIndexError(f"array {key!r} missing from {name!r}")
         arr = arrays[key]
-        if list(arr.shape) != list(spec["shape"]) or str(arr.dtype) != spec["dtype"]:
+        try:
+            want_shape = list(spec["shape"])
+            want_dtype = str(spec["dtype"])
+        except (KeyError, TypeError) as exc:
+            raise CorruptIndexError(
+                f"array spec for {key!r} in {name!r} is malformed: {exc!r}"
+            ) from exc
+        if list(arr.shape) != want_shape or str(arr.dtype) != want_dtype:
             raise CorruptIndexError(
                 f"array {key!r} in {name!r} is {arr.dtype}{list(arr.shape)}, "
-                f"manifest says {spec['dtype']}{list(spec['shape'])}"
+                f"manifest says {want_dtype}{want_shape}"
             )

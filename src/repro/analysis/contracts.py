@@ -21,7 +21,7 @@ import re
 from typing import Iterable
 
 #: Scope names accepted by ``module-contract(...)`` markers.
-SCOPES = ("hot-path", "backend", "kernel", "storage")
+SCOPES = ("hot-path", "backend", "kernel", "storage", "serial")
 
 #: REP001 — modules whose loops must be vectorized (reference modules,
 #: e.g. ``rtree/search.py`` and ``dft/reference.py``, are deliberately
@@ -40,11 +40,22 @@ HOT_PATH_SUFFIXES: tuple[str, ...] = (
 BACKEND_SUFFIXES: tuple[str, ...] = HOT_PATH_SUFFIXES + (
     "repro/rtree/geometry.py",
     "repro/rtree/bulk.py",
+    "repro/rtree/parallel.py",
     "repro/core/features.py",
 )
 
 #: The one module allowed to import numpy for the numeric layer.
 BACKEND_SHIM_SUFFIX = "repro/rtree/backend.py"
+
+#: REP007 — the one module allowed to name threading primitives
+#: (``threading`` / ``concurrent.futures`` / ``multiprocessing``).  All
+#: concurrency lives behind this seam; everything else stays
+#: schedule-free so the kernel's determinism arguments hold.
+PARALLEL_SEAM_SUFFIX = "repro/rtree/parallel.py"
+
+#: Package fragment REP007 covers: every engine module is serial by
+#: default (fixtures opt in with a ``serial`` marker instead).
+SERIAL_PACKAGE_FRAGMENT = "repro/"
 
 #: REP004 + REP005 (frontier half) — kernel modules: no recursion, and
 #: every frontier loop checks its ResourceBudget.
@@ -166,6 +177,26 @@ def is_backend_scoped(path: str, source: str) -> bool:
 def is_kernel(path: str, source: str) -> bool:
     """REP004/REP005 scope: kernel modules."""
     return _in_scope(path, source, KERNEL_SUFFIXES, "kernel")
+
+
+def is_parallel_seam(path: str) -> bool:
+    """True for the one module allowed to import threading machinery."""
+    return _norm(path).endswith(PARALLEL_SEAM_SUFFIX)
+
+
+def is_serial_scoped(path: str, source: str) -> bool:
+    """REP007 scope: modules that must stay free of threading primitives.
+
+    Everything in the engine package except the parallel seam itself;
+    out-of-tree modules (and the rule fixtures) opt in with a
+    ``# repro: module-contract(serial)`` marker.
+    """
+    if is_parallel_seam(path):
+        return False
+    norm = _norm(path)
+    if SERIAL_PACKAGE_FRAGMENT in norm and not is_linter_source(path):
+        return True
+    return "serial" in declared_scopes(source)
 
 
 def is_storage(path: str, source: str) -> bool:

@@ -17,6 +17,9 @@ REP004    no recursion in kernel modules (frontier loops are iterative)
 REP005    kernel frontier loops check their ResourceBudget; public query
           entries validate NaN/inf
 REP006    no bare/swallowed broad ``except`` in storage paths
+REP007    threading primitives (``threading`` / ``concurrent.futures`` /
+          ``multiprocessing``) live only behind the parallel seam
+          (``rtree/parallel.py``)
 ========  ==============================================================
 """
 
@@ -442,3 +445,47 @@ def rep006_typed_storage_errors(
             f"storage path; either catch a typed error or end the "
             f"handler by raising one",
         )
+
+
+# ----------------------------------------------------------------------
+# REP007 — concurrency lives only behind the parallel seam
+# ----------------------------------------------------------------------
+#: Top-level modules whose import marks a file as threading-aware.
+_THREADING_MODULES = frozenset(
+    {"threading", "_thread", "concurrent", "multiprocessing"}
+)
+
+
+@register(
+    "REP007",
+    "threading primitives (threading/concurrent.futures/multiprocessing) "
+    "only behind the parallel seam (rtree/parallel.py)",
+)
+def rep007_parallel_seam(
+    tree: ast.Module, source: str, path: str
+) -> Iterator[Violation]:
+    if not contracts.is_serial_scoped(path, source):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _THREADING_MODULES:
+                    yield Violation(
+                        "REP007", path, node.lineno, node.col_offset,
+                        f"'import {alias.name}' outside the parallel seam; "
+                        f"route concurrency through "
+                        f"repro.rtree.parallel.KernelExecutor (or justify "
+                        f"with '# repro: allow(REP007): <reason>')",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            root = module.split(".")[0]
+            if root in _THREADING_MODULES:
+                yield Violation(
+                    "REP007", path, node.lineno, node.col_offset,
+                    f"'from {module} import ...' outside the parallel seam; "
+                    f"route concurrency through "
+                    f"repro.rtree.parallel.KernelExecutor (or justify "
+                    f"with '# repro: allow(REP007): <reason>')",
+                )

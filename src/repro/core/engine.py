@@ -48,6 +48,15 @@ from repro.storage.stats import IOStats
 ArrayLike = Union[Sequence[float], np.ndarray]
 
 
+def _as_executor(spec) -> "Optional[KernelExecutor]":
+    """Coerce the ``executor=`` knob: instance, worker-count spec, or None."""
+    from repro.rtree.parallel import KernelExecutor
+
+    if spec is None or isinstance(spec, KernelExecutor):
+        return spec
+    return KernelExecutor(workers=spec)
+
+
 class SimilarityEngine:
     """Index a relation of time sequences and answer similarity queries.
 
@@ -65,6 +74,11 @@ class SimilarityEngine:
             one-by-one insertion (the paper's method; set ``False`` to
             replicate it).
         buffer_capacity: buffer-pool pages when ``paged``.
+        executor: a :class:`repro.rtree.parallel.KernelExecutor` (or a
+            worker-count spec — ``int``, ``"auto"``, ``0``) that shards
+            fused kernel batches across threads.  ``None`` reads
+            ``REPRO_KERNEL_THREADS`` lazily on first use; the default of
+            ``1`` keeps every query on today's serial path.
     """
 
     def __init__(
@@ -76,6 +90,7 @@ class SimilarityEngine:
         max_entries: int = 32,
         bulk_load: bool = True,
         buffer_capacity: int = 128,
+        executor=None,
     ) -> None:
         self.relation = relation
         self.space = (
@@ -119,6 +134,7 @@ class SimilarityEngine:
         # query-time statistics.  It refreezes lazily after any mutation.
         frozen_kernel(self.tree)
         self._estimator: Optional[SelectivityEstimator] = None
+        self._executor = _as_executor(executor)
 
     # ------------------------------------------------------------------
     # the unified plan API
@@ -133,6 +149,23 @@ class SimilarityEngine:
         if getattr(self, "_estimator", None) is None:
             self._estimator = SelectivityEstimator(self.points)
         return self._estimator
+
+    @property
+    def executor(self) -> "KernelExecutor":
+        """The engine's kernel executor (built lazily; never ``None``).
+
+        Constructed on first use so ``REPRO_KERNEL_THREADS`` is read at
+        query time rather than import time, and ``getattr`` because
+        persistence reassembles engines via ``__new__`` without running
+        ``__init__``.  With the default worker count of 1 the executor
+        delegates straight to the serial kernel — same code path, same
+        results.
+        """
+        from repro.rtree.parallel import KernelExecutor
+
+        if getattr(self, "_executor", None) is None:
+            self._executor = KernelExecutor()
+        return self._executor
 
     @property
     def kernel(self) -> FrozenRTree:
@@ -222,6 +255,7 @@ class SimilarityEngine:
         chunk: int = 16,
         max_entries: int = 32,
         build: str = "bulk",
+        executor=None,
     ):
         """An ST-index over this engine's relation (every row a series).
 
@@ -238,6 +272,7 @@ class SimilarityEngine:
         idx = STIndex(
             window, k=k, grouping=grouping, chunk=chunk,
             max_entries=max_entries, build=build,
+            executor=executor if executor is not None else self.executor,
         )
         idx.add_series_many(self.relation.matrix)
         return idx

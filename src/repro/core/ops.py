@@ -208,7 +208,8 @@ class BatchIndexProbe(Operator):
         )
         self.frontier = FrontierStats()
         id_lists = view.search_many(
-            qlows, qhighs, fstats=self.frontier, budget=ctx.budget
+            qlows, qhighs, fstats=self.frontier, budget=ctx.budget,
+            executor=getattr(engine, "executor", None),
         )
         out = [xp.asarray(ids, dtype=xp.intp) for ids in id_lists]
         if ctx.budget is not None:
@@ -410,6 +411,7 @@ class KnnSearch(Operator):
             self.query_spectra, self.q_points, self.k,
             transformation=self.transformation, stats=ctx.stats,
             frontier_stats=self.frontier, budget=ctx.budget,
+            executor=getattr(engine, "executor", None),
         )
 
     def _describe(self) -> dict:
@@ -464,11 +466,13 @@ class PairJoin(Operator):
                 engine.tree, engine.space, spectra, engine.points,
                 self.eps, self.transformation, stats=ctx.stats,
                 frontier_stats=self.frontier,
+                executor=getattr(engine, "executor", None),
             )
         if self.method == "tree-join":
             return q.all_pairs_tree_join(
                 engine.tree, engine.space, spectra,
                 self.eps, self.transformation, stats=ctx.stats,
+                executor=getattr(engine, "executor", None),
             )
         raise ValueError(f"unknown join method {self.method!r}")
 

@@ -190,6 +190,7 @@ class PhysicalPlan:
                 None if spec.transformation is None else spec.transformation.name
             ),
             "transform_query": spec.transform_query,
+            "executor": self._executor_info(),
             "plan": self.root.explain(),
         }
         if spec.kind in SUBSEQ_KINDS:
@@ -202,6 +203,16 @@ class PhysicalPlan:
                 else logical.probe_choices[0]
             )
         return out
+
+    def _executor_info(self) -> Optional[dict]:
+        """The engine's kernel-executor configuration, for EXPLAIN.
+
+        ``None`` for engine-less plans (``DIST``); otherwise the worker
+        count / sharding mode the parallel layer would run fused batches
+        with (``mode: "serial"`` is the default single-thread path).
+        """
+        executor = getattr(self.ctx.engine, "executor", None)
+        return None if executor is None else executor.describe()
 
     def __repr__(self) -> str:
         return (

@@ -66,3 +66,52 @@ xp: ModuleType = _resolve(BACKEND_NAME)
 def array_namespace() -> ModuleType:
     """The active array namespace (late-bound accessor for cold paths)."""
     return xp
+
+
+#: Environment variable naming the kernel worker count (see below).
+KERNEL_THREADS_VAR = "REPRO_KERNEL_THREADS"
+
+
+def resolve_worker_count(spec: "str | int | None" = None) -> int:
+    """Resolve a kernel worker-count request to a concrete thread count.
+
+    The sibling knob to the array-backend selection above: where
+    ``REPRO_ARRAY_BACKEND`` picks *what* runs the frontier math,
+    ``REPRO_KERNEL_THREADS`` picks *how many* threads the parallel
+    executor (:mod:`repro.rtree.parallel`) shards fused batches across.
+
+    ``spec`` falls back to the environment variable when ``None``:
+
+    * ``1`` / unset      — today's serial path (no thread pool at all);
+    * ``0`` / ``"auto"`` — one worker per available CPU;
+    * any other positive integer — that many workers.
+
+    Unlike the backend, this is resolved *per call* rather than at import
+    time — worker count changes execution schedule, never results, so it
+    is safe (and handy for tests) to vary between engine constructions
+    without reloading modules.
+    """
+    source = "worker count"
+    if spec is None:
+        spec = os.environ.get(KERNEL_THREADS_VAR, "1")
+        source = f"{KERNEL_THREADS_VAR} value"
+    if isinstance(spec, str):
+        text = spec.strip().lower()
+        if text in ("", "auto"):
+            spec = 0
+        else:
+            try:
+                spec = int(text)
+            except ValueError:
+                raise ValueError(
+                    f"invalid kernel {source} {spec!r}; expected a "
+                    f"non-negative integer or 'auto'"
+                ) from None
+    if spec < 0:
+        raise ValueError(
+            f"invalid kernel {source} {spec!r}; expected a "
+            f"non-negative integer or 'auto'"
+        )
+    if spec == 0:
+        return max(1, os.cpu_count() or 1)
+    return spec

@@ -1,0 +1,337 @@
+"""Parallel execution layer for the frozen kernel (ROADMAP item 2).
+
+The frontier engine in :mod:`repro.rtree.kernel` runs every fused batch —
+``range_ids_many``, ``knn_batch``, ``join_pairs`` and the ST-index probes
+built on them — as a single round-synchronous pipeline.  This module
+shards those batches across a thread pool:
+
+* **Query-block sharding** (range / k-NN / subseq probes): the ``m``
+  query rows are cut into contiguous balanced blocks, one kernel
+  traversal per block.  Each query's result depends only on its own row
+  (the pair frontier keeps per-query rows in traversal order and the
+  k-NN heaps are per-query state), so concatenating per-block outputs in
+  block order reproduces the serial output bit for bit.
+* **Outer-partition sharding** (``join_pairs``): the outer side's rows
+  are blocked the same way.  For the tree-matching join the outer rows
+  *are* the outer kernel's leaf entries in BFS order, so contiguous
+  blocks realise "partition the outer tree's top-level subtrees".  Each
+  ``(outer, inner)`` candidate pair is produced by exactly one block;
+  the merged pairs are re-sorted with the same ``lexsort`` key the
+  serial kernel uses, so the merge is deterministic.
+
+Threads, not processes: the kernel's hot steps are large fused array
+ops that release the GIL, so a ``ThreadPoolExecutor`` scales without
+pickling the frozen arrays.  This is the **only** module in the package
+allowed to name threading primitives (contract REP007) — everything
+else stays schedule-free.
+
+Contracts preserved:
+
+* **Stats** — each worker fills private ``FrontierStats`` / ``IOStats``
+  instances which are merged (in block order, after every worker has
+  finished) into the caller's objects, so EXPLAIN ANALYZE sees the same
+  deterministic totals as serial execution.  ``frontier_peak`` becomes
+  the largest *per-worker* frontier — a worker never materialises the
+  union frontier.
+* **Budget** — the caller's ``ResourceBudget`` is shared by all workers
+  and enforced inside each worker's frontier loop: the deadline is
+  global wall-clock, the candidate counter a locked shared total, and
+  ``max_frontier`` bounds each worker's own frontier.  Range/join
+  workers raise the same typed ``QueryBudgetExceeded``; the lowest
+  block's error is the one re-raised, so a pre-exceeded budget fails
+  identically to serial.
+
+Worker count resolves through
+:func:`repro.rtree.backend.resolve_worker_count` (the
+``REPRO_KERNEL_THREADS`` knob, next to the array-backend selection);
+``workers == 1`` or a batch smaller than two blocks bypasses the pool
+entirely and calls the kernel directly — the default configuration is
+byte-for-byte today's serial path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Optional, TypeVar
+
+from repro.rtree.backend import resolve_worker_count, xp
+from repro.rtree.kernel import FrontierStats
+from repro.storage.budget import ResourceBudget
+from repro.storage.stats import IOStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.rtree.kernel import (
+        ExpandVerifyFn,
+        FrozenRTree,
+        PointDistRowsFn,
+        RectDistRowsFn,
+        VerifyManyFn,
+    )
+
+_T = TypeVar("_T")
+
+#: Smallest query block worth dispatching to a worker thread.  Batches
+#: shorter than two blocks run serially — the pool only pays off once a
+#: worker has enough rows to amortise its dispatch.
+DEFAULT_MIN_BLOCK = 8
+
+
+class KernelExecutor:
+    """Shards fused kernel batches across a thread pool (module docstring).
+
+    Args:
+        workers: worker-count request — an ``int``, ``"auto"``/``0`` for
+            one worker per CPU, or ``None`` to read
+            ``REPRO_KERNEL_THREADS`` (default ``1`` = serial).  Resolved
+            once at construction.
+        min_block: smallest per-worker query block; batches shorter than
+            two blocks skip the pool.  Exposed mainly so parity tests can
+            force uneven chunkings on tiny batches.
+    """
+
+    def __init__(
+        self,
+        workers: "int | str | None" = None,
+        min_block: int = DEFAULT_MIN_BLOCK,
+    ) -> None:
+        if min_block < 1:
+            raise ValueError(f"min_block must be >= 1, got {min_block}")
+        self.workers = resolve_worker_count(workers)
+        self.min_block = min_block
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # pool plumbing
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """EXPLAIN payload: how this executor would run a large batch."""
+        return {
+            "workers": self.workers,
+            "min_block": self.min_block,
+            "mode": "threads" if self.workers > 1 else "serial",
+        }
+
+    def shutdown(self) -> None:
+        """Dispose of the thread pool (idempotent; pool is lazily rebuilt)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _blocks(self, m: int) -> list[tuple[int, int]]:
+        """Contiguous balanced ``[start, end)`` query blocks for ``m`` rows."""
+        nblocks = min(self.workers, max(1, m // self.min_block))
+        if nblocks < 2 or m < 2:
+            return [(0, m)]
+        base, rem = divmod(m, nblocks)
+        bounds = [0]
+        for i in range(nblocks):
+            bounds.append(bounds[-1] + base + (1 if i < rem else 0))
+        return [(bounds[i], bounds[i + 1]) for i in range(nblocks)]
+
+    def _run(self, tasks: list[Callable[[], _T]]) -> list[_T]:
+        """Run block tasks on the pool; propagate the lowest block's error.
+
+        Results come back in submission (block) order regardless of
+        completion order — the merge step's determinism starts here.
+        """
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-kernel",
+            )
+        futures: list[Future[_T]] = [self._pool.submit(t) for t in tasks]
+        return [f.result() for f in futures]
+
+    @staticmethod
+    def _worker_stats(
+        fstats: Optional[FrontierStats], io: Optional[IOStats], n: int
+    ) -> list[tuple[Optional[FrontierStats], Optional[IOStats]]]:
+        """Private per-worker stat objects (``None`` stays ``None``)."""
+        return [
+            (
+                FrontierStats() if fstats is not None else None,
+                IOStats() if io is not None else None,
+            )
+            for _ in range(n)
+        ]
+
+    @staticmethod
+    def _merge_stats(
+        fstats: Optional[FrontierStats],
+        io: Optional[IOStats],
+        parts: list[tuple[Optional[FrontierStats], Optional[IOStats]]],
+    ) -> None:
+        """Fold per-worker stats into the caller's objects, in block order."""
+        for part_f, part_io in parts:
+            if fstats is not None and part_f is not None:
+                fstats.merge(part_f)
+            if io is not None and part_io is not None:
+                io.merge(part_io)
+
+    # ------------------------------------------------------------------
+    # sharded kernel entry points
+    # ------------------------------------------------------------------
+    def range_ids_many(
+        self,
+        kernel: "FrozenRTree",
+        qlows: xp.ndarray,
+        qhighs: xp.ndarray,
+        scale: Optional[xp.ndarray] = None,
+        offset: Optional[xp.ndarray] = None,
+        circular_mask: Optional[xp.ndarray] = None,
+        fstats: Optional[FrontierStats] = None,
+        io: Optional[IOStats] = None,
+        budget: Optional[ResourceBudget] = None,
+    ) -> list[xp.ndarray]:
+        """Sharded :meth:`FrozenRTree.range_ids_many` — same contract.
+
+        Query ``i``'s id array is unaffected by which other queries share
+        its traversal, so per-block result lists concatenate directly.
+        """
+        m = int(qlows.shape[0])
+        blocks = self._blocks(m)
+        if len(blocks) < 2:
+            return kernel.range_ids_many(
+                qlows, qhighs, scale, offset, circular_mask, fstats, io, budget
+            )
+        parts = self._worker_stats(fstats, io, len(blocks))
+
+        def task(start: int, end: int, idx: int) -> list[xp.ndarray]:
+            part_f, part_io = parts[idx]
+            return kernel.range_ids_many(
+                qlows[start:end], qhighs[start:end], scale, offset,
+                circular_mask, part_f, part_io, budget,
+            )
+
+        chunks = self._run(
+            [lambda s=s, e=e, i=i: task(s, e, i) for i, (s, e) in enumerate(blocks)]
+        )
+        self._merge_stats(fstats, io, parts)
+        out: list[xp.ndarray] = []
+        for chunk in chunks:
+            out.extend(chunk)
+        return out
+
+    def join_pairs(
+        self,
+        kernel: "FrozenRTree",
+        qlows: xp.ndarray,
+        qhighs: xp.ndarray,
+        outer_ids: xp.ndarray,
+        scale: Optional[xp.ndarray] = None,
+        offset: Optional[xp.ndarray] = None,
+        circular_mask: Optional[xp.ndarray] = None,
+        self_join: bool = True,
+        fstats: Optional[FrontierStats] = None,
+        io: Optional[IOStats] = None,
+        budget: Optional[ResourceBudget] = None,
+    ) -> tuple[xp.ndarray, xp.ndarray]:
+        """Sharded :meth:`FrozenRTree.join_pairs` — same contract.
+
+        The outer rows are partitioned across workers; every candidate
+        pair is produced by exactly one block (the self-join filter is
+        row-wise), so concatenating the block outputs and re-sorting with
+        the serial kernel's own ``lexsort`` key yields identical pairs.
+        """
+        m = int(qlows.shape[0])
+        blocks = self._blocks(m)
+        if len(blocks) < 2:
+            return kernel.join_pairs(
+                qlows, qhighs, outer_ids, scale, offset, circular_mask,
+                self_join, fstats, io, budget,
+            )
+        outer_ids = xp.asarray(outer_ids, dtype=xp.int64)
+        parts = self._worker_stats(fstats, io, len(blocks))
+
+        def task(start: int, end: int, idx: int) -> tuple[xp.ndarray, xp.ndarray]:
+            part_f, part_io = parts[idx]
+            return kernel.join_pairs(
+                qlows[start:end], qhighs[start:end], outer_ids[start:end],
+                scale, offset, circular_mask, self_join, part_f, part_io,
+                budget,
+            )
+
+        pair_chunks = self._run(
+            [lambda s=s, e=e, i=i: task(s, e, i) for i, (s, e) in enumerate(blocks)]
+        )
+        self._merge_stats(fstats, io, parts)
+        outer_all = xp.concatenate([p[0] for p in pair_chunks])
+        inner_all = xp.concatenate([p[1] for p in pair_chunks])
+        order = xp.lexsort((inner_all, outer_all))
+        return outer_all[order], inner_all[order]
+
+    def knn_batch(
+        self,
+        kernel: "FrozenRTree",
+        qpoints: xp.ndarray,
+        k: int,
+        verify_many: "Optional[VerifyManyFn]" = None,
+        scale: Optional[xp.ndarray] = None,
+        offset: Optional[xp.ndarray] = None,
+        rect_dist_rows: "Optional[RectDistRowsFn]" = None,
+        point_dist_rows: "Optional[PointDistRowsFn]" = None,
+        box_leaves: bool = False,
+        verify_expand: "Optional[ExpandVerifyFn]" = None,
+        fstats: Optional[FrontierStats] = None,
+        io: Optional[IOStats] = None,
+        budget: Optional[ResourceBudget] = None,
+    ) -> list[list[tuple[int, float]]]:
+        """Sharded :meth:`FrozenRTree.knn_batch` — same contract.
+
+        Each query owns its heap, radius and result list; the rounds are
+        only a batching device, so a block of queries traverses exactly
+        as it would inside the full batch.  Verification callbacks see
+        *global* query indices — the block wrappers translate.
+        """
+        qpoints = xp.asarray(qpoints, dtype=xp.float64)
+        m = int(qpoints.shape[0])
+        blocks = self._blocks(m)
+        if len(blocks) < 2:
+            return kernel.knn_batch(
+                qpoints, k, verify_many, scale, offset, rect_dist_rows,
+                point_dist_rows, box_leaves, verify_expand, fstats, io,
+                budget,
+            )
+        parts = self._worker_stats(fstats, io, len(blocks))
+
+        def shift_verify(
+            fn: "VerifyManyFn", start: int
+        ) -> "VerifyManyFn":
+            def shifted(qidx: xp.ndarray, rids: xp.ndarray) -> xp.ndarray:
+                return fn(qidx + start, rids)
+
+            return shifted
+
+        def shift_expand(
+            fn: "ExpandVerifyFn", start: int
+        ) -> "ExpandVerifyFn":
+            def shifted(
+                qidx: xp.ndarray, rids: xp.ndarray, radii: xp.ndarray
+            ) -> tuple[xp.ndarray, xp.ndarray, xp.ndarray]:
+                eq, keys, dists = fn(qidx + start, rids, radii)
+                return eq - start, keys, dists
+
+            return shifted
+
+        def task(start: int, end: int, idx: int) -> list[list[tuple[int, float]]]:
+            shifted_verify = (
+                shift_verify(verify_many, start) if verify_many is not None else None
+            )
+            shifted_expand = (
+                shift_expand(verify_expand, start) if verify_expand is not None else None
+            )
+            part_f, part_io = parts[idx]
+            return kernel.knn_batch(
+                qpoints[start:end], k, shifted_verify, scale, offset,
+                rect_dist_rows, point_dist_rows, box_leaves, shifted_expand,
+                part_f, part_io, budget,
+            )
+
+        chunks = self._run(
+            [lambda s=s, e=e, i=i: task(s, e, i) for i, (s, e) in enumerate(blocks)]
+        )
+        self._merge_stats(fstats, io, parts)
+        out: list[list[tuple[int, float]]] = []
+        for chunk in chunks:
+            out.extend(chunk)
+        return out

@@ -17,10 +17,20 @@ expanding, return the best results found so far, and set
 
 A budget with every limit ``None`` never fires — queries under it are
 bit-for-bit identical to unbudgeted ones (the parity tests pin this).
+
+Under the parallel executor one budget is shared by every worker of a
+sharded batch: the deadline is global wall-clock (each worker checks it
+inside its own frontier loop), the candidate counter is a single locked
+total across workers, and ``max_frontier`` bounds each worker's *own*
+frontier (a worker never materialises the union).  Counter mutation and
+lazy deadline arming are serialised on a per-budget lock; the lock is
+not held while *reading* the clock, which is safe because the deadline
+value is write-once per :meth:`start`.
 """
 
 from __future__ import annotations
 
+import threading  # repro: allow(REP007): shared budget counters are mutated from concurrent kernel workers
 import time
 from typing import Optional
 
@@ -47,7 +57,7 @@ class ResourceBudget:
     """
 
     __slots__ = ("deadline_ms", "max_candidates", "max_frontier",
-                 "truncated", "candidates", "_deadline")
+                 "truncated", "candidates", "_deadline", "_lock")
 
     def __init__(
         self,
@@ -67,6 +77,7 @@ class ResourceBudget:
         self.truncated = False
         self.candidates = 0
         self._deadline: Optional[float] = None
+        self._lock = threading.Lock()
 
     @property
     def unlimited(self) -> bool:
@@ -79,13 +90,14 @@ class ResourceBudget:
 
     def start(self) -> "ResourceBudget":
         """(Re-)arm the deadline clock and clear consumed counters."""
-        self.truncated = False
-        self.candidates = 0
-        self._deadline = (
-            time.perf_counter() + self.deadline_ms / 1000.0
-            if self.deadline_ms is not None
-            else None
-        )
+        with self._lock:
+            self.truncated = False
+            self.candidates = 0
+            self._deadline = (
+                time.perf_counter() + self.deadline_ms / 1000.0
+                if self.deadline_ms is not None
+                else None
+            )
         return self
 
     # ------------------------------------------------------------------
@@ -94,7 +106,13 @@ class ResourceBudget:
     def exceeded(self, frontier: int = 0) -> Optional[str]:
         """The limit that has fired, or ``None``; never raises."""
         if self._deadline is None and self.deadline_ms is not None:
-            self.start()  # checked before start(): arm lazily
+            # Checked before start(): arm lazily.  Double-checked under
+            # the lock so a racing worker cannot re-arm (and a plain
+            # start() here would also wrongly zero a shared candidate
+            # counter another worker already charged).
+            with self._lock:
+                if self._deadline is None:
+                    self._deadline = time.perf_counter() + self.deadline_ms / 1000.0
         if self._deadline is not None and time.perf_counter() > self._deadline:
             return "deadline"
         if self.max_frontier is not None and frontier > self.max_frontier:
@@ -105,7 +123,8 @@ class ResourceBudget:
 
     def consume(self, n: int) -> None:
         """Record ``n`` candidate rows without raising (k-NN accounting)."""
-        self.candidates += n
+        with self._lock:
+            self.candidates += n
 
     # ------------------------------------------------------------------
     # raising checks (range / join / subseq paths)
@@ -129,11 +148,13 @@ class ResourceBudget:
 
     def charge_candidates(self, n: int, where: str = "") -> None:
         """Consume ``n`` candidates and raise if the cap is now exceeded."""
-        self.candidates += n
-        if self.max_candidates is not None and self.candidates > self.max_candidates:
+        with self._lock:
+            self.candidates += n
+            total = self.candidates
+        if self.max_candidates is not None and total > self.max_candidates:
             raise QueryBudgetExceeded(
                 "candidates",
-                f"{self.candidates} candidate rows exceed {self.max_candidates}"
+                f"{total} candidate rows exceed {self.max_candidates}"
                 + (f" at {where}" if where else ""),
             )
 

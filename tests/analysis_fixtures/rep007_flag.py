@@ -1,0 +1,13 @@
+"""Must flag REP007: threading primitives outside the parallel seam."""
+# repro: module-contract(serial)
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import Pool
+
+
+def fan_out(tasks):
+    lock = threading.Lock()
+    with ThreadPoolExecutor() as pool, Pool() as procs:
+        del lock, procs
+        return [pool.submit(t) for t in tasks]

@@ -1,0 +1,9 @@
+"""Must pass REP007: parallelism arrives through the executor seam."""
+# repro: module-contract(serial)
+
+from repro.rtree.parallel import KernelExecutor
+
+
+def fan_out(kernel, qlows, qhighs):
+    executor = KernelExecutor(workers="auto")
+    return executor.range_ids_many(kernel, qlows, qhighs)

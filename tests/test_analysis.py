@@ -18,7 +18,9 @@ from repro.analysis import LintEngine, all_rules
 from repro.analysis.cli import main as cli_main
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
-RULE_IDS = ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006")
+RULE_IDS = (
+    "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+)
 
 
 def rules_hit(path: Path) -> set[str]:
@@ -81,6 +83,27 @@ def test_rep006_flags_bare_and_swallowed_broad() -> None:
     assert len(report.violations) == 2
 
 
+def test_rep007_flags_every_import_form() -> None:
+    report = LintEngine(rules=["REP007"]).check_file(FIXTURES / "rep007_flag.py")
+    assert len(report.violations) == 3  # threading, concurrent, multiprocessing
+
+
+def test_rep007_exempts_the_parallel_seam() -> None:
+    source = "from concurrent.futures import ThreadPoolExecutor\n"
+    report = LintEngine(rules=["REP007"]).check_source(
+        source, "src/repro/rtree/parallel.py"
+    )
+    assert report.violations == []
+
+
+def test_rep007_covers_package_modules_without_a_marker() -> None:
+    source = "import threading\n"
+    report = LintEngine(rules=["REP007"]).check_source(
+        source, "src/repro/core/anything.py"
+    )
+    assert [v.rule for v in report.violations] == ["REP007"]
+
+
 def test_scope_markers_only_apply_in_their_scope() -> None:
     # The hot-path fixture is not storage-scoped: REP006 never looks at it.
     source = (FIXTURES / "rep001_flag.py").read_text()
@@ -137,7 +160,7 @@ def test_unknown_rule_selection_raises() -> None:
         LintEngine(rules=["REP42"])
 
 
-def test_registry_exposes_all_six_rules() -> None:
+def test_registry_exposes_all_rules() -> None:
     assert [r.rule_id for r in all_rules()] == list(RULE_IDS)
 
 

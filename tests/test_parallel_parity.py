@@ -1,0 +1,324 @@
+"""Parallel kernel execution is bit-identical to serial execution.
+
+The :class:`~repro.rtree.parallel.KernelExecutor` shards fused query
+batches (and the outer side of ``join_pairs``) across worker threads.
+The contract checked here: for every kernel entry point, the sharded
+answer equals the serial answer *exactly* — same ids, same distances,
+same ordering — regardless of worker count or chunk boundaries, and the
+merged ``IOStats``/``FrontierStats`` counters match the serial run.
+
+Also covers the supporting seams introduced with the executor:
+``resolve_worker_count`` (the ``REPRO_KERNEL_THREADS`` knob), the
+thread-safe stats counters (no lost increments under concurrent
+``add``/``bump``), and budget determinism when a shared budget fires
+mid-shard.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.engine import SimilarityEngine
+from repro.core.plan import QuerySpec
+from repro.core.transforms import moving_average
+from repro.data import SequenceRelation
+from repro.data.synthetic import random_walks
+from repro.rtree.backend import KERNEL_THREADS_VAR, resolve_worker_count
+from repro.rtree.kernel import FrontierStats
+from repro.rtree.parallel import KernelExecutor
+from repro.storage.budget import QueryBudgetExceeded, ResourceBudget
+from repro.storage.stats import IOStats
+from repro.subseq.stindex import STIndex
+
+N, LENGTH = 150, 64
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return SequenceRelation.from_matrix(random_walks(N, LENGTH, seed=33))
+
+
+@pytest.fixture(scope="module")
+def serial_engine(relation):
+    return SimilarityEngine(relation, executor=KernelExecutor(workers=1))
+
+
+def sharded_engine(relation, workers):
+    # min_block=1 forces real chunking even on small test batches, so the
+    # shard boundaries (including uneven splits) actually exercise the
+    # merge paths.
+    return SimilarityEngine(
+        relation, executor=KernelExecutor(workers=workers, min_block=1)
+    )
+
+
+def matches_equal(a, b):
+    return [[(r, d) for r, d in row] for row in a] == [
+        [(r, d) for r, d in row] for row in b
+    ]
+
+
+# ----------------------------------------------------------------------
+# resolve_worker_count: the REPRO_KERNEL_THREADS knob
+# ----------------------------------------------------------------------
+class TestResolveWorkerCount:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_THREADS_VAR, raising=False)
+        assert resolve_worker_count() == 1
+
+    def test_env_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_THREADS_VAR, "3")
+        assert resolve_worker_count() == 3
+
+    @pytest.mark.parametrize("spec", ["auto", "0", "", 0])
+    def test_auto_resolves_to_at_least_one(self, spec):
+        assert resolve_worker_count(spec) >= 1
+
+    def test_explicit_spec_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_THREADS_VAR, "7")
+        assert resolve_worker_count(2) == 2
+
+    @pytest.mark.parametrize("bad", ["three", "1.5", -1, "-2"])
+    def test_invalid_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            resolve_worker_count(bad)
+
+    def test_env_error_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_THREADS_VAR, "lots")
+        with pytest.raises(ValueError, match=KERNEL_THREADS_VAR):
+            resolve_worker_count()
+
+
+# ----------------------------------------------------------------------
+# thread-safe stats: no lost counts under concurrent writers
+# ----------------------------------------------------------------------
+class TestConcurrentStats:
+    THREADS, ROUNDS = 8, 2_000
+
+    def test_concurrent_add_loses_no_counts(self):
+        stats = IOStats()
+
+        def hammer():
+            for _ in range(self.ROUNDS):
+                stats.add(candidate_count=1, distance_computations=2)
+
+        workers = [threading.Thread(target=hammer) for _ in range(self.THREADS)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert stats.candidate_count == self.THREADS * self.ROUNDS
+        assert stats.distance_computations == 2 * self.THREADS * self.ROUNDS
+
+    def test_concurrent_bump_loses_no_counts(self):
+        stats = IOStats()
+
+        def hammer():
+            for _ in range(self.ROUNDS):
+                stats.bump("probe_rounds")
+
+        workers = [threading.Thread(target=hammer) for _ in range(self.THREADS)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert stats.extra["probe_rounds"] == self.THREADS * self.ROUNDS
+
+    def test_add_rejects_unknown_counters(self):
+        with pytest.raises(AttributeError):
+            IOStats().add(not_a_counter=1)
+
+    def test_merge_and_dunder_add_sum_all_fields(self):
+        a, b = IOStats(), IOStats()
+        a.add(page_reads=3, node_reads=5)
+        b.add(page_reads=4, verifications_completed=2)
+        total = a + b
+        assert total.page_reads == 7
+        assert total.node_reads == 5
+        assert total.verifications_completed == 2
+        a.merge(b)
+        assert a.page_reads == 7 and a.verifications_completed == 2
+        assert b.page_reads == 4  # merge leaves the source untouched
+
+    def test_frontier_stats_merge_sums_counts_and_maxes_peak(self):
+        a, b = FrontierStats(), FrontierStats()
+        a.nodes_expanded, a.entries_scanned = 5, 50
+        a.observe(12)
+        b.nodes_expanded, b.entries_scanned = 3, 30
+        b.observe(9)
+        a.merge(b)
+        assert (a.nodes_expanded, a.entries_scanned, a.frontier_peak) == (8, 80, 12)
+        c = FrontierStats()
+        c.observe(40)
+        total = a + c
+        assert (total.nodes_expanded, total.frontier_peak) == (8, 40)
+
+
+# ----------------------------------------------------------------------
+# whole-sequence parity: range / knn / join across worker counts
+# ----------------------------------------------------------------------
+WORKER_GRID = [2, 3, "auto"]
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("workers", WORKER_GRID)
+    def test_range_batch(self, relation, serial_engine, workers):
+        queries = relation.matrix[:23]
+        want = serial_engine.range_query_batch(queries, 6.0)
+        got = sharded_engine(relation, workers).range_query_batch(queries, 6.0)
+        assert matches_equal(got, want)
+
+    @pytest.mark.parametrize("workers", WORKER_GRID)
+    def test_range_batch_with_transformation(self, relation, serial_engine, workers):
+        queries = relation.matrix[40:51]
+        t = moving_average(LENGTH, 8)
+        want = serial_engine.range_query_batch(
+            queries, 4.0, transformation=t, transform_query=True
+        )
+        got = sharded_engine(relation, workers).range_query_batch(
+            queries, 4.0, transformation=t, transform_query=True
+        )
+        assert matches_equal(got, want)
+
+    @pytest.mark.parametrize("workers", WORKER_GRID)
+    def test_knn_batch(self, relation, serial_engine, workers):
+        queries = relation.matrix[10:27]  # 17 rows: uneven across any grid
+        want = serial_engine.knn_query_batch(queries, 7)
+        got = sharded_engine(relation, workers).knn_query_batch(queries, 7)
+        assert matches_equal(got, want)
+
+    @pytest.mark.parametrize("workers", WORKER_GRID)
+    @pytest.mark.parametrize("method", ["index", "tree-join"])
+    def test_all_pairs_join(self, relation, serial_engine, workers, method):
+        want = serial_engine.all_pairs(2.5, method=method)
+        got = sharded_engine(relation, workers).all_pairs(2.5, method=method)
+        assert got == want
+
+    def test_single_query_batch_degenerates_cleanly(self, relation, serial_engine):
+        queries = relation.matrix[5:6]
+        engine = sharded_engine(relation, 4)
+        assert matches_equal(
+            engine.range_query_batch(queries, 6.0),
+            serial_engine.range_query_batch(queries, 6.0),
+        )
+        assert matches_equal(
+            engine.knn_query_batch(queries, 3),
+            serial_engine.knn_query_batch(queries, 3),
+        )
+
+    def test_env_driven_default_executor(self, relation, serial_engine, monkeypatch):
+        monkeypatch.setenv(KERNEL_THREADS_VAR, "2")
+        engine = SimilarityEngine(relation)
+        assert engine.executor.workers == 2
+        queries = relation.matrix[:19]
+        assert matches_equal(
+            engine.range_query_batch(queries, 6.0),
+            serial_engine.range_query_batch(queries, 6.0),
+        )
+
+    def test_explain_reports_the_executor(self, relation):
+        engine = sharded_engine(relation, 3)
+        spec = QuerySpec(kind="range", series=relation.matrix[:4], eps=1.0)
+        info = engine.explain(spec)["executor"]
+        assert info == {"workers": 3, "min_block": 1, "mode": "threads"}
+        serial = SimilarityEngine(relation, executor=KernelExecutor(workers=1))
+        assert serial.explain(spec)["executor"]["mode"] == "serial"
+
+    @pytest.mark.parametrize("workers", WORKER_GRID)
+    def test_merged_io_stats_match_serial(self, relation, serial_engine, workers):
+        queries = relation.matrix[:23]
+        serial_engine.tree.store.stats.reset()
+        serial_engine.range_query_batch(queries, 6.0)
+        want = serial_engine.tree.store.stats.snapshot()
+        engine = sharded_engine(relation, workers)
+        engine.tree.store.stats.reset()
+        engine.range_query_batch(queries, 6.0)
+        assert engine.tree.store.stats.snapshot() == want
+
+
+# ----------------------------------------------------------------------
+# subsequence (ST-index) parity
+# ----------------------------------------------------------------------
+def build_stindex(executor=None):
+    walks = random_walks(20, 180, seed=9)
+    idx = STIndex(window=16, k=3, chunk=8, executor=executor)
+    idx.add_series_many(walks)
+    return idx
+
+
+class TestSubseqParity:
+    @pytest.fixture(scope="class")
+    def serial_idx(self):
+        return build_stindex()
+
+    @pytest.fixture(scope="class")
+    def sharded_idx(self):
+        return build_stindex(KernelExecutor(workers=3, min_block=1))
+
+    def triples(self, matches):
+        return [(m.series_id, m.offset, m.distance) for m in matches]
+
+    @pytest.mark.parametrize("qlen,eps", [(16, 2.0), (24, 4.0), (40, 8.0)])
+    def test_range(self, serial_idx, sharded_idx, qlen, eps):
+        q = serial_idx.series(4)[10 : 10 + qlen].copy()
+        got = self.triples(sharded_idx.range_query(q, eps))
+        assert got == self.triples(serial_idx.range_query(q, eps))
+        assert got == self.triples(serial_idx.brute_force(q, eps))
+
+    def test_range_batch(self, serial_idx, sharded_idx):
+        queries = [serial_idx.series(i)[7:23].copy() for i in range(9)]
+        got = sharded_idx.range_query_batch(queries, 3.0)
+        want = serial_idx.range_query_batch(queries, 3.0)
+        assert [self.triples(m) for m in got] == [self.triples(m) for m in want]
+
+    def test_knn_batch(self, serial_idx, sharded_idx):
+        queries = [serial_idx.series(i)[5:21].copy() for i in range(7)]
+        got = sharded_idx.knn_query_batch(queries, 5)
+        want = serial_idx.knn_query_batch(queries, 5)
+        assert [self.triples(m) for m in got] == [self.triples(m) for m in want]
+
+
+# ----------------------------------------------------------------------
+# budgets under sharding: same typed error / same exact partials
+# ----------------------------------------------------------------------
+class TestBudgetDeterminism:
+    def run_range(self, relation, engine, budget):
+        spec = QuerySpec(
+            kind="range", series=relation.matrix[:17], eps=6.0,
+            method="index", budget=budget,
+        )
+        return engine.plan(spec).execute()
+
+    def test_candidate_cap_raises_identically(self, relation, serial_engine):
+        with pytest.raises(QueryBudgetExceeded) as serial_exc:
+            self.run_range(relation, serial_engine, ResourceBudget(max_candidates=0))
+        engine = sharded_engine(relation, 3)
+        with pytest.raises(QueryBudgetExceeded) as sharded_exc:
+            self.run_range(relation, engine, ResourceBudget(max_candidates=0))
+        assert sharded_exc.value.kind == serial_exc.value.kind == "candidates"
+
+    def test_expired_deadline_raises_identically(self, relation, serial_engine):
+        # A deadline this small has always elapsed by the first frontier
+        # check, in every worker — so all shards see the same verdict.
+        with pytest.raises(QueryBudgetExceeded) as serial_exc:
+            self.run_range(relation, serial_engine, ResourceBudget(deadline_ms=1e-4))
+        engine = sharded_engine(relation, 3)
+        with pytest.raises(QueryBudgetExceeded) as sharded_exc:
+            self.run_range(relation, engine, ResourceBudget(deadline_ms=1e-4))
+        assert sharded_exc.value.kind == serial_exc.value.kind == "deadline"
+
+    def test_knn_truncation_partials_match(self, relation, serial_engine):
+        queries = relation.matrix[:11]
+        serial_budget = ResourceBudget(deadline_ms=1e-4)
+        want = serial_engine.plan(
+            QuerySpec(kind="knn", series=queries, k=5, budget=serial_budget)
+        ).execute()
+        sharded_budget = ResourceBudget(deadline_ms=1e-4)
+        engine = sharded_engine(relation, 3)
+        got = engine.plan(
+            QuerySpec(kind="knn", series=queries, k=5, budget=sharded_budget)
+        ).execute()
+        assert serial_budget.truncated and sharded_budget.truncated
+        assert matches_equal(got, want)

@@ -330,7 +330,7 @@ EXPLAIN_KEYS = {
     "kind", "access_path", "method_hint", "batch",
     "estimated_candidate_fraction", "crossover_fraction", "reason",
     "eps", "k", "transformation", "transform_query", "plan",
-    "degraded_from", "budget",
+    "degraded_from", "budget", "executor",
 }
 
 

@@ -21,7 +21,7 @@ import re
 from typing import Iterable
 
 #: Scope names accepted by ``module-contract(...)`` markers.
-SCOPES = ("hot-path", "backend", "kernel", "storage", "serial")
+SCOPES = ("hot-path", "backend", "kernel", "storage", "serial", "parallel")
 
 #: REP001 — modules whose loops must be vectorized (reference modules,
 #: e.g. ``rtree/search.py`` and ``dft/reference.py``, are deliberately
@@ -56,6 +56,13 @@ PARALLEL_SEAM_SUFFIX = "repro/rtree/parallel.py"
 #: Package fragment REP007 covers: every engine module is serial by
 #: default (fixtures opt in with a ``serial`` marker instead).
 SERIAL_PACKAGE_FRAGMENT = "repro/"
+
+#: REP008 — the functions allowed to interact with pool futures directly
+#: (``Future.result()``, blocking waits).  Everything else in the
+#: parallel seam must route through them, so worker failures always meet
+#: the supervisor's watchdog/retry/circuit-breaker machinery instead of
+#: surfacing as bare result loops or silently dropped futures.
+SUPERVISOR_FUNCTIONS: frozenset[str] = frozenset({"KernelExecutor._run"})
 
 #: REP004 + REP005 (frontier half) — kernel modules: no recursion, and
 #: every frontier loop checks its ResourceBudget.
@@ -132,6 +139,11 @@ _MARKER_RE = re.compile(
 #: (fixture support for REP005's validation half).
 _ENTRY_MARKER_RE = re.compile(r"#\s*repro:\s*query-entry\b")
 
+#: Marker registering the *next* ``def`` as a pool supervisor (fixture
+#: support for REP008; the in-tree supervisor is listed in
+#: :data:`SUPERVISOR_FUNCTIONS`).
+_SUPERVISOR_MARKER_RE = re.compile(r"#\s*repro:\s*supervisor\b")
+
 
 def _norm(path: str) -> str:
     return path.replace("\\", "/")
@@ -184,6 +196,15 @@ def is_parallel_seam(path: str) -> bool:
     return _norm(path).endswith(PARALLEL_SEAM_SUFFIX)
 
 
+def is_parallel_scoped(path: str, source: str) -> bool:
+    """REP008 scope: modules whose pool interactions must be supervised.
+
+    The parallel seam itself, plus any module (the rule fixtures) opting
+    in with a ``# repro: module-contract(parallel)`` marker.
+    """
+    return is_parallel_seam(path) or "parallel" in declared_scopes(source)
+
+
 def is_serial_scoped(path: str, source: str) -> bool:
     """REP007 scope: modules that must stay free of threading primitives.
 
@@ -224,5 +245,14 @@ def entry_marker_lines(source: str) -> frozenset[int]:
     out: set[int] = set()
     for lineno, line in enumerate(source.splitlines(), start=1):
         if _ENTRY_MARKER_RE.search(line):
+            out.add(lineno)
+    return frozenset(out)
+
+
+def supervisor_marker_lines(source: str) -> frozenset[int]:
+    """1-based line numbers carrying a ``supervisor`` marker (REP008)."""
+    out: set[int] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if _SUPERVISOR_MARKER_RE.search(line):
             out.add(lineno)
     return frozenset(out)

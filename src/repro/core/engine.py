@@ -189,8 +189,13 @@ class SimilarityEngine:
         persistence layer's validation found — a failed index (queries
         degrade to the sequential scan), a failed kernel image (queries
         run the node-object reference path), or a legacy image with no
-        manifest to verify.  ``getattr`` defaults throughout because
-        persistence reassembles engines via ``__new__``.
+        manifest to verify.  The ``kernel_executor`` component reports
+        the parallel layer's circuit breaker: ``degraded`` once the
+        execution supervisor has tripped it and batches run serially
+        (``executor.reset_breaker()`` restores sharding).  ``getattr``
+        defaults throughout because persistence reassembles engines via
+        ``__new__`` — and the executor is inspected without constructing
+        it, so ``health()`` stays side-effect free.
         """
         index_failed = getattr(self, "_index_failed", None)
         kernel_disabled = getattr(self.tree, "_kernel_disabled", False)
@@ -214,6 +219,24 @@ class SimilarityEngine:
         else:
             index = ComponentHealth("index", "ok", "")
             kernel = ComponentHealth("kernel", "ok", "")
+        executor = getattr(self, "_executor", None)
+        if executor is None:
+            kernel_executor = ComponentHealth(
+                "kernel_executor", "ok", "not yet constructed (serial default)"
+            )
+        elif executor.tripped:
+            kernel_executor = ComponentHealth(
+                "kernel_executor", "degraded",
+                f"circuit breaker open, batches run serially "
+                f"({executor.breaker_reason}); reset_breaker() to restore "
+                f"sharding",
+            )
+        else:
+            kernel_executor = ComponentHealth(
+                "kernel_executor", "ok",
+                f"{executor.workers} worker(s), {executor.retries} supervised "
+                f"retries",
+            )
         return HealthReport(
             [
                 ComponentHealth(
@@ -221,6 +244,7 @@ class SimilarityEngine:
                 ),
                 index,
                 kernel,
+                kernel_executor,
                 ComponentHealth("persistence", persist_status, persist_detail),
             ]
         )

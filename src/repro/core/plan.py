@@ -209,7 +209,12 @@ class PhysicalPlan:
 
         ``None`` for engine-less plans (``DIST``); otherwise the worker
         count / sharding mode the parallel layer would run fused batches
-        with (``mode: "serial"`` is the default single-thread path).
+        with (``mode: "serial"`` is the default single-thread path) plus
+        the execution supervisor's live state — cumulative ``retries``
+        and, once the circuit breaker has tripped,
+        ``degraded_to_serial``/``breaker_reason``.  Read at explain time,
+        not compile time, so EXPLAIN ANALYZE (explain after execute)
+        reflects any supervision the run needed.
         """
         executor = getattr(self.ctx.engine, "executor", None)
         return None if executor is None else executor.describe()

@@ -115,3 +115,46 @@ def resolve_worker_count(spec: "str | int | None" = None) -> int:
     if spec == 0:
         return max(1, os.cpu_count() or 1)
     return spec
+
+
+#: Environment variable naming the supervisor's watchdog grace (ms).
+WATCHDOG_GRACE_VAR = "REPRO_KERNEL_WATCHDOG_GRACE_MS"
+
+#: Default watchdog grace: how far past a query's budget deadline the
+#: execution supervisor waits for an in-flight block before declaring
+#: the worker wedged and abandoning the pool.
+DEFAULT_WATCHDOG_GRACE_MS = 50.0
+
+
+def resolve_watchdog_grace(spec: "str | float | None" = None) -> float:
+    """Resolve the supervisor's watchdog grace period to milliseconds.
+
+    The third knob of this seam, next to ``REPRO_ARRAY_BACKEND`` (what
+    runs the frontier math) and ``REPRO_KERNEL_THREADS`` (how many
+    threads shard it): ``REPRO_KERNEL_WATCHDOG_GRACE_MS`` sets how long
+    the supervisor in :mod:`repro.rtree.parallel` lets a block run past
+    its query's ``ResourceBudget`` deadline before treating the worker
+    as wedged.  Grace changes only *when* a watchdog trips, never any
+    query result.  ``spec`` falls back to the environment variable when
+    ``None``; the value must be a non-negative number of milliseconds.
+    """
+    source = "watchdog grace"
+    if spec is None:
+        spec = os.environ.get(WATCHDOG_GRACE_VAR, "")
+        source = f"{WATCHDOG_GRACE_VAR} value"
+        if isinstance(spec, str) and not spec.strip():
+            return DEFAULT_WATCHDOG_GRACE_MS
+    if isinstance(spec, str):
+        try:
+            spec = float(spec.strip())
+        except ValueError:
+            raise ValueError(
+                f"invalid kernel {source} {spec!r}; expected a "
+                f"non-negative number of milliseconds"
+            ) from None
+    if spec < 0:
+        raise ValueError(
+            f"invalid kernel {source} {spec!r}; expected a "
+            f"non-negative number of milliseconds"
+        )
+    return float(spec)

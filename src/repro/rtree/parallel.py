@@ -23,16 +23,54 @@ Threads, not processes: the kernel's hot steps are large fused array
 ops that release the GIL, so a ``ThreadPoolExecutor`` scales without
 pickling the frozen arrays.  This is the **only** module in the package
 allowed to name threading primitives (contract REP007) — everything
-else stays schedule-free.
+else stays schedule-free.  Within this module, every pool interaction
+routes through the supervisor (contract REP008): no bare
+``Future.result()`` loops, no fire-and-forget submits whose exceptions
+are never retrieved.
+
+**Execution supervision.**  Sharding a batch multiplies its failure
+modes — a worker can raise, wedge, or exhaust memory — and the storage
+layer's contract (under faults, return a consistent answer or a typed
+refusal, never a silently wrong one) must hold here too.  The
+supervisor inside :meth:`KernelExecutor._run` provides it:
+
+* **Watchdog** — each wait on in-flight blocks is bounded by the
+  query's ``ResourceBudget`` deadline plus a small grace
+  (``REPRO_KERNEL_WATCHDOG_GRACE_MS``).  A block still running past
+  that window means a wedged worker: pending blocks are cancelled, the
+  wedged pool is abandoned (its late exceptions are drained quietly,
+  never "exception was never retrieved" noise), and the query fails
+  with the same typed ``QueryBudgetExceeded("deadline")`` an overrun
+  serial query raises.
+* **Retry, then circuit breaker** — on the first failed block the
+  supervisor cancels pending blocks, waits for running ones, and
+  re-runs the failed block once, serially, outside the pool (secondary
+  worker errors ride along as exception notes).  A block that fails its
+  retry trips the circuit breaker: the executor degrades to serial mode
+  for all subsequent batches — recorded in ``engine.health()`` as the
+  ``kernel_executor`` component and in EXPLAIN's executor block as
+  ``degraded_to_serial`` — and the query fails with a typed
+  :class:`ExecutorError`.  ``QueryBudgetExceeded`` from a worker is a
+  typed refusal, not a fault: it is re-raised (lowest block first),
+  never retried, and never trips the breaker.
+* **Fault injection** — every sharded block task passes through the
+  ``kernel.worker:range|knn|join`` compute failpoints of
+  :mod:`repro.storage.faults` (modes ``error``/``oom``/``slow``/
+  ``hang``); the chaos harness (``tests/test_chaos_executor.py``)
+  asserts that every injected fault yields the bit-identical serial
+  answer or a typed error.  The serial path — ``workers == 1``, a
+  batch under two blocks, or a tripped breaker — calls the kernel
+  directly and never passes a failpoint.
 
 Contracts preserved:
 
-* **Stats** — each worker fills private ``FrontierStats`` / ``IOStats``
-  instances which are merged (in block order, after every worker has
-  finished) into the caller's objects, so EXPLAIN ANALYZE sees the same
-  deterministic totals as serial execution.  ``frontier_peak`` becomes
-  the largest *per-worker* frontier — a worker never materialises the
-  union frontier.
+* **Stats** — each block task fills private ``FrontierStats`` /
+  ``IOStats`` instances created per attempt (so a retried block never
+  double-counts) which are merged, in block order, after every block
+  has finished, so EXPLAIN ANALYZE sees the same deterministic totals
+  as serial execution.  ``frontier_peak`` becomes the largest
+  *per-worker* frontier — a worker never materialises the union
+  frontier.
 * **Budget** — the caller's ``ResourceBudget`` is shared by all workers
   and enforced inside each worker's frontier loop: the deadline is
   global wall-clock, the candidate counter a locked shared total, and
@@ -51,12 +89,18 @@ byte-for-byte today's serial path.
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ThreadPoolExecutor
+import threading
+from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
 from typing import TYPE_CHECKING, Callable, Optional, TypeVar
 
-from repro.rtree.backend import resolve_worker_count, xp
+from repro.rtree.backend import (
+    resolve_watchdog_grace,
+    resolve_worker_count,
+    xp,
+)
 from repro.rtree.kernel import FrontierStats
-from repro.storage.budget import ResourceBudget
+from repro.storage import faults
+from repro.storage.budget import QueryBudgetExceeded, ResourceBudget
 from repro.storage.stats import IOStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
@@ -76,8 +120,33 @@ _T = TypeVar("_T")
 DEFAULT_MIN_BLOCK = 8
 
 
+class ExecutorError(RuntimeError):
+    """A sharded kernel block kept failing after its supervised retry.
+
+    The typed refusal of the parallel layer, the compute counterpart of
+    the storage layer's ``PersistError``/``CorruptIndexError``: raising
+    it means the executor could not produce a trustworthy answer for
+    this batch (the underlying worker error is ``__cause__``; secondary
+    worker errors ride along as exception notes) and has degraded
+    itself to serial mode for subsequent batches.  Callers that retry
+    the query get the serial kernel's exact answer.
+
+    Attributes:
+        site: the kernel entry point that failed (``"range"``, ``"knn"``,
+            ``"join"``).
+    """
+
+    def __init__(self, site: str, detail: str) -> None:
+        super().__init__(
+            f"sharded {site} execution failed after supervised retry: {detail}"
+        )
+        self.site = site
+
+
 class KernelExecutor:
-    """Shards fused kernel batches across a thread pool (module docstring).
+    """Shards fused kernel batches across a supervised thread pool.
+
+    See the module docstring for the sharding and supervision story.
 
     Args:
         workers: worker-count request — an ``int``, ``"auto"``/``0`` for
@@ -87,38 +156,105 @@ class KernelExecutor:
         min_block: smallest per-worker query block; batches shorter than
             two blocks skip the pool.  Exposed mainly so parity tests can
             force uneven chunkings on tiny batches.
+        watchdog_grace_ms: how far past a query's budget deadline an
+            in-flight block may run before the supervisor declares the
+            worker wedged; ``None`` reads
+            ``REPRO_KERNEL_WATCHDOG_GRACE_MS`` (default 50 ms).
     """
 
     def __init__(
         self,
         workers: "int | str | None" = None,
         min_block: int = DEFAULT_MIN_BLOCK,
+        watchdog_grace_ms: "float | None" = None,
     ) -> None:
         if min_block < 1:
             raise ValueError(f"min_block must be >= 1, got {min_block}")
         self.workers = resolve_worker_count(workers)
         self.min_block = min_block
+        self.watchdog_grace_ms = resolve_watchdog_grace(watchdog_grace_ms)
         self._pool: Optional[ThreadPoolExecutor] = None
+        #: guards pool construction/abandonment and the supervision
+        #: counters below (an executor may be shared across caller
+        #: threads; block tasks themselves never touch this lock).
+        self._lock = threading.Lock()
+        #: supervised serial re-runs of failed blocks (cumulative).
+        self.retries = 0
+        #: batches abandoned because a worker wedged past its deadline.
+        self.watchdog_trips = 0
+        #: abandoned-future exceptions drained quietly after a trip.
+        self.abandoned_errors = 0
+        self._tripped = False
+        self._breaker_reason = ""
 
     # ------------------------------------------------------------------
-    # pool plumbing
+    # pool plumbing & supervision state
     # ------------------------------------------------------------------
+    @property
+    def tripped(self) -> bool:
+        """Whether the circuit breaker is open (executor runs serially)."""
+        return self._tripped
+
+    @property
+    def breaker_reason(self) -> str:
+        """Why the circuit breaker opened (empty while closed)."""
+        return self._breaker_reason
+
+    def reset_breaker(self) -> None:
+        """Close the circuit breaker and resume sharded execution.
+
+        For operators who have cleared the underlying fault; the
+        supervision counters (``retries``/``watchdog_trips``) are kept —
+        they are cumulative diagnostics, not breaker state.
+        """
+        with self._lock:
+            self._tripped = False
+            self._breaker_reason = ""
+
     def describe(self) -> dict:
         """EXPLAIN payload: how this executor would run a large batch."""
         return {
             "workers": self.workers,
             "min_block": self.min_block,
-            "mode": "threads" if self.workers > 1 else "serial",
+            "mode": (
+                "serial" if self.workers == 1 or self._tripped else "threads"
+            ),
+            "retries": self.retries,
+            "degraded_to_serial": self._tripped,
+            "breaker_reason": self._breaker_reason or None,
         }
 
     def shutdown(self) -> None:
         """Dispose of the thread pool (idempotent; pool is lazily rebuilt)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-kernel",
+                )
+            return self._pool
+
+    def _trip(self, reason: str) -> None:
+        """Open the circuit breaker: subsequent batches run serially."""
+        with self._lock:
+            self._tripped = True
+            self._breaker_reason = reason
 
     def _blocks(self, m: int) -> list[tuple[int, int]]:
-        """Contiguous balanced ``[start, end)`` query blocks for ``m`` rows."""
+        """Contiguous balanced ``[start, end)`` query blocks for ``m`` rows.
+
+        A single block means "run serially" — which is also how a
+        tripped circuit breaker degrades every batch: one block, direct
+        kernel call, no pool, no failpoints.
+        """
+        if self._tripped:
+            return [(0, m)]
         nblocks = min(self.workers, max(1, m // self.min_block))
         if nblocks < 2 or m < 2:
             return [(0, m)]
@@ -128,41 +264,215 @@ class KernelExecutor:
             bounds.append(bounds[-1] + base + (1 if i < rem else 0))
         return [(bounds[i], bounds[i + 1]) for i in range(nblocks)]
 
-    def _run(self, tasks: list[Callable[[], _T]]) -> list[_T]:
-        """Run block tasks on the pool; propagate the lowest block's error.
+    # ------------------------------------------------------------------
+    # the supervisor
+    # ------------------------------------------------------------------
+    def _call(self, task: Callable[[], _T], site: str) -> _T:
+        """Run one block attempt, passing the compute failpoint first.
+
+        Shared by pool workers and the serial recovery path, so a sticky
+        injected fault fails the retry too — only the direct serial
+        kernel path (one block, no pool) is failpoint-free.
+        """
+        faults.trigger_compute(f"kernel.worker:{site}")
+        return task()
+
+    def _watchdog_seconds(self, budget: Optional[ResourceBudget]) -> Optional[float]:
+        """Wait bound for in-flight blocks: budget deadline plus grace.
+
+        ``None`` (wait indefinitely) when the query carries no deadline —
+        the watchdog is *derived from* the budget, it is not a second
+        timeout authority.
+        """
+        if budget is None:
+            return None
+        remaining = budget.remaining_ms()
+        if remaining is None:
+            return None
+        return max(remaining, 0.0) / 1000.0 + self.watchdog_grace_ms / 1000.0
+
+    def _drain_abandoned(self, future: "Future[object]") -> None:
+        """Quietly retrieve an abandoned future's outcome (no GC noise)."""
+        if future.cancelled():
+            return
+        if future.exception() is not None:
+            with self._lock:
+                self.abandoned_errors += 1
+
+    def _abandon_pool(self, futures: "list[Future[object]]") -> None:
+        """Walk away from a wedged pool; late exceptions drain quietly."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        for f in futures:
+            if not f.done():
+                f.add_done_callback(self._drain_abandoned)
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def _watchdog_trip(
+        self, futures: "list[Future[object]]", site: str
+    ) -> "QueryBudgetExceeded":
+        """A block overran deadline+grace: abandon the pool, fail typed."""
+        for f in futures:
+            f.cancel()
+        self._abandon_pool(futures)
+        with self._lock:
+            self.watchdog_trips += 1
+            self._tripped = True
+            self._breaker_reason = (
+                f"watchdog: a {site} block was still running past the "
+                f"budget deadline (+{self.watchdog_grace_ms:g} ms grace)"
+            )
+        return QueryBudgetExceeded(
+            "deadline",
+            f"kernel worker wedged past the deadline at {site}; "
+            f"stragglers abandoned, executor degraded to serial",
+        )
+
+    @staticmethod
+    def _annotate(
+        exc: BaseException, errors: "dict[int, BaseException]", primary: int
+    ) -> BaseException:
+        """Attach secondary worker errors as notes on the raised one."""
+        for idx in sorted(errors):
+            if idx != primary:
+                exc.add_note(
+                    f"secondary worker error in block {idx}: {errors[idx]!r}"
+                )
+        return exc
+
+    def _serial_recover(
+        self,
+        task: Callable[[], _T],
+        site: str,
+        failure: Optional[BaseException],
+    ) -> _T:
+        """Run one block serially, outside the pool, retrying once.
+
+        ``failure`` is the block's pool-phase exception (its first
+        attempt is then the supervised retry); ``None`` for a block that
+        was cancelled before starting (it gets a fresh attempt plus one
+        retry).  A block that fails after its retry opens the circuit
+        breaker and raises :class:`ExecutorError`; a
+        ``QueryBudgetExceeded`` is a typed refusal and propagates
+        untouched.
+        """
+        for _ in range(2):
+            if failure is not None:
+                with self._lock:
+                    self.retries += 1
+            try:
+                return self._call(task, site)
+            except QueryBudgetExceeded:
+                raise
+            except Exception as exc:
+                if failure is not None:
+                    self._trip(
+                        f"a {site} block failed its supervised retry: {exc!r}"
+                    )
+                    raise ExecutorError(site, repr(exc)) from exc
+                failure = exc
+        raise AssertionError("unreachable: recovery loop always returns or raises")
+
+    # repro: supervisor
+    def _run(
+        self,
+        tasks: "list[Callable[[], _T]]",
+        budget: Optional[ResourceBudget] = None,
+        site: str = "kernel",
+    ) -> "list[_T]":
+        """Run block tasks on the pool under supervision.
 
         Results come back in submission (block) order regardless of
         completion order — the merge step's determinism starts here.
+        On the first failed block the supervisor cancels pending blocks,
+        drains running ones, then recovers serially (module docstring);
+        a wait that outlives the budget deadline plus grace abandons the
+        pool and fails typed.
         """
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers,
-                thread_name_prefix="repro-kernel",
-            )
-        futures: list[Future[_T]] = [self._pool.submit(t) for t in tasks]
-        return [f.result() for f in futures]
-
-    @staticmethod
-    def _worker_stats(
-        fstats: Optional[FrontierStats], io: Optional[IOStats], n: int
-    ) -> list[tuple[Optional[FrontierStats], Optional[IOStats]]]:
-        """Private per-worker stat objects (``None`` stays ``None``)."""
-        return [
-            (
-                FrontierStats() if fstats is not None else None,
-                IOStats() if io is not None else None,
-            )
-            for _ in range(n)
+        pool = self._ensure_pool()
+        futures: "list[Future[_T]]" = [
+            pool.submit(self._call, task, site) for task in tasks
         ]
+        not_done = set(futures)
+        failed = False
+        while not_done:
+            timeout = self._watchdog_seconds(budget)
+            done, not_done = wait(
+                not_done, timeout=timeout, return_when=FIRST_EXCEPTION
+            )
+            if any(f.exception() is not None for f in done):
+                failed = True
+                break
+            if not_done and timeout is not None:
+                # The full deadline+grace window elapsed with blocks
+                # still in flight and none failed: a wedged worker.
+                raise self._watchdog_trip(list(futures), site)
+        if not failed:
+            return [f.result() for f in futures]
+
+        # First failure: stop admitting work, settle every block.
+        for f in not_done:
+            f.cancel()
+        running = {f for f in not_done if not f.cancelled()}
+        if running:
+            _, still_running = wait(
+                running, timeout=self._watchdog_seconds(budget)
+            )
+            if still_running:
+                raise self._watchdog_trip(list(futures), site)
+
+        results: "dict[int, _T]" = {}
+        errors: "dict[int, BaseException]" = {}
+        for idx, f in enumerate(futures):
+            if f.cancelled():
+                continue  # never started; recovered serially below
+            elif f.exception() is not None:
+                errors[idx] = f.exception()  # type: ignore[assignment]
+            else:
+                results[idx] = f.result()
+
+        primary = min(errors)
+        if isinstance(errors[primary], QueryBudgetExceeded):
+            # A typed refusal: serial execution would have raised at the
+            # lowest failing block and never run the later ones.
+            raise self._annotate(errors[primary], errors, primary)
+
+        # Fault recovery: settle remaining blocks serially, in order.
+        for idx in range(len(tasks)):
+            if idx in results:
+                continue
+            results[idx] = self._serial_recover(
+                tasks[idx], site, errors.get(idx)
+            )
+        return [results[idx] for idx in range(len(tasks))]
+
+    # ------------------------------------------------------------------
+    # per-block stats plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _part(
+        fstats: Optional[FrontierStats], io: Optional[IOStats]
+    ) -> tuple[Optional[FrontierStats], Optional[IOStats]]:
+        """Fresh private per-attempt stat objects (``None`` stays ``None``).
+
+        Created inside each block attempt — not pre-allocated — so a
+        supervised retry starts from zeroed counters and the merged
+        totals never double-count a failed attempt.
+        """
+        return (
+            FrontierStats() if fstats is not None else None,
+            IOStats() if io is not None else None,
+        )
 
     @staticmethod
-    def _merge_stats(
+    def _merge_parts(
         fstats: Optional[FrontierStats],
         io: Optional[IOStats],
-        parts: list[tuple[Optional[FrontierStats], Optional[IOStats]]],
+        parts: "list[tuple[object, Optional[FrontierStats], Optional[IOStats]]]",
     ) -> None:
-        """Fold per-worker stats into the caller's objects, in block order."""
-        for part_f, part_io in parts:
+        """Fold per-block stats into the caller's objects, in block order."""
+        for _, part_f, part_io in parts:
             if fstats is not None and part_f is not None:
                 fstats.merge(part_f)
             if io is not None and part_io is not None:
@@ -194,22 +504,23 @@ class KernelExecutor:
             return kernel.range_ids_many(
                 qlows, qhighs, scale, offset, circular_mask, fstats, io, budget
             )
-        parts = self._worker_stats(fstats, io, len(blocks))
 
-        def task(start: int, end: int, idx: int) -> list[xp.ndarray]:
-            part_f, part_io = parts[idx]
-            return kernel.range_ids_many(
+        def task(start: int, end: int):
+            part_f, part_io = self._part(fstats, io)
+            value = kernel.range_ids_many(
                 qlows[start:end], qhighs[start:end], scale, offset,
                 circular_mask, part_f, part_io, budget,
             )
+            return value, part_f, part_io
 
-        chunks = self._run(
-            [lambda s=s, e=e, i=i: task(s, e, i) for i, (s, e) in enumerate(blocks)]
+        parts = self._run(
+            [lambda s=s, e=e: task(s, e) for (s, e) in blocks],
+            budget=budget, site="range",
         )
-        self._merge_stats(fstats, io, parts)
+        self._merge_parts(fstats, io, parts)
         out: list[xp.ndarray] = []
-        for chunk in chunks:
-            out.extend(chunk)
+        for value, _, _ in parts:
+            out.extend(value)
         return out
 
     def join_pairs(
@@ -241,22 +552,23 @@ class KernelExecutor:
                 self_join, fstats, io, budget,
             )
         outer_ids = xp.asarray(outer_ids, dtype=xp.int64)
-        parts = self._worker_stats(fstats, io, len(blocks))
 
-        def task(start: int, end: int, idx: int) -> tuple[xp.ndarray, xp.ndarray]:
-            part_f, part_io = parts[idx]
-            return kernel.join_pairs(
+        def task(start: int, end: int):
+            part_f, part_io = self._part(fstats, io)
+            value = kernel.join_pairs(
                 qlows[start:end], qhighs[start:end], outer_ids[start:end],
                 scale, offset, circular_mask, self_join, part_f, part_io,
                 budget,
             )
+            return value, part_f, part_io
 
-        pair_chunks = self._run(
-            [lambda s=s, e=e, i=i: task(s, e, i) for i, (s, e) in enumerate(blocks)]
+        parts = self._run(
+            [lambda s=s, e=e: task(s, e) for (s, e) in blocks],
+            budget=budget, site="join",
         )
-        self._merge_stats(fstats, io, parts)
-        outer_all = xp.concatenate([p[0] for p in pair_chunks])
-        inner_all = xp.concatenate([p[1] for p in pair_chunks])
+        self._merge_parts(fstats, io, parts)
+        outer_all = xp.concatenate([p[0][0] for p in parts])
+        inner_all = xp.concatenate([p[0][1] for p in parts])
         order = xp.lexsort((inner_all, outer_all))
         return outer_all[order], inner_all[order]
 
@@ -292,7 +604,6 @@ class KernelExecutor:
                 point_dist_rows, box_leaves, verify_expand, fstats, io,
                 budget,
             )
-        parts = self._worker_stats(fstats, io, len(blocks))
 
         def shift_verify(
             fn: "VerifyManyFn", start: int
@@ -313,25 +624,27 @@ class KernelExecutor:
 
             return shifted
 
-        def task(start: int, end: int, idx: int) -> list[list[tuple[int, float]]]:
+        def task(start: int, end: int):
             shifted_verify = (
                 shift_verify(verify_many, start) if verify_many is not None else None
             )
             shifted_expand = (
                 shift_expand(verify_expand, start) if verify_expand is not None else None
             )
-            part_f, part_io = parts[idx]
-            return kernel.knn_batch(
+            part_f, part_io = self._part(fstats, io)
+            value = kernel.knn_batch(
                 qpoints[start:end], k, shifted_verify, scale, offset,
                 rect_dist_rows, point_dist_rows, box_leaves, shifted_expand,
                 part_f, part_io, budget,
             )
+            return value, part_f, part_io
 
-        chunks = self._run(
-            [lambda s=s, e=e, i=i: task(s, e, i) for i, (s, e) in enumerate(blocks)]
+        parts = self._run(
+            [lambda s=s, e=e: task(s, e) for (s, e) in blocks],
+            budget=budget, site="knn",
         )
-        self._merge_stats(fstats, io, parts)
+        self._merge_parts(fstats, io, parts)
         out: list[list[tuple[int, float]]] = []
-        for chunk in chunks:
-            out.extend(chunk)
+        for value, _, _ in parts:
+            out.extend(value)
         return out

@@ -126,6 +126,27 @@ class ResourceBudget:
         with self._lock:
             self.candidates += n
 
+    def remaining_ms(self) -> Optional[float]:
+        """Milliseconds left on the deadline; ``None`` when none is set.
+
+        Arms the deadline lazily under the lock (same double-checked rule
+        as :meth:`exceeded`), so the first caller — a kernel worker or
+        the executor's watchdog — starts the clock.  May return a
+        negative value once the deadline has passed; never raises.  The
+        parallel executor derives its per-block watchdog timeout from
+        this, which is what lets a wedged worker be abandoned *at* the
+        budget deadline instead of hanging the query forever.
+        """
+        if self.deadline_ms is None:
+            return None
+        deadline = self._deadline
+        if deadline is None:
+            with self._lock:
+                if self._deadline is None:
+                    self._deadline = time.perf_counter() + self.deadline_ms / 1000.0
+                deadline = self._deadline
+        return (deadline - time.perf_counter()) * 1000.0
+
     # ------------------------------------------------------------------
     # raising checks (range / join / subseq paths)
     # ------------------------------------------------------------------

@@ -1,0 +1,13 @@
+"""Must flag REP008: pool interactions outside the supervisor."""
+# repro: module-contract(parallel)
+
+
+def collect(futures):
+    # A bare result loop: the first worker exception abandons the rest
+    # in flight and no watchdog bounds the wait.
+    return [f.result() for f in futures]
+
+
+def fire_and_forget(pool, task):
+    # The Future is dropped, so a worker exception is silently lost.
+    pool.submit(task)

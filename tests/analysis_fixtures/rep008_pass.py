@@ -1,0 +1,12 @@
+"""Must pass REP008: pool waits live in a marked supervisor."""
+# repro: module-contract(parallel)
+
+
+# repro: supervisor
+def supervise(pool, tasks):
+    futures = [pool.submit(task) for task in tasks]
+    return [f.result() for f in futures]
+
+
+def fan_out(pool, tasks):
+    return supervise(pool, tasks)

@@ -20,6 +20,7 @@ from repro.analysis.cli import main as cli_main
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 RULE_IDS = (
     "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+    "REP008",
 )
 
 
@@ -102,6 +103,31 @@ def test_rep007_covers_package_modules_without_a_marker() -> None:
         source, "src/repro/core/anything.py"
     )
     assert [v.rule for v in report.violations] == ["REP007"]
+
+
+def test_rep008_flags_bare_result_and_dropped_submit() -> None:
+    report = LintEngine(rules=["REP008"]).check_file(FIXTURES / "rep008_flag.py")
+    assert len(report.violations) == 2  # result loop + fire-and-forget submit
+
+
+def test_rep008_allows_the_registered_supervisor() -> None:
+    source = (
+        "class KernelExecutor:\n"
+        "    def _run(self, futures):\n"
+        "        return [f.result() for f in futures]\n"
+    )
+    report = LintEngine(rules=["REP008"]).check_source(
+        source, "src/repro/rtree/parallel.py"
+    )
+    assert report.violations == []
+
+
+def test_rep008_covers_the_parallel_seam_without_a_marker() -> None:
+    source = "def drain(fs):\n    return [f.result() for f in fs]\n"
+    report = LintEngine(rules=["REP008"]).check_source(
+        source, "src/repro/rtree/parallel.py"
+    )
+    assert [v.rule for v in report.violations] == ["REP008"]
 
 
 def test_scope_markers_only_apply_in_their_scope() -> None:

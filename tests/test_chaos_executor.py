@@ -1,0 +1,281 @@
+"""Chaos harness for the execution supervisor (ROADMAP item 2 robustness).
+
+The invariant under test, for every compute failpoint × mode × shard
+count: a query through the sharded :class:`KernelExecutor` returns the
+**bit-identical serial answer** (after the supervisor's retry or
+circuit-breaker fallback) or raises a **typed error**
+(:class:`QueryBudgetExceeded` / :class:`ExecutorError`) — never a wrong
+or partial answer, never a leaked worker thread, and never a wait that
+outlives the query's ``ResourceBudget`` deadline by more than the
+watchdog grace.
+
+Faults are injected at the ``kernel.worker:range|knn|join`` sites of
+:mod:`repro.storage.faults` (modes ``error``/``oom``/``slow``/``hang``),
+which only the sharded block tasks pass through — the serial path is
+untouched, which is itself asserted below.  Hypothesis drives the fault
+schedules (site, mode, nth hit, worker count, stickiness) so shard/fault
+interleavings beyond the hand-picked ones stay covered.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import SimilarityEngine
+from repro.core.plan import QuerySpec
+from repro.data import SequenceRelation
+from repro.data.synthetic import random_walks
+from repro.rtree.parallel import ExecutorError, KernelExecutor
+from repro.storage import faults
+from repro.storage.budget import QueryBudgetExceeded, ResourceBudget
+
+N, LENGTH = 60, 32
+SITES = ("range", "knn", "join")
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return SequenceRelation.from_matrix(random_walks(N, LENGTH, seed=77))
+
+
+def normalize(rows):
+    return [[(int(r), float(d)) for r, d in row] for row in rows]
+
+
+def run_query(engine, site):
+    m = engine.relation.matrix
+    if site == "range":
+        return normalize(engine.range_query_batch(m[:17], 6.0))
+    if site == "knn":
+        return normalize(engine.knn_query_batch(m[:17], 5))
+    return [(int(a), int(b), float(d)) for a, b, d in engine.all_pairs(2.5)]
+
+
+@pytest.fixture(scope="module")
+def serial_answers(relation):
+    engine = SimilarityEngine(relation, executor=KernelExecutor(workers=1))
+    return {site: run_query(engine, site) for site in SITES}
+
+
+def sharded_engine(relation, workers):
+    return SimilarityEngine(
+        relation, executor=KernelExecutor(workers=workers, min_block=1)
+    )
+
+
+def kernel_threads():
+    return [
+        t for t in threading.enumerate() if t.name.startswith("repro-kernel")
+    ]
+
+
+def wait_for_thread_drain(baseline, timeout=10.0):
+    """Poll until no more kernel worker threads live than at baseline."""
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if len(kernel_threads()) <= baseline:
+            return True
+        time.sleep(0.02)
+    return False
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+# ----------------------------------------------------------------------
+# the Hypothesis fault schedules
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    site=st.sampled_from(SITES),
+    mode=st.sampled_from(["error", "oom", "slow"]),
+    nth=st.integers(min_value=1, max_value=3),
+    workers=st.integers(min_value=2, max_value=4),
+    sticky=st.booleans(),
+)
+def test_chaos_invariant(relation, serial_answers, site, mode, nth, workers, sticky):
+    faults.clear()
+    engine = sharded_engine(relation, workers)
+    faults.fail_at(
+        f"kernel.worker:{site}", nth=nth, mode=mode, sticky=sticky,
+        delay_ms=5.0,
+    )
+    try:
+        got = run_query(engine, site)
+    except ExecutorError:
+        # A typed refusal is only legal when the fault survived the
+        # supervised retry — and the breaker must now force serial mode.
+        assert sticky
+        assert engine.executor.tripped
+    else:
+        # Anything that returns must be the bit-identical serial answer.
+        assert got == serial_answers[site]
+    finally:
+        faults.clear()
+    # Whatever happened, the engine must answer correctly afterwards
+    # (through the degraded serial path if the breaker tripped).
+    assert run_query(engine, site) == serial_answers[site]
+    engine.executor.shutdown()
+
+
+# ----------------------------------------------------------------------
+# deterministic supervisor behaviours
+# ----------------------------------------------------------------------
+class TestRetry:
+    def test_one_shot_fault_is_healed_by_one_retry(self, relation, serial_answers):
+        engine = sharded_engine(relation, 3)
+        faults.fail_at("kernel.worker:range", mode="error")
+        assert run_query(engine, "range") == serial_answers["range"]
+        assert engine.executor.retries == 1
+        assert not engine.executor.tripped
+
+    def test_oom_is_retried_like_any_fault(self, relation, serial_answers):
+        engine = sharded_engine(relation, 3)
+        faults.fail_at("kernel.worker:knn", mode="oom")
+        assert run_query(engine, "knn") == serial_answers["knn"]
+        assert engine.executor.retries == 1
+
+    def test_slow_worker_needs_no_retry(self, relation, serial_answers):
+        engine = sharded_engine(relation, 3)
+        faults.fail_at("kernel.worker:join", mode="slow", delay_ms=30.0)
+        assert run_query(engine, "join") == serial_answers["join"]
+        assert engine.executor.retries == 0
+
+    def test_explain_analyze_reports_supervision(self, relation, serial_answers):
+        engine = sharded_engine(relation, 3)
+        faults.fail_at("kernel.worker:range", mode="error")
+        plan = engine.plan(
+            QuerySpec(
+                kind="range", series=relation.matrix[:17], eps=6.0,
+                method="index",
+            )
+        )
+        assert normalize(plan.execute()) == serial_answers["range"]
+        info = plan.explain()
+        assert info["executor"]["retries"] == 1
+        assert info["executor"]["degraded_to_serial"] is False
+
+        def supervision_entries(node):
+            found = []
+            if "supervision" in node:
+                found.append(node["supervision"])
+            for child in node.get("children", ()):
+                found.extend(supervision_entries(child))
+            return found
+
+        entries = supervision_entries(info["plan"])
+        assert entries and all(e["retries"] == 1 for e in entries)
+
+
+class TestCircuitBreaker:
+    def test_sticky_fault_trips_the_breaker(self, relation, serial_answers):
+        engine = sharded_engine(relation, 3)
+        faults.fail_at("kernel.worker:range", mode="error", sticky=True)
+        with pytest.raises(ExecutorError) as err:
+            run_query(engine, "range")
+        assert err.value.site == "range"
+        assert err.value.__cause__ is not None
+        executor = engine.executor
+        assert executor.tripped
+        assert executor.describe()["degraded_to_serial"] is True
+        assert executor.describe()["mode"] == "serial"
+        # The failpoint is STILL armed, but the degraded serial path
+        # never passes a compute failpoint: answers must be exact.
+        assert run_query(engine, "range") == serial_answers["range"]
+        # Health surfaces the degradation...
+        report = engine.health()
+        assert report.component("kernel_executor").status == "degraded"
+        assert "circuit breaker" in report.component("kernel_executor").detail
+        # ...and an operator can close the breaker once the cause clears.
+        faults.clear()
+        executor.reset_breaker()
+        assert engine.health().component("kernel_executor").status == "ok"
+        assert executor.describe()["mode"] == "threads"
+        assert run_query(engine, "range") == serial_answers["range"]
+
+    def test_secondary_errors_ride_along_as_notes(self, relation):
+        engine = sharded_engine(relation, 4)
+        faults.fail_at("kernel.worker:range", mode="error", sticky=True)
+        with pytest.raises(ExecutorError) as err:
+            run_query(engine, "range")
+        # Sticky fault on every block: the primary carries the rest.
+        notes = getattr(err.value, "__notes__", [])
+        chain = err.value.__cause__
+        assert chain is not None or notes  # at minimum the cause survives
+
+    def test_budget_refusals_never_trip_the_breaker(self, relation):
+        engine = sharded_engine(relation, 3)
+        spec = QuerySpec(
+            kind="range", series=relation.matrix[:17], eps=6.0,
+            method="index", budget=ResourceBudget(max_candidates=1),
+        )
+        with pytest.raises(QueryBudgetExceeded):
+            engine.plan(spec).execute()
+        assert not engine.executor.tripped
+        assert engine.executor.retries == 0
+
+
+class TestWatchdog:
+    def test_hang_is_bounded_by_the_budget_deadline(self, relation, serial_answers):
+        baseline = len(kernel_threads())
+        engine = sharded_engine(relation, 3)
+        faults.fail_at("kernel.worker:range", mode="hang")  # 30 s sleep
+        spec = QuerySpec(
+            kind="range", series=relation.matrix[:17], eps=6.0,
+            method="index", budget=ResourceBudget(deadline_ms=150.0),
+        )
+        t0 = time.perf_counter()
+        with pytest.raises(QueryBudgetExceeded) as err:
+            engine.plan(spec).execute()
+        elapsed = time.perf_counter() - t0
+        assert err.value.kind == "deadline"
+        # Typed failure arrived near the deadline, not after the 30 s hang.
+        assert elapsed < 5.0
+        executor = engine.executor
+        assert executor.tripped
+        assert executor.watchdog_trips == 1
+        # The abandoned pool's threads drain once the hang is released.
+        faults.clear()
+        assert wait_for_thread_drain(baseline)
+        # The degraded engine still answers, without a budget, exactly.
+        assert run_query(engine, "range") == serial_answers["range"]
+
+
+class TestSerialPathUntouched:
+    def test_workers_1_never_passes_a_failpoint(self, relation, serial_answers):
+        engine = SimilarityEngine(relation, executor=KernelExecutor(workers=1))
+        for site in SITES:
+            faults.fail_at(f"kernel.worker:{site}", mode="error", sticky=True)
+        for site in SITES:
+            assert run_query(engine, site) == serial_answers[site]
+        assert engine.executor.retries == 0
+
+    def test_sub_block_batches_never_pass_a_failpoint(self, relation):
+        # One query row -> a single block -> the direct kernel call.
+        engine = sharded_engine(relation, 4)
+        faults.fail_at("kernel.worker:range", mode="error", sticky=True)
+        got = engine.range_query_batch(relation.matrix[:1], 6.0)
+        assert len(got) == 1
+
+
+class TestNoLeakedThreads:
+    def test_shutdown_drains_workers(self, relation):
+        baseline = len(kernel_threads())
+        engine = sharded_engine(relation, 4)
+        run_query(engine, "range")
+        assert len(kernel_threads()) > baseline
+        engine.executor.shutdown()
+        assert wait_for_thread_drain(baseline)

@@ -222,7 +222,14 @@ class TestEngineParity:
         engine = sharded_engine(relation, 3)
         spec = QuerySpec(kind="range", series=relation.matrix[:4], eps=1.0)
         info = engine.explain(spec)["executor"]
-        assert info == {"workers": 3, "min_block": 1, "mode": "threads"}
+        assert info == {
+            "workers": 3,
+            "min_block": 1,
+            "mode": "threads",
+            "retries": 0,
+            "degraded_to_serial": False,
+            "breaker_reason": None,
+        }
         serial = SimilarityEngine(relation, executor=KernelExecutor(workers=1))
         assert serial.explain(spec)["executor"]["mode"] == "serial"
 
@@ -322,3 +329,63 @@ class TestBudgetDeterminism:
         ).execute()
         assert serial_budget.truncated and sharded_budget.truncated
         assert matches_equal(got, want)
+
+
+# ----------------------------------------------------------------------
+# executor lifecycle: shutdown, lazy rebuild, circuit-breaker surface
+# ----------------------------------------------------------------------
+class TestExecutorLifecycle:
+    def test_shutdown_is_idempotent(self, relation):
+        engine = sharded_engine(relation, 3)
+        engine.range_query_batch(relation.matrix[:9], 6.0)
+        engine.executor.shutdown()
+        engine.executor.shutdown()  # second call is a no-op, not an error
+
+    def test_pool_rebuilds_lazily_after_shutdown(self, relation, serial_engine):
+        engine = sharded_engine(relation, 3)
+        queries = relation.matrix[:19]
+        want = serial_engine.range_query_batch(queries, 6.0)
+        assert matches_equal(engine.range_query_batch(queries, 6.0), want)
+        engine.executor.shutdown()
+        # The next sharded batch must transparently rebuild the pool.
+        assert matches_equal(engine.range_query_batch(queries, 6.0), want)
+
+    def test_describe_reflects_a_tripped_breaker(self, relation):
+        executor = KernelExecutor(workers=3, min_block=1)
+        assert executor.describe()["mode"] == "threads"
+        executor._trip("test: simulated repeated block failure")
+        info = executor.describe()
+        assert info["mode"] == "serial"
+        assert info["degraded_to_serial"] is True
+        assert "simulated" in info["breaker_reason"]
+        # A tripped breaker collapses every batch to one serial block.
+        assert executor._blocks(100) == [(0, 100)]
+        executor.reset_breaker()
+        assert executor.describe()["mode"] == "threads"
+        assert executor.describe()["breaker_reason"] is None
+        assert len(executor._blocks(100)) == 3
+
+    def test_tripped_breaker_still_answers_exactly(self, relation, serial_engine):
+        engine = sharded_engine(relation, 3)
+        queries = relation.matrix[:19]
+        want = serial_engine.range_query_batch(queries, 6.0)
+        engine.executor._trip("test: simulated repeated block failure")
+        assert matches_equal(engine.range_query_batch(queries, 6.0), want)
+
+    def test_watchdog_grace_resolution(self, monkeypatch):
+        from repro.rtree.backend import (
+            DEFAULT_WATCHDOG_GRACE_MS,
+            WATCHDOG_GRACE_VAR,
+            resolve_watchdog_grace,
+        )
+
+        monkeypatch.delenv(WATCHDOG_GRACE_VAR, raising=False)
+        assert resolve_watchdog_grace() == DEFAULT_WATCHDOG_GRACE_MS
+        monkeypatch.setenv(WATCHDOG_GRACE_VAR, "125")
+        assert resolve_watchdog_grace() == 125.0
+        assert resolve_watchdog_grace(10) == 10.0  # explicit beats env
+        monkeypatch.setenv(WATCHDOG_GRACE_VAR, "nope")
+        with pytest.raises(ValueError, match=WATCHDOG_GRACE_VAR):
+            resolve_watchdog_grace()
+        with pytest.raises(ValueError):
+            resolve_watchdog_grace(-1)
